@@ -1,0 +1,83 @@
+"""Ablation: datapath architecture sensitivity.
+
+The paper's FUs come from FloPoCo without disclosed architecture; this
+bench shows how adder/multiplier architecture changes the static and
+dynamic timing picture our substrate produces — area/depth trade-offs
+and the dynamic-vs-static delay gap that motivates TEVoT.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import bench_cycles, format_table, record_report
+from repro.circuits.adders import ADDER_ARCHITECTURES, build_int_adder
+from repro.circuits.multipliers import (
+    MULTIPLIER_ARCHITECTURES,
+    build_int_multiplier,
+)
+from repro.flow import characterize
+from repro.circuits.functional_units import FunctionalUnit
+from repro.circuits import refmodels
+from repro.timing import OperatingCondition, static_delay
+from repro.workloads import random_stream
+
+COND = OperatingCondition(1.00, 25.0)
+
+
+def _adder_rows():
+    rows = []
+    stream = random_stream(min(bench_cycles(), 800), seed=40)
+    for arch in sorted(ADDER_ARCHITECTURES):
+        nl = build_int_adder(32, arch)
+        fu = FunctionalUnit(
+            name="int_add", netlist=nl, operand_width=32, result_width=32,
+            reference=lambda a, b: refmodels.int_add_ref(a, b, 32)[0])
+        static = static_delay(nl, COND)
+        trace = characterize(fu, stream, [COND])
+        dynamic = float(trace.delays.mean())
+        rows.append([arch, nl.n_gates, nl.depth(), f"{static:.0f}",
+                     f"{dynamic:.0f}", f"{dynamic / static:.2f}"])
+    return rows
+
+
+def _multiplier_rows():
+    rows = []
+    stream = random_stream(min(bench_cycles(), 500), seed=41)
+    for arch in sorted(MULTIPLIER_ARCHITECTURES):
+        nl = build_int_multiplier(32, arch)
+        fu = FunctionalUnit(
+            name="int_mul", netlist=nl, operand_width=32, result_width=32,
+            reference=lambda a, b: refmodels.int_mul_ref(a, b, 32))
+        static = static_delay(nl, COND)
+        trace = characterize(fu, stream, [COND])
+        dynamic = float(trace.delays.mean())
+        rows.append([arch, nl.n_gates, nl.depth(), f"{static:.0f}",
+                     f"{dynamic:.0f}", f"{dynamic / static:.2f}"])
+    return rows
+
+
+HEADERS = ["arch", "gates", "depth", "static ps", "avg dynamic ps",
+           "dyn/static"]
+
+
+@pytest.mark.benchmark(group="ablation-arch")
+def test_adder_architectures(benchmark):
+    rows = benchmark.pedantic(_adder_rows, rounds=1, iterations=1)
+    record_report("Ablation - 32-bit adder architectures",
+                  format_table(HEADERS, rows))
+    by_arch = {r[0]: r for r in rows}
+    # lookahead shortens logic depth vs ripple
+    assert by_arch["cla"][2] < by_arch["ripple"][2]
+    # the dynamic average is well below static for every adder — the
+    # guardband waste TEVoT exploits
+    for row in rows:
+        assert float(row[5]) < 0.8
+
+
+@pytest.mark.benchmark(group="ablation-arch")
+def test_multiplier_architectures(benchmark):
+    rows = benchmark.pedantic(_multiplier_rows, rounds=1, iterations=1)
+    record_report("Ablation - 32-bit multiplier architectures",
+                  format_table(HEADERS, rows))
+    by_arch = {r[0]: r for r in rows}
+    assert by_arch["wallace"][2] < by_arch["array"][2]

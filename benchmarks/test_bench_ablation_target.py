@@ -1,0 +1,93 @@
+"""Ablation: delay regression (Eq. 2) vs direct error classification
+(Eq. 1).
+
+The paper argues for learning ``fd`` (delay) instead of ``fe`` (the
+error bit): a single delay model serves every clock speed, while a
+direct classifier must be retrained per clock.  This bench quantifies
+both sides: accuracy parity (the classifier is allowed to win at its
+own training clock) and the 3x model-count cost.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import format_table, record_report
+from repro.core.features import build_training_set
+from repro.flow import characterize, error_free_clocks
+from repro.ml import RandomForestClassifier, accuracy_score
+from repro.timing import CLOCK_SPEEDUPS, sped_up_clock
+from repro.workloads import stream_for_unit
+
+FU_NAME = "int_mul"
+
+
+def _run(trained_models, datasets, conditions):
+    bundle = trained_models(FU_NAME)
+    tevot = bundle["tevot"]
+    clocks = bundle["clocks"]
+    train_stream = datasets(FU_NAME)["train"]
+    test_stream = datasets(FU_NAME)["random"]
+    train_trace = bundle["train_trace"]
+    test_trace = characterize(bundle["fu"], test_stream, conditions)
+
+    X_train, y_train_delay = build_training_set(
+        train_stream, train_trace.conditions, train_trace.delays,
+        max_rows=30_000, seed=0)
+    X_test, y_test_delay = build_training_set(
+        test_stream, test_trace.conditions, test_trace.delays, seed=0)
+
+    from repro.core.features import build_feature_matrix
+
+    rows = []
+    for speedup in CLOCK_SPEEDUPS:
+        reg_acc, clf_acc = [], []
+        for k, condition in enumerate(test_trace.conditions):
+            tclk = sped_up_clock(clocks[condition], speedup)
+            truth = (test_trace.delays[k] > tclk).astype(int)
+            X_c = build_feature_matrix(test_stream, condition, tevot.spec)
+            reg_acc.append(accuracy_score(
+                truth, (tevot.predict_delay(X_c) > tclk).astype(int)))
+        # one classifier per speedup, trained on all conditions' labels
+        y_cls = []
+        for k, condition in enumerate(train_trace.conditions):
+            tclk = sped_up_clock(clocks[condition], speedup)
+            y_cls.append((train_trace.delays[k] > tclk).astype(int))
+        X_full, _ = build_training_set(
+            train_stream, train_trace.conditions, train_trace.delays,
+            seed=0)
+        y_full = np.concatenate(y_cls)
+        rng = np.random.default_rng(0)
+        pick = rng.choice(len(y_full), min(30_000, len(y_full)),
+                          replace=False)
+        clf = RandomForestClassifier(n_estimators=10, min_samples_leaf=4,
+                                     random_state=0)
+        clf.fit(X_full[pick], y_full[pick])
+        for k, condition in enumerate(test_trace.conditions):
+            tclk = sped_up_clock(clocks[condition], speedup)
+            truth = (test_trace.delays[k] > tclk).astype(int)
+            X_c = build_feature_matrix(test_stream, condition, tevot.spec)
+            clf_acc.append(accuracy_score(truth, clf.predict(X_c)))
+        rows.append([f"+{speedup:.0%}", f"{np.mean(reg_acc)*100:.1f}%",
+                     f"{np.mean(clf_acc)*100:.1f}%"])
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-target")
+def test_delay_regression_vs_direct_classification(benchmark,
+                                                   trained_models,
+                                                   datasets, conditions):
+    rows = benchmark.pedantic(_run, args=(trained_models, datasets,
+                                          conditions),
+                              rounds=1, iterations=1)
+    record_report(
+        "Ablation - Eq.2 delay regression vs Eq.1 direct classification "
+        f"({FU_NAME}; 1 regressor serves all clocks, classifiers retrain "
+        "per clock)",
+        format_table(["speedup", "delay-regression acc",
+                      "per-clock classifier acc"], rows))
+    # the single regression model stays within a few points of the
+    # per-clock classifiers at every speedup
+    for row in rows:
+        reg = float(row[1][:-1])
+        clf = float(row[2][:-1])
+        assert reg >= clf - 5.0

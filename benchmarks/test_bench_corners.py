@@ -1,0 +1,37 @@
+"""Table I: operating-condition parameters.
+
+Asserts the corner grid matches the paper exactly and times its
+construction (trivially cheap; included for completeness of the
+per-table index).
+"""
+
+import pytest
+
+from conftest import format_table, record_report
+from repro.timing import (
+    CLOCK_SPEEDUPS,
+    paper_corner_grid,
+    temperature_points,
+    voltage_points,
+)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_corner_grid(benchmark):
+    grid = benchmark.pedantic(paper_corner_grid, rounds=1, iterations=1)
+
+    volts = voltage_points()
+    temps = temperature_points()
+    assert len(grid) == 100
+    assert len(volts) == 20 and volts[0] == 0.81 and volts[-1] == 1.00
+    assert temps == [0.0, 25.0, 50.0, 75.0, 100.0]
+    assert CLOCK_SPEEDUPS == (0.05, 0.10, 0.15)
+
+    rows = [
+        ["Voltage", "0.81V", "1.00V", "0.01V", len(volts)],
+        ["Temperature", "0C", "100C", "25C", len(temps)],
+        ["Clock speedups", "5%", "15%", "5%", len(CLOCK_SPEEDUPS)],
+    ]
+    record_report("Table I - operating condition parameters",
+                  format_table(["Param", "Start", "End", "Step", "Points"],
+                               rows))

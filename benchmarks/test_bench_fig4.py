@@ -1,0 +1,100 @@
+"""Fig. 4: Sobel output quality under the four models at one aggressive
+operating point.
+
+The paper shows one unacceptable ground-truth output (27 dB) where
+TEVoT's estimate lands close (25 dB) while TEVoT-NH (56 dB) and
+TER-based (48 dB) wrongly call it acceptable, and Delay-based always
+produces a fully corrupted image.  We reproduce the *relations*: at an
+operating point where the true TER is nonzero, TEVoT's injected PSNR
+is closest to the ground-truth PSNR, and Delay-based's TER=1 output is
+garbage.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import format_table, record_report
+from repro.apps import quality_for_ters
+from repro.core.features import build_feature_matrix
+from repro.flow import characterize
+from repro.timing import sped_up_clock
+
+APP_FUS = ("int_mul", "int_add")
+
+
+def _pick_operating_point(bundles, streams, traces, conditions):
+    """Find a (condition, speedup) where the true TER is small but
+    nonzero — the regime where models genuinely disagree."""
+    for ci, condition in enumerate(conditions):
+        for speedup in (0.15, 0.10, 0.05):
+            ters = {}
+            for fu in APP_FUS:
+                tclk = sped_up_clock(bundles[fu]["clocks"][condition],
+                                     speedup)
+                ters[fu] = float((traces[fu].delays[ci] > tclk).mean())
+            total = sum(ters.values())
+            if 0.0005 < total < 0.2:
+                return ci, condition, speedup
+    # fall back to the most aggressive point
+    return 0, conditions[0], 0.15
+
+
+def _run(trained_models, datasets, conditions, corpus_split):
+    _, test_images = corpus_split
+    image = test_images[0]
+    bundles = {fu: trained_models(fu) for fu in APP_FUS}
+    streams = {fu: datasets(fu)["sobel"] for fu in APP_FUS}
+    traces = {fu: characterize(bundles[fu]["fu"], streams[fu], conditions)
+              for fu in APP_FUS}
+    ci, condition, speedup = _pick_operating_point(
+        bundles, streams, traces, conditions)
+
+    ters = {"truth": {}, "TEVoT": {}, "TEVoT-NH": {},
+            "TER-based": {}, "Delay-based": {}}
+    for fu in APP_FUS:
+        bundle = bundles[fu]
+        tclk = sped_up_clock(bundle["clocks"][condition], speedup)
+        ters["truth"][fu] = float((traces[fu].delays[ci] > tclk).mean())
+        X = build_feature_matrix(streams[fu], condition,
+                                 bundle["tevot"].spec)
+        ters["TEVoT"][fu] = float(
+            (bundle["tevot"].predict_delay(X) > tclk).mean())
+        X_nh = build_feature_matrix(streams[fu], condition,
+                                    bundle["tevot_nh"].spec)
+        ters["TEVoT-NH"][fu] = float(
+            (bundle["tevot_nh"].predict_delay(X_nh) > tclk).mean())
+        ters["TER-based"][fu] = bundle["ter_based"].timing_error_rate(
+            condition, tclk)
+        ters["Delay-based"][fu] = bundle["delay_based"].timing_error_rate(
+            condition, tclk)
+
+    results = {name: quality_for_ters("sobel", [image], t, seed=3)
+               for name, t in ters.items()}
+    return condition, speedup, ters, results
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_sobel_output_quality(benchmark, trained_models, datasets,
+                                   conditions, corpus_split):
+    condition, speedup, ters, results = benchmark.pedantic(
+        _run, args=(trained_models, datasets, conditions, corpus_split),
+        rounds=1, iterations=1)
+
+    rows = []
+    for name, q in results.items():
+        ter_str = "/".join(f"{ters[name][fu]:.4f}" for fu in APP_FUS)
+        rows.append([name, ter_str, f"{q['psnr']:.1f}dB",
+                     "yes" if q["acceptable"] else "no"])
+    record_report(
+        f"Fig 4 - Sobel output quality at {condition.label}, "
+        f"+{speedup:.0%} clock",
+        format_table(["model", "TER (mul/add)", "PSNR", "acceptable"],
+                     rows))
+
+    # Delay-based injects TER=1 -> fully corrupted output
+    assert results["Delay-based"]["psnr"] < 20.0
+    # TEVoT's PSNR estimate is the closest to the ground truth's
+    truth_psnr = results["truth"]["psnr"]
+    gaps = {name: abs(results[name]["psnr"] - truth_psnr)
+            for name in ("TEVoT", "TEVoT-NH", "TER-based")}
+    assert gaps["TEVoT"] <= min(gaps["TEVoT-NH"], gaps["TER-based"]) + 3.0

@@ -1,0 +1,126 @@
+"""Table II: accuracy / training time / testing time of LR, kNN, SVM, RFC.
+
+Trains the four method families as timing-error classifiers on one FU's
+characterization data and measures wall-clock fit/predict time.  The
+paper's shape: the random forest has the best accuracy by a wide
+margin, and kNN's *testing* time is by far the worst.  (Our SVM is a
+linear SGD machine rather than libsvm's kernel solver, so its absolute
+training time does not blow up the way the paper's does — recorded as a
+documented divergence in EXPERIMENTS.md.)
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import bench_cycles, format_table, record_report
+from repro.circuits import build_functional_unit
+from repro.core.features import build_training_set
+from repro.flow import characterize, error_free_clocks
+from repro.ml import (
+    KNeighborsClassifier,
+    LinearSVC,
+    LogisticRegression,
+    RandomForestClassifier,
+    accuracy_score,
+)
+from repro.timing import sped_up_clock
+from repro.workloads import stream_for_unit
+
+FU_NAME = "fp_add"  # moderate error rates -> discriminative labels
+
+
+def _make_classification_data(conditions):
+    """Error labels across the corner grid.
+
+    The comparison clock sits at the 70th percentile of each corner's
+    training delays rather than the paper's 5-15 % speedups: at those
+    speedups errors are so rare on this FU that every method ties at
+    the all-correct base rate, which would make the method comparison
+    meaningless.  A mid-distribution clock keeps the classes mixed so
+    the methods' inductive biases actually show (divergence documented
+    in EXPERIMENTS.md).
+    """
+    fu = build_functional_unit(FU_NAME)
+    n = bench_cycles()
+    train = stream_for_unit(FU_NAME, n, seed=20)
+    train.name = "t2_train"
+    test = stream_for_unit(FU_NAME, n, seed=21)
+    test.name = "t2_test"
+    train_trace = characterize(fu, train, conditions)
+    test_trace = characterize(fu, test, conditions)
+    clocks = {cond: float(np.percentile(train_trace.delays[k], 70))
+              for k, cond in enumerate(train_trace.conditions)}
+
+    def label(trace):
+        rows = []
+        for k, cond in enumerate(trace.conditions):
+            rows.append((trace.delays[k] > clocks[cond]).astype(np.int64))
+        return np.concatenate(rows)
+
+    X_train, _ = build_training_set(train, train_trace.conditions,
+                                    train_trace.delays)
+    X_test, _ = build_training_set(test, test_trace.conditions,
+                                   test_trace.delays)
+    return X_train, label(train_trace), X_test, label(test_trace)
+
+
+METHODS = {
+    "LR": lambda: LogisticRegression(n_iter=200),
+    "KNN": lambda: KNeighborsClassifier(n_neighbors=5),
+    "SVM": lambda: LinearSVC(n_epochs=5, random_state=0),
+    "RFC": lambda: RandomForestClassifier(n_estimators=10, random_state=0,
+                                          min_samples_leaf=4),
+}
+
+_ROWS = {}
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("method", list(METHODS))
+def test_table2_method_comparison(benchmark, method, conditions):
+    X_train, y_train, X_test, y_test = _cached_data(conditions)
+
+    def run():
+        model = METHODS[method]()
+        t0 = time.perf_counter()
+        model.fit(X_train, y_train)
+        fit_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pred = model.predict(X_test)
+        test_time = time.perf_counter() - t0
+        return accuracy_score(y_test, pred), fit_time, test_time
+
+    acc, fit_time, test_time = benchmark.pedantic(run, rounds=1,
+                                                  iterations=1)
+    _ROWS[method] = (acc, fit_time, test_time)
+    assert acc > 0.5  # every method must beat coin-flipping
+
+    if len(_ROWS) == len(METHODS):
+        rows = [[m, f"{a*100:.1f}%", f"{ft:.2f}s", f"{tt:.2f}s"]
+                for m, (a, ft, tt) in _ROWS.items()]
+        record_report("Table II - method accuracy and train/test time",
+                      format_table(["method", "Accuracy", "Training Time",
+                                    "Testing Time"], rows))
+        # shapes that transfer to this substrate: the forest is
+        # competitive with the best method, and kNN's testing time
+        # dominates everything else by a wide margin (the paper's
+        # 3548 s).  The paper's large RFC-over-LR accuracy gap does NOT
+        # fully reproduce here (see EXPERIMENTS.md): our levelized
+        # delays are more linearly separable in the operand bits than
+        # the authors' glitch-rich ModelSim delays.
+        best = max(r[0] for r in _ROWS.values())
+        assert _ROWS["RFC"][0] >= best - 0.08
+        assert _ROWS["KNN"][2] == max(r[2] for r in _ROWS.values())
+        assert _ROWS["KNN"][2] > 10 * _ROWS["RFC"][2]
+
+
+_DATA_CACHE = {}
+
+
+def _cached_data(conditions):
+    key = id(conditions)
+    if key not in _DATA_CACHE:
+        _DATA_CACHE[key] = _make_classification_data(conditions)
+    return _DATA_CACHE[key]

@@ -1,0 +1,100 @@
+"""Table IV: application quality estimation accuracy (Sobel, Gauss).
+
+Protocol (Sec. V-D): at each (condition, clock-speedup) operating
+point, each model derives per-FU timing error rates for the
+application's own operand streams; errors are injected into the filter
+at those rates (erroneous FU ops return a random value); the output is
+classed acceptable (PSNR >= 30 dB) or not.  Estimation accuracy (Eq. 5)
+counts the operating points where a model's verdict matches the
+gate-level-simulation verdict.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import format_table, record_report
+from repro.apps import estimation_accuracy, quality_for_ters
+from repro.core.features import build_feature_matrix
+from repro.flow import characterize
+from repro.timing import CLOCK_SPEEDUPS, sped_up_clock
+
+APP_FUS = ("int_mul", "int_add")
+MODELS = ("TEVoT", "Delay-based", "TER-based", "TEVoT-NH")
+_ROWS = {}
+
+
+def _model_ters(bundle, stream, trace, condition, k, tclk):
+    """TER of one FU stream at one operating point, per model."""
+    ters = {}
+    X = build_feature_matrix(stream, condition, bundle["tevot"].spec)
+    ters["TEVoT"] = float(
+        (bundle["tevot"].predict_delay(X) > tclk).mean())
+    X_nh = build_feature_matrix(stream, condition, bundle["tevot_nh"].spec)
+    ters["TEVoT-NH"] = float(
+        (bundle["tevot_nh"].predict_delay(X_nh) > tclk).mean())
+    ters["Delay-based"] = bundle["delay_based"].timing_error_rate(
+        condition, tclk)
+    ters["TER-based"] = bundle["ter_based"].timing_error_rate(condition, tclk)
+    ters["truth"] = float((trace.delays[k] > tclk).mean())
+    return ters
+
+
+def _run_filter_case(filter_name, trained_models, datasets, conditions,
+                     corpus_split):
+    _, test_images = corpus_split
+    images = test_images[:2]
+
+    bundles = {fu: trained_models(fu) for fu in APP_FUS}
+    streams = {fu: datasets(fu)[filter_name] for fu in APP_FUS}
+    traces = {fu: characterize(bundles[fu]["fu"], streams[fu], conditions)
+              for fu in APP_FUS}
+
+    verdicts = {name: [] for name in MODELS}
+    truth_verdicts = []
+    for ci, condition in enumerate(conditions):
+        for speedup in CLOCK_SPEEDUPS:
+            per_model_ters = {name: {} for name in
+                              list(MODELS) + ["truth"]}
+            for fu in APP_FUS:
+                bundle = bundles[fu]
+                tclk = sped_up_clock(bundle["clocks"][condition], speedup)
+                ters = _model_ters(bundle, streams[fu], traces[fu],
+                                   condition, ci, tclk)
+                for name, value in ters.items():
+                    per_model_ters[name][fu] = value
+            seed = ci * 100 + int(speedup * 100)
+            truth_q = quality_for_ters(filter_name, images,
+                                       per_model_ters["truth"], seed=seed)
+            truth_verdicts.append(truth_q["acceptable"])
+            for name in MODELS:
+                q = quality_for_ters(filter_name, images,
+                                     per_model_ters[name], seed=seed + 7)
+                verdicts[name].append(q["acceptable"])
+
+    return {name: estimation_accuracy(truth_verdicts, verdicts[name])
+            for name in MODELS}
+
+
+@pytest.mark.benchmark(group="table4")
+@pytest.mark.parametrize("filter_name", ["sobel", "gauss"])
+def test_table4_quality_estimation(benchmark, filter_name, trained_models,
+                                   datasets, conditions, corpus_split):
+    accuracies = benchmark.pedantic(
+        _run_filter_case,
+        args=(filter_name, trained_models, datasets, conditions,
+              corpus_split),
+        rounds=1, iterations=1)
+    _ROWS[filter_name] = accuracies
+
+    # shape: TEVoT estimates application quality at least as well as
+    # every baseline, and well above chance
+    assert accuracies["TEVoT"] >= max(
+        accuracies[m] for m in MODELS if m != "TEVoT") - 0.05
+    assert accuracies["TEVoT"] > 0.6
+
+    if len(_ROWS) == 2:
+        rows = [[f.capitalize()] + [f"{_ROWS[f][m]*100:.1f}%"
+                                    for m in MODELS]
+                for f in ("sobel", "gauss")]
+        record_report("Table IV - application quality estimation accuracy",
+                      format_table(["Application"] + list(MODELS), rows))

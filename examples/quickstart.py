@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: train TEVoT for one FU and predict timing errors.
+
+Walks the full Fig.-2 pipeline at a small scale:
+
+1. elaborate a 32-bit integer adder to a gate netlist (the "synthesis"
+   step of the simulated ASIC flow),
+2. characterize its dynamic delay over a few (V, T) corners with the
+   levelized DTA engine,
+3. train the TEVoT random-forest delay model,
+4. classify unseen cycles as timing correct / erroneous at an
+   overclocked period and compare against simulation ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import TEVoT, build_training_set, prediction_accuracy
+from repro.core.features import build_feature_matrix
+from repro.flow import characterize, error_free_clocks, implement
+from repro.timing import OperatingCondition, sped_up_clock
+from repro.workloads import random_stream
+
+
+def main() -> None:
+    conditions = [OperatingCondition(v, t)
+                  for v in (0.81, 0.90, 1.00) for t in (0.0, 50.0, 100.0)]
+
+    print("== 1. simulated ASIC flow ==")
+    design = implement("int_add", conditions)
+    print(f"netlist: {design.netlist!r}")
+    for cond in conditions[:3]:
+        print(f"  static delay @ {cond.label}: "
+              f"{design.static_delay(cond):.0f} ps")
+
+    print("\n== 2. dynamic timing analysis ==")
+    train = random_stream(2000, seed=0, name="train")
+    test = random_stream(1000, seed=1, name="test")
+    train_trace = characterize(design.fu, train, conditions)
+    test_trace = characterize(design.fu, test, conditions)
+    clocks = error_free_clocks(train_trace)
+    cond = conditions[0]
+    print(f"mean dynamic delay @ {cond.label}: "
+          f"{train_trace.delays[0].mean():.0f} ps "
+          f"(static: {design.static_delay(cond):.0f} ps)")
+
+    print("\n== 3. train TEVoT ==")
+    X, y = build_training_set(train, conditions, train_trace.delays)
+    model = TEVoT().fit(X, y)
+    print(f"trained on {X.shape[0]} rows x {X.shape[1]} features")
+
+    print("\n== 4. predict timing errors on unseen data ==")
+    for speedup in (0.05, 0.10, 0.15):
+        accs = []
+        for k, condition in enumerate(conditions):
+            tclk = sped_up_clock(clocks[condition], speedup)
+            truth = (test_trace.delays[k] > tclk).astype(int)
+            features = build_feature_matrix(test, condition, model.spec)
+            pred = model.predict_errors(features, tclk)
+            accs.append(prediction_accuracy(truth, pred))
+        print(f"  +{speedup:.0%} clock speedup: "
+              f"prediction accuracy {np.mean(accs)*100:.1f}%")
+
+    path = "/tmp/tevot_int_add.pkl"
+    model.save(path)
+    print(f"\nmodel saved to {path}; reload with TEVoT.load(...)")
+
+
+if __name__ == "__main__":
+    main()

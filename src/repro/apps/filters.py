@@ -1,0 +1,110 @@
+"""Convolution-kernel image filters with an instrumentable MAC executor.
+
+The paper profiles the AMD APP SDK Sobel and Gaussian OpenCL kernels on
+Multi2Sim to (a) capture the operand stream each FU sees and (b) inject
+timing errors back into the computation.  Our substitute is a small
+multiply-accumulate executor: every multiply and every accumulate add
+is routed through an ``FUHooks`` object, so the same kernel code serves
+exact execution, operand profiling, and error injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+MASK32 = 0xFFFFFFFF
+
+#: Sobel horizontal gradient kernel (vertical is its transpose).
+SOBEL_GX = ((-1, 0, 1),
+            (-2, 0, 2),
+            (-1, 0, 1))
+
+#: 3x3 binomial Gaussian kernel, normalized by 16 after accumulation.
+GAUSS_KERNEL = ((1, 2, 1),
+                (2, 4, 2),
+                (1, 2, 1))
+
+
+class FUHooks:
+    """Hook points for the two integer FUs a MAC kernel exercises.
+
+    The default implementation is exact 32-bit two's-complement
+    arithmetic; subclasses observe operands (profiling) or corrupt
+    results (error injection).
+    """
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) & MASK32
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) & MASK32
+
+
+def _to_signed(word: int) -> int:
+    word &= MASK32
+    return word - (1 << 32) if word & 0x80000000 else word
+
+
+def _convolve3x3(image: np.ndarray, kernel, hooks: FUHooks) -> np.ndarray:
+    """3x3 convolution through the FU hooks; returns int32 signed sums.
+
+    Border pixels are skipped (output framed with zeros), like the SDK
+    kernels.
+    """
+    h, w = image.shape
+    out = np.zeros((h, w), dtype=np.int64)
+    img = image.astype(np.int64)
+    for y in range(1, h - 1):
+        for x in range(1, w - 1):
+            acc = 0
+            for ky in range(3):
+                for kx in range(3):
+                    coeff = kernel[ky][kx]
+                    if coeff == 0:
+                        continue
+                    pixel = int(img[y + ky - 1, x + kx - 1])
+                    product = hooks.mul(coeff & MASK32, pixel)
+                    acc = hooks.add(acc, product)
+            out[y, x] = _to_signed(acc)
+    return out
+
+
+def sobel_filter(image: np.ndarray,
+                 hooks: Optional[FUHooks] = None) -> np.ndarray:
+    """Sobel edge magnitude: ``clip(|Gx| + |Gy|, 0, 255)`` as uint8."""
+    hooks = hooks or FUHooks()
+    image = np.asarray(image, dtype=np.uint8)
+    gx = _convolve3x3(image, SOBEL_GX, hooks)
+    gy = _convolve3x3(image, tuple(zip(*SOBEL_GX)), hooks)
+    mag = np.abs(gx) + np.abs(gy)
+    return np.clip(mag, 0, 255).astype(np.uint8)
+
+
+def gaussian_filter(image: np.ndarray,
+                    hooks: Optional[FUHooks] = None) -> np.ndarray:
+    """3x3 Gaussian blur (binomial kernel / 16) as uint8."""
+    hooks = hooks or FUHooks()
+    image = np.asarray(image, dtype=np.uint8)
+    total = _convolve3x3(image, GAUSS_KERNEL, hooks)
+    out = total >> 4  # divide by 16
+    inner = np.clip(out, 0, 255).astype(np.uint8)
+    # keep the original border (blur undefined there)
+    result = image.copy()
+    result[1:-1, 1:-1] = inner[1:-1, 1:-1]
+    return result
+
+
+FILTERS = {
+    "sobel": sobel_filter,
+    "gauss": gaussian_filter,
+}
+
+
+def run_filter(name: str, image: np.ndarray,
+               hooks: Optional[FUHooks] = None) -> np.ndarray:
+    if name not in FILTERS:
+        raise ValueError(f"unknown filter {name!r}; choose from {sorted(FILTERS)}")
+    return FILTERS[name](image, hooks)

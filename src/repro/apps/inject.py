@@ -1,0 +1,83 @@
+"""Timing-error injection into application kernels (Sec. V-D).
+
+The paper derives per-FU timing error rates (TERs) from each model,
+then uses Multi2Sim to re-run the application with the FUs returning a
+*random value* whenever an operation suffers a timing error at that
+rate.  :class:`InjectingHooks` reproduces that exactly on our MAC
+executor, and :func:`quality_for_ters` turns a TER assignment into an
+output PSNR / acceptability verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .filters import MASK32, FUHooks, run_filter
+from .quality import is_acceptable, psnr
+
+
+class InjectingHooks(FUHooks):
+    """FU hooks that corrupt results at given per-FU error rates.
+
+    ``ters`` maps ``"int_mul"`` / ``"int_add"`` to per-operation timing
+    error probabilities; an erroneous operation returns a uniformly
+    random 32-bit word (the paper's injection policy, following [12]).
+    """
+
+    def __init__(self, ters: Dict[str, float],
+                 seed: Optional[int] = 0) -> None:
+        for name, p in ters.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"TER for {name} must be in [0,1], got {p}")
+        self.ters = dict(ters)
+        self._rng = np.random.default_rng(seed)
+        self.injected = {"int_mul": 0, "int_add": 0}
+        self.executed = {"int_mul": 0, "int_add": 0}
+
+    def _maybe_corrupt(self, fu_name: str, exact: int) -> int:
+        self.executed[fu_name] += 1
+        p = self.ters.get(fu_name, 0.0)
+        if p > 0.0 and self._rng.random() < p:
+            self.injected[fu_name] += 1
+            return int(self._rng.integers(0, 1 << 32))
+        return exact
+
+    def mul(self, a: int, b: int) -> int:
+        return self._maybe_corrupt("int_mul", super().mul(a, b))
+
+    def add(self, a: int, b: int) -> int:
+        return self._maybe_corrupt("int_add", super().add(a, b))
+
+
+def run_filter_with_errors(filter_name: str, image: np.ndarray,
+                           ters: Dict[str, float],
+                           seed: Optional[int] = 0) -> np.ndarray:
+    """One error-injected filter execution."""
+    hooks = InjectingHooks(ters, seed)
+    return run_filter(filter_name, image, hooks)
+
+
+def quality_for_ters(filter_name: str, images: Sequence[np.ndarray],
+                     ters: Dict[str, float],
+                     seed: Optional[int] = 0) -> Dict[str, float]:
+    """Run a corpus with injection; return mean PSNR and acceptability.
+
+    Returns ``{"psnr": mean PSNR dB, "acceptable": 0/1}`` where the
+    acceptability is judged on the mean PSNR across images (one verdict
+    per operating point, as in Table IV).
+    """
+    if not len(images):
+        raise ValueError("need at least one image")
+    psnrs = []
+    for k, image in enumerate(images):
+        clean = run_filter(filter_name, image)
+        noisy = run_filter_with_errors(filter_name, image, ters,
+                                       seed=None if seed is None
+                                       else seed + k)
+        value = psnr(clean, noisy)
+        psnrs.append(min(value, 99.0))  # cap inf for averaging
+    mean_psnr = float(np.mean(psnrs))
+    return {"psnr": mean_psnr,
+            "acceptable": 1.0 if is_acceptable(mean_psnr) else 0.0}

@@ -1,0 +1,40 @@
+"""Output-quality metrics: PSNR and the paper's acceptability threshold."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: PSNR threshold (dB) separating acceptable from unacceptable outputs
+#: (Sec. V-D).
+ACCEPTABLE_PSNR_DB = 30.0
+
+
+def psnr(reference: np.ndarray, test: np.ndarray,
+         peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB; ``inf`` for identical images."""
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {test.shape}")
+    mse = float(np.mean((reference - test) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(peak * peak / mse)
+
+
+def is_acceptable(psnr_db: float,
+                  threshold: float = ACCEPTABLE_PSNR_DB) -> bool:
+    """The paper's binary quality class: acceptable iff PSNR >= 30 dB."""
+    return psnr_db >= threshold
+
+
+def estimation_accuracy(true_acceptable, predicted_acceptable) -> float:
+    """Eq. 5: matched acceptability estimations / total estimations."""
+    true_acceptable = np.asarray(true_acceptable, dtype=bool)
+    predicted_acceptable = np.asarray(predicted_acceptable, dtype=bool)
+    if true_acceptable.shape != predicted_acceptable.shape:
+        raise ValueError("shape mismatch")
+    if true_acceptable.size == 0:
+        raise ValueError("no estimations to compare")
+    return float((true_acceptable == predicted_acceptable).mean())

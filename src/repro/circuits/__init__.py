@@ -1,0 +1,24 @@
+"""Gate-level circuit substrate: netlists, builder DSL, and FU generators."""
+
+from .builder import Bus, CircuitBuilder
+from .functional_units import (
+    PAPER_UNITS,
+    FunctionalUnit,
+    available_units,
+    build_functional_unit,
+)
+from .netlist import Gate, GateType, Netlist, NetlistError, evaluate_gate
+
+__all__ = [
+    "Bus",
+    "CircuitBuilder",
+    "FunctionalUnit",
+    "Gate",
+    "GateType",
+    "Netlist",
+    "NetlistError",
+    "PAPER_UNITS",
+    "available_units",
+    "build_functional_unit",
+    "evaluate_gate",
+]

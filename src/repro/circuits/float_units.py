@@ -1,0 +1,242 @@
+"""Gate-level IEEE-754 binary32 adder and multiplier.
+
+Both units implement round-to-nearest-even with DAZ/FTZ subnormal
+handling and canonical quiet NaNs — bit-exactly matching the reference
+models in :mod:`repro.circuits.refmodels` (verified by randomized and
+property-based tests).
+
+The adder uses the classic single-path structure: magnitude swap,
+aligning barrel shift with sticky collection, 27-bit add/sub with a
+borrowed sticky, leading-zero-count normalization, and a guard-bit RNE
+rounder whose exactness argument is spelled out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .adders import ripple_carry_adder, subtractor
+from .builder import Bus, CircuitBuilder
+from .comparators import unsigned_compare
+from .encoders import leading_zero_counter
+from .multipliers import wallace_multiplier
+from .shifters import barrel_shift_left, barrel_shift_right
+
+
+def fp_fields(b: CircuitBuilder, word: Bus) -> Tuple[int, Bus, Bus]:
+    """Split a 32-bit bus into ``(sign, exponent[8], mantissa[23])``."""
+    if len(word) != 32:
+        raise ValueError("binary32 word must be 32 bits")
+    return word[31], word[23:31], word[0:23]
+
+
+def fp_compose(b: CircuitBuilder, sign: int, exp: Bus, mant: Bus) -> Bus:
+    """Assemble a 32-bit word from fields."""
+    if len(exp) != 8 or len(mant) != 23:
+        raise ValueError("exponent must be 8 bits, mantissa 23 bits")
+    return b.concat(mant, exp, Bus([sign]))
+
+
+def fp_flags(b: CircuitBuilder, exp: Bus, mant: Bus) -> Tuple[int, int, int]:
+    """Return ``(is_nan, is_inf, is_zero_daz)`` for decomposed fields."""
+    exp_ones = b.and_reduce(exp)
+    mant_zero = b.is_zero(mant)
+    is_nan = b.and_(exp_ones, b.not_(mant_zero))
+    is_inf = b.and_(exp_ones, mant_zero)
+    is_zero = b.is_zero(exp)  # DAZ: subnormals count as zero
+    return is_nan, is_inf, is_zero
+
+
+def _qnan_bus(b: CircuitBuilder) -> Bus:
+    """Canonical quiet NaN 0x7FC00000 as a constant bus."""
+    return b.const_bus(0x7FC00000, 32)
+
+
+def _round_and_pack(b: CircuitBuilder, sign: int, exp10: Bus, keep: Bus,
+                    round_up: int) -> Bus:
+    """Shared RNE increment + exponent range check + field packing.
+
+    ``keep`` is the 24-bit significand (implied one at bit 23), ``exp10``
+    a 10-bit two's-complement biased exponent.  Returns the packed result
+    for the normal path (specials are muxed in by the caller).
+    """
+    if len(keep) != 24 or len(exp10) != 10:
+        raise ValueError("keep must be 24 bits and exp10 10 bits")
+    # Increment-by-round_up via a half-adder carry chain.
+    carry = round_up
+    rounded = []
+    for bit in keep:
+        s, carry = b.half_adder(bit, carry)
+        rounded.append(s)
+    ovf = carry  # keep was all ones and round_up -> significand = 2^24
+    # When ovf is set the rounded low bits are all zero, so the mantissa
+    # field needs no shift: take bits [0..22] unconditionally.
+    mant = Bus(rounded[0:23])
+    exp_inc, _ = ripple_carry_adder(
+        b, exp10, b.zero_extend(Bus([ovf]), 10))
+
+    exp_sign = exp_inc[9]
+    # Underflow (FTZ): exponent <= 0, i.e. negative or zero.
+    underflow = b.or_(exp_sign, b.is_zero(exp_inc))
+    # Overflow: non-negative and >= 255.
+    lt255, _, __ = unsigned_compare(b, exp_inc, b.const_bus(255, 10))
+    overflow = b.and_(b.not_(exp_sign), b.not_(lt255))
+
+    exp8 = exp_inc[0:8]
+    normal = fp_compose(b, sign, exp8, mant)
+    inf = fp_compose(b, sign, b.const_bus(0xFF, 8), b.const_bus(0, 23))
+    zero = fp_compose(b, sign, b.const_bus(0, 8), b.const_bus(0, 23))
+    result = b.mux_bus(overflow, normal, inf)
+    result = b.mux_bus(underflow, result, zero)
+    return result
+
+
+def fp_adder(b: CircuitBuilder, a_word: Bus, b_word: Bus) -> Bus:
+    """Gate-level binary32 addition datapath; returns the 32-bit result."""
+    sa, ea, ma = fp_fields(b, a_word)
+    sb, eb, mb = fp_fields(b, b_word)
+    a_nan, a_inf, a_zero = fp_flags(b, ea, ma)
+    b_nan, b_inf, b_zero = fp_flags(b, eb, mb)
+
+    # --- magnitude ordering: big = X, small = Y --------------------------
+    lt, _, __ = unsigned_compare(b, b.concat(ma, ea), b.concat(mb, eb))
+    swap = lt  # a < b in magnitude -> operands swap
+    sx = b.mux(swap, sa, sb)
+    ex = b.mux_bus(swap, ea, eb)
+    mx = b.mux_bus(swap, ma, mb)
+    sy = b.mux(swap, sb, sa)
+    ey = b.mux_bus(swap, eb, ea)
+    my = b.mux_bus(swap, mb, ma)
+
+    one = b.const_bit(1)
+    sig_x = b.concat(mx, Bus([one]))  # 24 bits, implied one on top
+    sig_y = b.concat(my, Bus([one]))
+
+    # --- alignment --------------------------------------------------------
+    d, _ = subtractor(b, ex, ey)  # ex >= ey by ordering, 8-bit result
+    zero3 = b.const_bus(0, 3)
+    small_full = b.concat(zero3, sig_y)  # 27 bits: sig_y << 3
+    big = b.concat(zero3, sig_x)         # 27 bits: sig_x << 3
+    amt5 = d[0:5]
+    d_high = b.or_reduce(d[5:8])  # d >= 32: shift everything out
+    shifted, sticky5 = barrel_shift_right(b, small_full, amt5, sticky=True)
+    zero27 = b.const_bus(0, 27)
+    small_top = b.mux_bus(d_high, shifted, zero27)
+    # When d >= 32 all of sig_y is dropped (it is never zero: implied one).
+    resid = b.mux(d_high, sticky5, one)
+
+    # --- add / subtract ----------------------------------------------------
+    effective_sub = b.xor_(sa, sb)
+    sum_bus, carry = ripple_carry_adder(b, big, small_top)
+    mag_add = b.concat(sum_bus, Bus([carry]))  # 28 bits
+    # big - small_top - resid == big + ~small_top + (1 - resid)
+    diff_bus, _ = ripple_carry_adder(b, big, b.not_bus(small_top),
+                                     b.not_(resid))
+    mag_sub = b.concat(diff_bus, Bus([b.const_bit(0)]))  # 28 bits
+    mag = b.mux_bus(effective_sub, mag_add, mag_sub)
+    total_zero = b.and_(b.is_zero(mag), b.not_(resid))
+
+    # --- normalization -------------------------------------------------------
+    lz, _ = leading_zero_counter(b, mag)  # 6 bits for width 28
+    norm = barrel_shift_left(b, mag, lz[0:5])  # lz <= 28 fits in 5 bits
+    # exponent of bit 27 position = ex + 1; subtract the shift amount
+    ex10 = b.zero_extend(ex, 10)
+    ex_p1, _ = ripple_carry_adder(b, ex10, b.const_bus(1, 10))
+    exp10, _ = subtractor(b, ex_p1, b.zero_extend(lz[0:5], 10))
+
+    keep = norm[4:28]  # 24-bit significand
+    rem_hi = norm[3]
+    rem_low_any = b.or_reduce(norm[0:3])
+    gt_half = b.and_(rem_hi, rem_low_any)
+    eq_half = b.and_(rem_hi, b.not_(rem_low_any))
+    round_up = b.or_(gt_half,
+                     b.and_(eq_half, b.or_(resid, keep[0])))
+
+    normal_result = _round_and_pack(b, sx, exp10, keep, round_up)
+
+    # --- special-case selection (innermost = lowest priority) ----------------
+    zero32 = b.const_bus(0, 32)
+    pos_zero = zero32
+    both_zero_sign = b.and_(sa, sb)
+    both_zero = b.concat(b.const_bus(0, 31), Bus([both_zero_sign]))
+
+    result = b.mux_bus(total_zero, normal_result, pos_zero)
+    result = b.mux_bus(b_zero, result, a_word)
+    result = b.mux_bus(a_zero, result, b_word)
+    result = b.mux_bus(b.and_(a_zero, b_zero), result, both_zero)
+
+    inf_sign = b.mux(a_inf, sb, sa)
+    inf_word = fp_compose(b, inf_sign, b.const_bus(0xFF, 8), b.const_bus(0, 23))
+    any_inf = b.or_(a_inf, b_inf)
+    result = b.mux_bus(any_inf, result, inf_word)
+
+    inf_minus_inf = b.and_(b.and_(a_inf, b_inf), b.xor_(sa, sb))
+    any_nan = b.or_(a_nan, b_nan)
+    nan_out = b.or_(any_nan, inf_minus_inf)
+    result = b.mux_bus(nan_out, result, _qnan_bus(b))
+    return result
+
+
+def fp_multiplier(b: CircuitBuilder, a_word: Bus, b_word: Bus) -> Bus:
+    """Gate-level binary32 multiplication datapath; returns the result."""
+    sa, ea, ma = fp_fields(b, a_word)
+    sb, eb, mb = fp_fields(b, b_word)
+    a_nan, a_inf, a_zero = fp_flags(b, ea, ma)
+    b_nan, b_inf, b_zero = fp_flags(b, eb, mb)
+    sign = b.xor_(sa, sb)
+
+    one = b.const_bit(1)
+    sig_a = b.concat(ma, Bus([one]))
+    sig_b = b.concat(mb, Bus([one]))
+    product = wallace_multiplier(b, sig_a, sig_b)  # 48 bits
+    p47 = product[47]
+
+    # significand / guard / sticky for the two normalization cases
+    keep = b.mux_bus(p47, product[23:47], product[24:48])
+    guard = b.mux(p47, product[22], product[23])
+    sticky_lo = b.or_reduce(product[0:22])
+    sticky = b.mux(p47, sticky_lo, b.or_(sticky_lo, product[22]))
+    round_up = b.and_(guard, b.or_(sticky, keep[0]))
+
+    # exponent: ea + eb - 127 + p47, in 10-bit two's complement
+    ea10 = b.zero_extend(ea, 10)
+    eb10 = b.zero_extend(eb, 10)
+    esum, _ = ripple_carry_adder(b, ea10, eb10)
+    esum, _ = ripple_carry_adder(b, esum, b.zero_extend(Bus([p47]), 10))
+    exp10, _ = subtractor(b, esum, b.const_bus(127, 10))
+
+    normal_result = _round_and_pack(b, sign, exp10, keep, round_up)
+
+    # --- specials -----------------------------------------------------------
+    signed_zero = fp_compose(b, sign, b.const_bus(0, 8), b.const_bus(0, 23))
+    signed_inf = fp_compose(b, sign, b.const_bus(0xFF, 8), b.const_bus(0, 23))
+    any_zero = b.or_(a_zero, b_zero)
+    any_inf = b.or_(a_inf, b_inf)
+    any_nan = b.or_(a_nan, b_nan)
+
+    result = b.mux_bus(any_zero, normal_result, signed_zero)
+    result = b.mux_bus(any_inf, result, signed_inf)
+    inf_times_zero = b.and_(any_inf, any_zero)
+    nan_out = b.or_(any_nan, inf_times_zero)
+    result = b.mux_bus(nan_out, result, _qnan_bus(b))
+    return result
+
+
+def build_fp_adder():
+    """Standalone binary32 adder netlist (inputs ``a`` then ``b``)."""
+    b = CircuitBuilder(name="fp_add32")
+    a_word = b.input_bus(32, "a")
+    b_word = b.input_bus(32, "b")
+    out = fp_adder(b, a_word, b_word)
+    b.mark_output_bus(out, "result")
+    return b.build()
+
+
+def build_fp_multiplier():
+    """Standalone binary32 multiplier netlist (inputs ``a`` then ``b``)."""
+    b = CircuitBuilder(name="fp_mul32")
+    a_word = b.input_bus(32, "a")
+    b_word = b.input_bus(32, "b")
+    out = fp_multiplier(b, a_word, b_word)
+    b.mark_output_bus(out, "result")
+    return b.build()

@@ -1,0 +1,134 @@
+"""Gate-level integer multiplier generators.
+
+Two architectures: a carry-save *array* multiplier (regular structure;
+note that its sequential row accumulation makes any input toggle ripple
+through every row, so its dynamic delay is nearly input-independent)
+and a *Wallace tree* multiplier (log-depth partial-product reduction,
+with a workload-dependent final carry-propagate stage — the default for
+the INT_MUL FU, and closer to FloPoCo's compression-tree multipliers).
+Both produce the full ``2*width`` product; the FU truncates to
+``width`` bits like a machine ``mul`` instruction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .adders import ripple_carry_adder
+from .builder import Bus, CircuitBuilder
+
+
+def _partial_products(b: CircuitBuilder, a: Bus, x: Bus) -> List[List[Tuple[int, int]]]:
+    """Column-indexed partial products: ``cols[k]`` holds bits of weight 2^k."""
+    n, m = len(a), len(x)
+    cols: List[List[int]] = [[] for _ in range(n + m)]
+    for j in range(m):
+        for i in range(n):
+            cols[i + j].append(b.and_(a[i], x[j]))
+    return cols
+
+
+def array_multiplier(b: CircuitBuilder, a: Bus, x: Bus,
+                     out_width: int = 0) -> Bus:
+    """Carry-save array multiplier.
+
+    Rows of partial products are accumulated with full-adder rows; the
+    final carry word is resolved with a ripple adder (the usual
+    carry-propagate "vector merge" stage).  When ``out_width`` is given
+    (e.g. machine-``mul`` low-word semantics) columns at or above it are
+    never generated — carries out of column ``out_width - 1`` cannot
+    influence the kept bits, so this is exact.
+    """
+    if len(a) == 0 or len(x) == 0:
+        raise ValueError("multiplier operands must be non-empty")
+    n, m = len(a), len(x)
+    width = out_width if out_width else n + m
+    zero = b.const_bit(0)
+
+    # Running carry-save accumulation of partial-product rows.
+    acc = ([b.and_(a[i], x[0]) for i in range(min(n, width))]
+           + [zero] * max(0, width - n))
+    carry_word = [zero] * width
+    for j in range(1, m):
+        if j >= width:
+            break  # row contributes only to truncated columns
+        row = [zero] * j + [b.and_(a[i], x[j]) for i in range(min(n, width - j))]
+        row += [zero] * (width - len(row))
+        new_acc: List[int] = []
+        new_carry: List[int] = []
+        for k in range(width):
+            s, c = b.full_adder(acc[k], row[k], carry_word[k])
+            new_acc.append(s)
+            new_carry.append(c)
+        acc = new_acc
+        # carries shift up one weight
+        carry_word = [zero] + new_carry[:-1]
+    product, _ = ripple_carry_adder(b, Bus(acc), Bus(carry_word))
+    return product
+
+
+def wallace_multiplier(b: CircuitBuilder, a: Bus, x: Bus,
+                       out_width: int = 0) -> Bus:
+    """Wallace-tree multiplier: 3:2 compress columns until height <= 2.
+
+    ``out_width`` truncates generation to the low columns (see
+    :func:`array_multiplier`).
+    """
+    if len(a) == 0 or len(x) == 0:
+        raise ValueError("multiplier operands must be non-empty")
+    width = out_width if out_width else len(a) + len(x)
+    cols = _partial_products(b, a, x)[:width]
+
+    while any(len(c) > 2 for c in cols):
+        new_cols: List[List[int]] = [[] for _ in range(width)]
+        for k in range(width):
+            bits = cols[k]
+            i = 0
+            while len(bits) - i >= 3:
+                s, c = b.full_adder(bits[i], bits[i + 1], bits[i + 2])
+                new_cols[k].append(s)
+                if k + 1 < width:
+                    new_cols[k + 1].append(c)
+                i += 3
+            if len(bits) - i == 2:
+                s, c = b.half_adder(bits[i], bits[i + 1])
+                new_cols[k].append(s)
+                if k + 1 < width:
+                    new_cols[k + 1].append(c)
+                i += 2
+            new_cols[k].extend(bits[i:])
+        cols = new_cols
+
+    zero = b.const_bit(0)
+    op1 = Bus([c[0] if len(c) >= 1 else zero for c in cols])
+    op2 = Bus([c[1] if len(c) >= 2 else zero for c in cols])
+    product, _ = ripple_carry_adder(b, op1, op2)
+    return product
+
+
+MULTIPLIER_ARCHITECTURES = {
+    "array": array_multiplier,
+    "wallace": wallace_multiplier,
+}
+
+
+def build_int_multiplier(width: int = 32, architecture: str = "wallace",
+                         full_product: bool = False):
+    """Build a standalone integer multiplier netlist.
+
+    Outputs the low ``width`` product bits (machine ``mul`` semantics)
+    unless ``full_product`` is set, in which case all ``2*width`` bits
+    are primary outputs.
+    """
+    if architecture not in MULTIPLIER_ARCHITECTURES:
+        raise ValueError(
+            f"unknown multiplier architecture {architecture!r}; "
+            f"choose from {sorted(MULTIPLIER_ARCHITECTURES)}"
+        )
+    b = CircuitBuilder(name=f"int_mul{width}_{architecture}")
+    a = b.input_bus(width, "a")
+    x = b.input_bus(width, "b")
+    out_width = 0 if full_product else width
+    product = MULTIPLIER_ARCHITECTURES[architecture](b, a, x, out_width)
+    b.mark_output_bus(product, "prod")
+    return b.build()

@@ -1,0 +1,201 @@
+"""Bit-exact software reference models for the gate-level datapaths.
+
+These are "softfloat-lite" integer implementations of the exact
+arithmetic the gate netlists implement, used as ground truth in tests.
+The FP models implement IEEE-754 binary32 with round-to-nearest-even and
+two standard embedded-FPU simplifications (documented in DESIGN.md):
+
+* **DAZ/FTZ** — subnormal inputs are treated as zero and subnormal
+  results are flushed to zero (FloPoCo cores and most GPU/DSP FPUs offer
+  the same mode).
+* NaNs are canonicalized to the quiet NaN ``0x7FC00000``.
+
+For normal inputs producing normal results these models agree bit-exactly
+with numpy float32 arithmetic (verified in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+MASK32 = 0xFFFFFFFF
+QNAN = 0x7FC00000
+INF = 0x7F800000
+
+
+def int_add_ref(a: int, b: int, width: int = 32) -> Tuple[int, int]:
+    """Unsigned add; returns ``(sum mod 2**width, carry_out)``."""
+    mask = (1 << width) - 1
+    total = (a & mask) + (b & mask)
+    return total & mask, (total >> width) & 1
+
+
+def int_mul_ref(a: int, b: int, width: int = 32, full: bool = False) -> int:
+    """Unsigned multiply; low ``width`` bits unless ``full``."""
+    mask = (1 << width) - 1
+    product = (a & mask) * (b & mask)
+    return product if full else product & mask
+
+
+def decompose32(bits: int) -> Tuple[int, int, int]:
+    """Split binary32 bits into ``(sign, exponent, mantissa)``."""
+    bits &= MASK32
+    return (bits >> 31) & 1, (bits >> 23) & 0xFF, bits & 0x7FFFFF
+
+
+def compose32(sign: int, exp: int, mant: int) -> int:
+    """Assemble binary32 bits from fields (no range checking)."""
+    return ((sign & 1) << 31) | ((exp & 0xFF) << 23) | (mant & 0x7FFFFF)
+
+
+def is_nan32(bits: int) -> bool:
+    _, e, m = decompose32(bits)
+    return e == 0xFF and m != 0
+
+
+def is_inf32(bits: int) -> bool:
+    _, e, m = decompose32(bits)
+    return e == 0xFF and m == 0
+
+
+def is_zero32_daz(bits: int) -> bool:
+    """Zero under DAZ: exponent field 0 (true zeros and subnormals)."""
+    _, e, _ = decompose32(bits)
+    return e == 0
+
+
+def _round_nearest_even(sig: int, lsb_weight_bits: int) -> Tuple[int, int]:
+    """Round ``sig`` (fixed point with ``lsb_weight_bits`` fractional bits)
+    to an integer, RNE.  Returns ``(rounded, inexact)``."""
+    if lsb_weight_bits <= 0:
+        return sig << (-lsb_weight_bits), 0
+    keep = sig >> lsb_weight_bits
+    rem = sig & ((1 << lsb_weight_bits) - 1)
+    half = 1 << (lsb_weight_bits - 1)
+    if rem > half or (rem == half and (keep & 1)):
+        keep += 1
+    return keep, int(rem != 0)
+
+
+def fp32_add_ref(a_bits: int, b_bits: int) -> int:
+    """Bit-exact binary32 addition (RNE, DAZ/FTZ, canonical qNaN)."""
+    a_bits &= MASK32
+    b_bits &= MASK32
+    sa, ea, ma = decompose32(a_bits)
+    sb, eb, mb = decompose32(b_bits)
+
+    if is_nan32(a_bits) or is_nan32(b_bits):
+        return QNAN
+    a_inf, b_inf = is_inf32(a_bits), is_inf32(b_bits)
+    if a_inf and b_inf:
+        return compose32(sa, 0xFF, 0) if sa == sb else QNAN
+    if a_inf:
+        return compose32(sa, 0xFF, 0)
+    if b_inf:
+        return compose32(sb, 0xFF, 0)
+
+    a_zero, b_zero = ea == 0, eb == 0  # DAZ
+    if a_zero and b_zero:
+        # (+0)+(+0)=+0, (-0)+(-0)=-0, mixed = +0 (RNE rule)
+        return compose32(sa & sb, 0, 0)
+    if a_zero:
+        return compose32(sb, eb, mb)
+    if b_zero:
+        return compose32(sa, ea, ma)
+
+    siga = (1 << 23) | ma
+    sigb = (1 << 23) | mb
+
+    # Order so that (ea, siga) is the larger magnitude.
+    if (ea, siga) < (eb, sigb):
+        sa, sb = sb, sa
+        ea, eb = eb, ea
+        siga, sigb = sigb, siga
+    sign = sa
+
+    # Exact arithmetic at the scale of the smaller operand: both values
+    # are integer multiples of 2**(eb - 127 - 23), so the sum/difference
+    # is an exact Python integer (at most ~280 bits).  This sidesteps all
+    # guard/round/sticky subtleties; the gate-level unit implements the
+    # equivalent 3-guard-bit scheme and is checked against this model.
+    d = ea - eb
+    big = siga << d
+    total = big + sigb if sa == sb else big - sigb
+    if total == 0:
+        return compose32(0, 0, 0)  # exact cancellation -> +0 under RNE
+
+    length = total.bit_length()
+    exp = eb + length - 24
+    if length <= 24:
+        mant = total << (24 - length)  # exact, no rounding needed
+    else:
+        shift = length - 24
+        mant = total >> shift
+        rem = total & ((1 << shift) - 1)
+        half = 1 << (shift - 1)
+        if rem > half or (rem == half and (mant & 1)):
+            mant += 1
+        if mant >> 24:
+            mant >>= 1
+            exp += 1
+
+    if exp >= 0xFF:
+        return compose32(sign, 0xFF, 0)
+    if exp <= 0:
+        return compose32(sign, 0, 0)  # FTZ
+    return compose32(sign, exp, mant & 0x7FFFFF)
+
+
+def fp32_mul_ref(a_bits: int, b_bits: int) -> int:
+    """Bit-exact binary32 multiplication (RNE, DAZ/FTZ, canonical qNaN)."""
+    a_bits &= MASK32
+    b_bits &= MASK32
+    sa, ea, ma = decompose32(a_bits)
+    sb, eb, mb = decompose32(b_bits)
+    sign = sa ^ sb
+
+    if is_nan32(a_bits) or is_nan32(b_bits):
+        return QNAN
+    a_inf, b_inf = is_inf32(a_bits), is_inf32(b_bits)
+    a_zero, b_zero = ea == 0, eb == 0  # DAZ
+    if a_inf or b_inf:
+        if a_zero or b_zero:
+            return QNAN  # inf * 0
+        return compose32(sign, 0xFF, 0)
+    if a_zero or b_zero:
+        return compose32(sign, 0, 0)
+
+    siga = (1 << 23) | ma
+    sigb = (1 << 23) | mb
+    product = siga * sigb  # 48 bits, in [2^46, 2^48)
+    exp = ea + eb - 127
+
+    if product >> 47:
+        exp += 1
+        frac_bits = 24  # keep top 24 bits as significand
+    else:
+        frac_bits = 23
+    rounded, _ = _round_nearest_even(product, frac_bits)
+    if rounded >> 24:
+        rounded >>= 1
+        exp += 1
+
+    if exp >= 0xFF:
+        return compose32(sign, 0xFF, 0)
+    if exp <= 0:
+        return compose32(sign, 0, 0)  # FTZ
+    return compose32(sign, exp, rounded & 0x7FFFFF)
+
+
+def float_to_bits(value: float) -> int:
+    """Pack a Python float to binary32 bits (round-to-nearest)."""
+    import struct
+
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Unpack binary32 bits to a Python float."""
+    import struct
+
+    return struct.unpack("<f", struct.pack("<I", bits & MASK32))[0]

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small operational front end over the library for users who want the
+pipeline without writing Python:
+
+* ``python -m repro stats``                      — FU netlist statistics
+* ``python -m repro sta --fu int_add``           — corner STA sweep
+* ``python -m repro characterize --fu fp_add``   — DTA delay summary
+* ``python -m repro train --fu int_add -o m.pkl``— train + save a model
+* ``python -m repro predict -m m.pkl --fu int_add --speedup 0.1``
+                                                 — TER estimates
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .circuits import PAPER_UNITS, build_functional_unit
+from .core import TEVoT, build_training_set
+from .flow import characterize, error_free_clocks, implement
+from .timing import OperatingCondition, paper_corner_grid, sped_up_clock
+from .workloads import stream_for_unit
+
+
+def _condition_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--voltages", type=float, nargs="+",
+                        default=[0.81, 0.90, 1.00])
+    parser.add_argument("--temperatures", type=float, nargs="+",
+                        default=[0.0, 50.0, 100.0])
+
+
+def _conditions(args) -> List[OperatingCondition]:
+    return [OperatingCondition(v, t)
+            for v in args.voltages for t in args.temperatures]
+
+
+def cmd_stats(args) -> int:
+    for name in (args.fu and [args.fu]) or PAPER_UNITS:
+        fu = build_functional_unit(name)
+        print(f"{name}: {fu.stats()}  — {fu.description}")
+    return 0
+
+
+def cmd_sta(args) -> int:
+    conditions = _conditions(args)
+    design = implement(args.fu, conditions)
+    print(f"static critical-path delay of {args.fu} (ps):")
+    for cond in conditions:
+        print(f"  {cond.label}: {design.static_delay(cond):.1f}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    conditions = _conditions(args)
+    fu = build_functional_unit(args.fu)
+    stream = stream_for_unit(args.fu, args.cycles, seed=args.seed)
+    stream.name = f"cli_{args.fu}_{args.seed}"
+    trace = characterize(fu, stream, conditions)
+    print(f"dynamic delay of {args.fu} over {args.cycles} random cycles (ps):")
+    for k, cond in enumerate(conditions):
+        d = trace.delays[k]
+        print(f"  {cond.label}: mean {d.mean():8.1f}  max {d.max():8.1f}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    conditions = _conditions(args)
+    fu = build_functional_unit(args.fu)
+    stream = stream_for_unit(args.fu, args.cycles, seed=args.seed)
+    stream.name = f"cli_train_{args.fu}_{args.seed}"
+    trace = characterize(fu, stream, conditions)
+    X, y = build_training_set(stream, conditions, trace.delays,
+                              max_rows=args.max_rows)
+    model = TEVoT().fit(X, y)
+    model.save(args.output)
+    print(f"trained on {X.shape[0]} rows; saved to {args.output}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    conditions = _conditions(args)
+    model = TEVoT.load(args.model)
+    fu = build_functional_unit(args.fu)
+    workload = stream_for_unit(args.fu, args.cycles, seed=args.seed)
+    workload.name = f"cli_wl_{args.fu}_{args.seed}"
+    trace = characterize(fu, workload, conditions)
+    clocks = error_free_clocks(trace)
+    print(f"estimated TER at +{args.speedup:.0%} overclock:")
+    for cond in conditions:
+        tclk = sped_up_clock(clocks[cond], args.speedup)
+        ter = model.timing_error_rate(workload, cond, tclk)
+        print(f"  {cond.label}: {ter*100:6.2f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TEVoT reproduction pipeline CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="FU netlist statistics")
+    p.add_argument("--fu", choices=PAPER_UNITS)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("sta", help="per-corner static timing")
+    p.add_argument("--fu", required=True, choices=PAPER_UNITS)
+    _condition_args(p)
+    p.set_defaults(func=cmd_sta)
+
+    p = sub.add_parser("characterize", help="DTA delay summary")
+    p.add_argument("--fu", required=True, choices=PAPER_UNITS)
+    p.add_argument("--cycles", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    _condition_args(p)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("train", help="train and save a TEVoT model")
+    p.add_argument("--fu", required=True, choices=PAPER_UNITS)
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--max-rows", type=int, default=60_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    _condition_args(p)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("predict", help="estimate TERs with a saved model")
+    p.add_argument("-m", "--model", required=True)
+    p.add_argument("--fu", required=True, choices=PAPER_UNITS)
+    p.add_argument("--speedup", type=float, default=0.10)
+    p.add_argument("--cycles", type=int, default=500)
+    p.add_argument("--seed", type=int, default=1)
+    _condition_args(p)
+    p.set_defaults(func=cmd_predict)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

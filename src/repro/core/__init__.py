@@ -1,0 +1,36 @@
+"""TEVoT core: features, model, baselines, evaluation, pipeline."""
+
+from .baselines import DelayBasedModel, TERBasedModel, make_tevot_nh
+from .evaluation import (
+    ModelAccuracies,
+    SweepResult,
+    evaluate_models,
+    prediction_accuracy,
+)
+from .features import (
+    FeatureSpec,
+    build_feature_matrix,
+    build_training_set,
+    stream_bits,
+)
+from .model import TEVoT, default_regressor
+from .pipeline import ExperimentResult, run_experiment, train_models
+
+__all__ = [
+    "DelayBasedModel",
+    "ExperimentResult",
+    "FeatureSpec",
+    "ModelAccuracies",
+    "SweepResult",
+    "TERBasedModel",
+    "TEVoT",
+    "build_feature_matrix",
+    "build_training_set",
+    "default_regressor",
+    "evaluate_models",
+    "make_tevot_nh",
+    "prediction_accuracy",
+    "run_experiment",
+    "stream_bits",
+    "train_models",
+]

@@ -1,0 +1,111 @@
+"""Baseline error models the paper compares against (Sec. IV-C).
+
+* **Delay-based** — the instruction/FU-level models of Rahimi et al.
+  and Constantin et al.: predict a timing error whenever the clock
+  period is shorter than the maximum delay measured offline at that
+  operating condition.  Workload-blind.
+* **TER-based** — the approximate-computing models of EnerJ / Truffle:
+  predict errors stochastically with the per-(condition, clock) timing
+  error rate measured offline.
+* **TEVoT-NH** — TEVoT without the history features ``x[t-1]``
+  (constructed via ``TEVoT(include_history=False)``; re-exported here
+  for discoverability).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..timing.corners import OperatingCondition
+from .model import TEVoT
+
+
+class DelayBasedModel:
+    """Workload-blind pessimist: error iff ``tclk < max offline delay``."""
+
+    def __init__(self) -> None:
+        self._max_delay: Dict[OperatingCondition, float] = {}
+        self._fitted = False
+
+    def fit(self, conditions, delays: np.ndarray) -> "DelayBasedModel":
+        """Record the max dynamic delay per condition from an offline
+        characterization trace (``delays``: ``(n_conditions, n_cycles)``)."""
+        delays = np.asarray(delays)
+        if delays.ndim != 2 or delays.shape[0] != len(conditions):
+            raise ValueError("delays must be (n_conditions, n_cycles)")
+        for k, condition in enumerate(conditions):
+            self._max_delay[condition] = float(delays[k].max())
+        self._fitted = True
+        return self
+
+    def max_delay(self, condition: OperatingCondition) -> float:
+        self._check(condition)
+        return self._max_delay[condition]
+
+    def predict_errors(self, condition: OperatingCondition,
+                       clock_period: float, n_cycles: int) -> np.ndarray:
+        """Same class for every cycle: the model ignores the workload."""
+        self._check(condition)
+        erroneous = clock_period < self._max_delay[condition]
+        return np.full(n_cycles, 1 if erroneous else 0, dtype=np.uint8)
+
+    def timing_error_rate(self, condition: OperatingCondition,
+                          clock_period: float) -> float:
+        self._check(condition)
+        return 1.0 if clock_period < self._max_delay[condition] else 0.0
+
+    def _check(self, condition: OperatingCondition) -> None:
+        if not self._fitted:
+            raise RuntimeError("DelayBasedModel is not fitted yet")
+        if condition not in self._max_delay:
+            raise KeyError(f"condition {condition} was not characterized")
+
+
+class TERBasedModel:
+    """Stochastic baseline: Bernoulli errors at the offline-measured TER."""
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self._ter: Dict[Tuple[OperatingCondition, float], float] = {}
+        self._seed = seed
+        self._fitted = False
+
+    def fit(self, conditions, delays: np.ndarray,
+            clock_periods) -> "TERBasedModel":
+        """Measure TER per (condition, clock period) on training delays.
+
+        ``clock_periods`` maps each condition to an iterable of clock
+        periods (the 3 sped-up clocks in the paper's setup).
+        """
+        delays = np.asarray(delays)
+        if delays.ndim != 2 or delays.shape[0] != len(conditions):
+            raise ValueError("delays must be (n_conditions, n_cycles)")
+        for k, condition in enumerate(conditions):
+            for tclk in clock_periods[condition]:
+                ter = float((delays[k] > tclk).mean())
+                self._ter[(condition, round(float(tclk), 6))] = ter
+        self._fitted = True
+        return self
+
+    def timing_error_rate(self, condition: OperatingCondition,
+                          clock_period: float) -> float:
+        key = (condition, round(float(clock_period), 6))
+        if not self._fitted:
+            raise RuntimeError("TERBasedModel is not fitted yet")
+        if key not in self._ter:
+            raise KeyError(f"no TER recorded for {key}")
+        return self._ter[key]
+
+    def predict_errors(self, condition: OperatingCondition,
+                       clock_period: float, n_cycles: int) -> np.ndarray:
+        """Bernoulli(TER) per cycle — no test-workload information."""
+        ter = self.timing_error_rate(condition, clock_period)
+        rng = np.random.default_rng(self._seed)
+        return (rng.random(n_cycles) < ter).astype(np.uint8)
+
+
+def make_tevot_nh(regressor=None, operand_width: int = 32) -> TEVoT:
+    """The TEVoT-NH ablation: identical training, no history features."""
+    return TEVoT(regressor=regressor, include_history=False,
+                 operand_width=operand_width)

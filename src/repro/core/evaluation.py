@@ -1,0 +1,115 @@
+"""Model evaluation: the paper's accuracy metrics and comparison sweep.
+
+Implements Eq. 4 (prediction accuracy = matched cycles / total cycles)
+and the Table III protocol: for every operating condition and clock
+speedup, compare each model's per-cycle error classes against the
+simulated ground truth, then average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.dta import DelayTrace, timing_error_labels
+from ..timing.corners import CLOCK_SPEEDUPS, OperatingCondition, sped_up_clock
+from ..workloads.streams import OperandStream
+from .baselines import DelayBasedModel, TERBasedModel
+from .features import build_feature_matrix
+from .model import TEVoT
+
+
+def prediction_accuracy(true_labels: np.ndarray,
+                        predicted_labels: np.ndarray) -> float:
+    """Eq. 4: fraction of cycles whose class matches the simulation."""
+    true_labels = np.asarray(true_labels)
+    predicted_labels = np.asarray(predicted_labels)
+    if true_labels.shape != predicted_labels.shape:
+        raise ValueError("label arrays must have the same shape")
+    if true_labels.size == 0:
+        raise ValueError("no cycles to compare")
+    return float((true_labels == predicted_labels).mean())
+
+
+@dataclass
+class ModelAccuracies:
+    """Average Eq.-4 accuracy per model over a (condition, speedup) sweep."""
+
+    tevot: float
+    delay_based: float
+    ter_based: float
+    tevot_nh: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "TEVoT": self.tevot,
+            "Delay-based": self.delay_based,
+            "TER-based": self.ter_based,
+            "TEVoT-NH": self.tevot_nh,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Full per-cell accuracy tensor of one Table III entry."""
+
+    conditions: List[OperatingCondition]
+    speedups: List[float]
+    #: model name -> (n_conditions, n_speedups) accuracies
+    per_cell: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def averages(self) -> ModelAccuracies:
+        return ModelAccuracies(
+            tevot=float(self.per_cell["TEVoT"].mean()),
+            delay_based=float(self.per_cell["Delay-based"].mean()),
+            ter_based=float(self.per_cell["TER-based"].mean()),
+            tevot_nh=float(self.per_cell["TEVoT-NH"].mean()),
+        )
+
+
+def evaluate_models(tevot: TEVoT,
+                    tevot_nh: TEVoT,
+                    delay_based: DelayBasedModel,
+                    ter_based: TERBasedModel,
+                    stream: OperandStream,
+                    test_trace: DelayTrace,
+                    error_free_clocks: Dict[OperatingCondition, float],
+                    speedups: Sequence[float] = CLOCK_SPEEDUPS) -> SweepResult:
+    """Run the Table III protocol on one (FU, dataset) pair.
+
+    Parameters
+    ----------
+    test_trace:
+        Ground-truth delays of ``stream`` (the *test* workload) at every
+        condition.
+    error_free_clocks:
+        Per-condition fastest error-free clock (max delay observed
+        during offline characterization); speedups are applied to it.
+    """
+    conditions = test_trace.conditions
+    speedups = list(speedups)
+    shape = (len(conditions), len(speedups))
+    cells = {name: np.zeros(shape) for name in
+             ("TEVoT", "Delay-based", "TER-based", "TEVoT-NH")}
+
+    for ci, condition in enumerate(conditions):
+        true_delays = test_trace.delays[ci]
+        n_cycles = len(true_delays)
+        X = build_feature_matrix(stream, condition, tevot.spec)
+        X_nh = build_feature_matrix(stream, condition, tevot_nh.spec)
+        pred_delay = tevot.predict_delay(X)
+        pred_delay_nh = tevot_nh.predict_delay(X_nh)
+        for si, speedup in enumerate(speedups):
+            tclk = sped_up_clock(error_free_clocks[condition], speedup)
+            truth = timing_error_labels(true_delays, tclk)
+            cells["TEVoT"][ci, si] = prediction_accuracy(
+                truth, (pred_delay > tclk).astype(np.uint8))
+            cells["TEVoT-NH"][ci, si] = prediction_accuracy(
+                truth, (pred_delay_nh > tclk).astype(np.uint8))
+            cells["Delay-based"][ci, si] = prediction_accuracy(
+                truth, delay_based.predict_errors(condition, tclk, n_cycles))
+            cells["TER-based"][ci, si] = prediction_accuracy(
+                truth, ter_based.predict_errors(condition, tclk, n_cycles))
+    return SweepResult(list(conditions), speedups, cells)

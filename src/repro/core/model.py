@@ -1,0 +1,129 @@
+"""The TEVoT model (paper Sec. III-IV).
+
+TEVoT learns the *dynamic delay* ``D = fd(V, T, x[t], x[t-1])`` (Eq. 2)
+with a random-forest regressor, then classifies any cycle as timing
+correct/erroneous by comparing the predicted delay against an arbitrary
+clock period — the paper's argument for delay regression over direct
+error classification (Eq. 1): one trained model serves every clock
+speed.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..ml.forest import RandomForestRegressor
+from ..timing.corners import OperatingCondition
+from ..workloads.streams import OperandStream
+from .features import FeatureSpec, build_feature_matrix
+
+
+def default_regressor(random_state: Optional[int] = 0) -> RandomForestRegressor:
+    """The paper's stated configuration: scikit-learn defaults of the
+    era — 10 trees, all features considered at each split."""
+    return RandomForestRegressor(
+        n_estimators=10,
+        max_features=None,       # all features per split
+        min_samples_leaf=4,      # keeps pure-noise leaves from exploding
+        random_state=random_state,
+    )
+
+
+class TEVoT:
+    """Timing-Error model under dynamic Voltage and Temperature.
+
+    Parameters
+    ----------
+    regressor:
+        Any object with ``fit(X, y)`` / ``predict(X)``; defaults to the
+        paper's 10-tree random forest.
+    include_history:
+        When False this is the TEVoT-NH ablation (no ``x[t-1]``
+        features).
+    operand_width:
+        Bits per FU operand (32 for the paper's units).
+    """
+
+    def __init__(self, regressor=None, include_history: bool = True,
+                 operand_width: int = 32) -> None:
+        self.regressor = regressor if regressor is not None \
+            else default_regressor()
+        self.spec = FeatureSpec(operand_width=operand_width,
+                                include_history=include_history)
+        self._fitted = False
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, delays: np.ndarray) -> "TEVoT":
+        """Train on a feature matrix (Eq. 3 layout) and delay labels."""
+        X = np.asarray(X)
+        if X.shape[1] != self.spec.n_features:
+            raise ValueError(
+                f"feature matrix has {X.shape[1]} columns, spec wants "
+                f"{self.spec.n_features}")
+        self.regressor.fit(X, np.asarray(delays, dtype=np.float64))
+        self._fitted = True
+        return self
+
+    # -- inference -----------------------------------------------------------
+
+    def predict_delay(self, X: np.ndarray) -> np.ndarray:
+        """Predicted dynamic delay (ps) per cycle."""
+        self._check_fitted()
+        return np.asarray(self.regressor.predict(np.asarray(X)))
+
+    def predict_errors(self, X: np.ndarray, clock_period: float) -> np.ndarray:
+        """Per-cycle class: 1 = timing erroneous, 0 = timing correct.
+
+        The same fitted model serves any ``clock_period`` — the paper's
+        flexibility argument for predicting delay instead of the error
+        bit.
+        """
+        if clock_period <= 0:
+            raise ValueError("clock_period must be positive")
+        return (self.predict_delay(X) > clock_period).astype(np.uint8)
+
+    def predict_stream_errors(self, stream: OperandStream,
+                              condition: OperatingCondition,
+                              clock_period: float) -> np.ndarray:
+        """Convenience: feature-build + classify one operand stream."""
+        X = build_feature_matrix(stream, condition, self.spec)
+        return self.predict_errors(X, clock_period)
+
+    def predict_stream_delays(self, stream: OperandStream,
+                              condition: OperatingCondition) -> np.ndarray:
+        X = build_feature_matrix(stream, condition, self.spec)
+        return self.predict_delay(X)
+
+    def timing_error_rate(self, stream: OperandStream,
+                          condition: OperatingCondition,
+                          clock_period: float) -> float:
+        """Model-estimated TER for a stream at a condition and clock."""
+        return float(self.predict_stream_errors(
+            stream, condition, clock_period).mean())
+
+    # -- persistence ("we will open-source the pre-trained models") -----------
+
+    def save(self, path: Union[str, Path]) -> None:
+        with Path(path).open("wb") as fh:
+            pickle.dump(self, fh)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TEVoT":
+        with Path(path).open("rb") as fh:
+            model = pickle.load(fh)
+        if not isinstance(model, cls):
+            raise TypeError(f"{path} does not contain a {cls.__name__}")
+        return model
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("TEVoT model is not fitted yet")
+
+    @property
+    def include_history(self) -> bool:
+        return self.spec.include_history

@@ -1,0 +1,139 @@
+"""End-to-end TEVoT pipeline (Fig. 2): DTA -> training -> evaluation.
+
+:func:`run_experiment` performs the whole Table III protocol for one
+(FU, dataset) pair: characterize the training workload, derive the
+per-corner error-free clocks, train TEVoT / TEVoT-NH and fit the
+Delay-based / TER-based baselines on the *training* trace, then score
+every model on the *test* workload's ground-truth delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.functional_units import FunctionalUnit, build_functional_unit
+from ..flow.campaign import characterize, error_free_clocks
+from ..sim.dta import DelayTrace
+from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
+from ..timing.corners import (
+    CLOCK_SPEEDUPS,
+    OperatingCondition,
+    paper_corner_grid,
+    sped_up_clock,
+)
+from ..workloads.streams import OperandStream, stream_for_unit
+from .baselines import DelayBasedModel, TERBasedModel, make_tevot_nh
+from .evaluation import SweepResult, evaluate_models
+from .features import build_training_set
+from .model import TEVoT
+
+
+@dataclass
+class ExperimentResult:
+    """Everything produced by one (FU, dataset) experiment."""
+
+    fu_name: str
+    dataset: str
+    sweep: SweepResult
+    tevot: TEVoT
+    tevot_nh: TEVoT
+    delay_based: DelayBasedModel
+    ter_based: TERBasedModel
+    train_trace: DelayTrace
+    test_trace: DelayTrace
+    clocks: Dict[OperatingCondition, float]
+
+    def summary(self) -> Dict[str, float]:
+        return self.sweep.averages().as_dict()
+
+
+def train_models(fu: FunctionalUnit,
+                 train_stream: OperandStream,
+                 conditions: Sequence[OperatingCondition],
+                 library: CellLibrary = DEFAULT_LIBRARY,
+                 max_train_rows: int = 200_000,
+                 speedups: Sequence[float] = CLOCK_SPEEDUPS,
+                 seed: int = 0,
+                 use_cache: bool = True):
+    """Characterize a training stream and fit all four models.
+
+    Returns ``(tevot, tevot_nh, delay_based, ter_based, train_trace,
+    clocks)``.
+    """
+    train_trace = characterize(fu, train_stream, conditions, library,
+                               use_cache=use_cache)
+    clocks = error_free_clocks(train_trace)
+
+    tevot = TEVoT(operand_width=fu.operand_width)
+    X, y = build_training_set(train_stream, train_trace.conditions,
+                              train_trace.delays, spec=tevot.spec,
+                              max_rows=max_train_rows, seed=seed)
+    tevot.fit(X, y)
+
+    nh = make_tevot_nh(operand_width=fu.operand_width)
+    X_nh, y_nh = build_training_set(train_stream, train_trace.conditions,
+                                    train_trace.delays, spec=nh.spec,
+                                    max_rows=max_train_rows, seed=seed)
+    nh.fit(X_nh, y_nh)
+
+    delay_based = DelayBasedModel().fit(train_trace.conditions,
+                                        train_trace.delays)
+    clock_table = {
+        condition: [sped_up_clock(clocks[condition], s) for s in speedups]
+        for condition in train_trace.conditions
+    }
+    ter_based = TERBasedModel(seed=seed).fit(train_trace.conditions,
+                                             train_trace.delays, clock_table)
+    return tevot, nh, delay_based, ter_based, train_trace, clocks
+
+
+def run_experiment(fu_name: str,
+                   test_stream: Optional[OperandStream] = None,
+                   train_stream: Optional[OperandStream] = None,
+                   conditions: Optional[Sequence[OperatingCondition]] = None,
+                   library: CellLibrary = DEFAULT_LIBRARY,
+                   n_train_cycles: int = 2000,
+                   n_test_cycles: int = 2000,
+                   max_train_rows: int = 200_000,
+                   speedups: Sequence[float] = CLOCK_SPEEDUPS,
+                   seed: int = 0,
+                   use_cache: bool = True,
+                   **fu_kwargs) -> ExperimentResult:
+    """One full Fig.-2 pipeline run for an FU.
+
+    Defaults: random train/test streams (unseen test data, like the
+    paper's 200 K/200 K split) over the full Table I corner grid.
+    """
+    fu = build_functional_unit(fu_name, **fu_kwargs)
+    conditions = list(conditions) if conditions else paper_corner_grid()
+    if train_stream is None:
+        train_stream = stream_for_unit(fu_name, n_train_cycles, seed=seed)
+        train_stream.name = "random_train"
+    if test_stream is None:
+        test_stream = stream_for_unit(fu_name, n_test_cycles, seed=seed + 1)
+        test_stream.name = "random_test"
+
+    tevot, nh, delay_based, ter_based, train_trace, clocks = train_models(
+        fu, train_stream, conditions, library,
+        max_train_rows=max_train_rows, speedups=speedups, seed=seed,
+        use_cache=use_cache)
+
+    test_trace = characterize(fu, test_stream, conditions, library,
+                              use_cache=use_cache)
+    sweep = evaluate_models(tevot, nh, delay_based, ter_based,
+                            test_stream, test_trace, clocks, speedups)
+    return ExperimentResult(
+        fu_name=fu_name,
+        dataset=test_stream.name,
+        sweep=sweep,
+        tevot=tevot,
+        tevot_nh=nh,
+        delay_based=delay_based,
+        ter_based=ter_based,
+        train_trace=train_trace,
+        test_trace=test_trace,
+        clocks=clocks,
+    )

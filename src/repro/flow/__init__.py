@@ -1,0 +1,12 @@
+"""Flow orchestration: simulated ASIC flow + DTA campaigns."""
+
+from .asicflow import ImplementedDesign, implement
+from .campaign import characterize, default_cache_dir, error_free_clocks
+
+__all__ = [
+    "ImplementedDesign",
+    "characterize",
+    "default_cache_dir",
+    "error_free_clocks",
+    "implement",
+]

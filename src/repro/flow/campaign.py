@@ -1,0 +1,84 @@
+"""DTA campaigns: characterize FUs across workloads and corners.
+
+A campaign runs the levelized DTA engine over an operand stream at many
+operating conditions, yielding the delay matrices that feed training,
+baselines, and every bench.  Results cache to ``.npz`` files keyed by a
+content hash so reruns of the benches are cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.functional_units import FunctionalUnit
+from ..sim.dta import DelayTrace
+from ..sim.levelized import LevelizedSimulator
+from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
+from ..timing.corners import OperatingCondition
+from ..workloads.streams import OperandStream
+
+#: Default on-disk cache location (override with REPRO_CACHE_DIR).
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR",
+                               Path.home() / ".cache" / "repro-tevot"))
+
+
+def _campaign_key(fu: FunctionalUnit, stream: OperandStream,
+                  conditions: Sequence[OperatingCondition]) -> str:
+    """Content hash of (netlist structure, stream data, corner list)."""
+    h = hashlib.sha256()
+    h.update(fu.name.encode())
+    h.update(str(fu.netlist.stats()).encode())
+    h.update(np.ascontiguousarray(stream.a).tobytes())
+    h.update(np.ascontiguousarray(stream.b).tobytes())
+    for c in conditions:
+        h.update(f"{c.voltage:.4f},{c.temperature:.2f};".encode())
+    return h.hexdigest()[:24]
+
+
+def characterize(fu: FunctionalUnit, stream: OperandStream,
+                 conditions: Sequence[OperatingCondition],
+                 library: CellLibrary = DEFAULT_LIBRARY,
+                 cache_dir: Optional[Path] = None,
+                 use_cache: bool = True) -> DelayTrace:
+    """Dynamic-delay characterization of one FU under one workload.
+
+    Returns a :class:`DelayTrace` with shape ``(n_conditions,
+    n_cycles)``; transparently cached on disk.
+    """
+    conditions = list(conditions)
+    cache_path = None
+    if use_cache:
+        cache_root = Path(cache_dir) if cache_dir else default_cache_dir()
+        cache_root.mkdir(parents=True, exist_ok=True)
+        key = _campaign_key(fu, stream, conditions)
+        cache_path = cache_root / f"dta_{fu.name}_{stream.name}_{key}.npz"
+        if cache_path.exists():
+            data = np.load(cache_path)
+            return DelayTrace(data["delays"], conditions,
+                              inputs=stream.bit_matrix(fu))
+
+    sim = LevelizedSimulator(fu.netlist)
+    inputs = stream.bit_matrix(fu)
+    delay_matrix = library.delay_matrix(fu.netlist, conditions)
+    result = sim.run(inputs, delay_matrix)
+    trace = DelayTrace(result.delays, conditions, inputs=inputs)
+    if cache_path is not None:
+        np.savez_compressed(cache_path, delays=trace.delays)
+    return trace
+
+
+def error_free_clocks(trace: DelayTrace) -> Dict[OperatingCondition, float]:
+    """Fastest error-free clock per condition (paper Sec. V-A).
+
+    Defined as the maximum dynamic delay observed during offline
+    characterization — speeding up beyond it guarantees "the output has
+    timing errors".
+    """
+    return {condition: float(trace.delays[k].max())
+            for k, condition in enumerate(trace.conditions)}

@@ -1,0 +1,120 @@
+"""Random forests (bagging over CART trees).
+
+The paper trains TEVoT with scikit-learn's random forest at default
+hyperparameters — 10 trees, all features considered at each split —
+which these classes mirror.  Feature importances (mean decrease in
+impurity across trees) support the paper's interpretability claim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class _BaseForest(BaseEstimator):
+    tree_class = None
+
+    def __init__(self, n_estimators: int = 10,
+                 max_depth: Optional[int] = None,
+                 min_samples_split: int = 2,
+                 min_samples_leaf: int = 1,
+                 max_features=None,
+                 bootstrap: bool = True,
+                 max_threshold_candidates: int = 0,
+                 random_state: Optional[int] = None) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.max_threshold_candidates = max_threshold_candidates
+        self.random_state = random_state
+
+    def _make_tree(self, seed: int):
+        return self.tree_class(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            max_threshold_candidates=self.max_threshold_candidates,
+            random_state=seed,
+        )
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        self.estimators_ = []
+        n = X.shape[0]
+        for _ in range(self.n_estimators):
+            seed = int(rng.integers(0, 2**31 - 1))
+            tree = self._make_tree(seed)
+            if self.bootstrap:
+                idx = rng.integers(0, n, n)
+                tree.fit(X[idx], y[idx])
+            else:
+                tree.fit(X, y)
+            self.estimators_.append(tree)
+        self._fitted = True
+        return self
+
+    def feature_importances(self) -> np.ndarray:
+        """Mean-decrease-in-impurity importances averaged over trees —
+        the interpretability hook the paper credits the forest with
+        (which bit positions drive path sensitization)."""
+        self._require_fitted()
+        importances = np.zeros(self.n_features_)
+        for tree in self.estimators_:
+            importances += tree.feature_importances_
+        total = importances.sum()
+        return importances / total if total else importances
+
+
+class RandomForestRegressor(_BaseForest):
+    """Mean-aggregated forest of CART regressors — TEVoT's delay model."""
+
+    tree_class = DecisionTreeRegressor
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self.n_features_)
+        preds = np.stack([t.predict(X) for t in self.estimators_])
+        return preds.mean(axis=0)
+
+
+class RandomForestClassifier(_BaseForest):
+    """Majority-vote forest of CART classifiers (paper's "RFC")."""
+
+    tree_class = DecisionTreeClassifier
+
+    def fit(self, X, y):
+        super().fit(X, y)
+        self.classes_ = self.estimators_[0].classes_
+        # trees may have seen different class subsets under bootstrap;
+        # align on the union
+        all_classes = np.unique(np.concatenate(
+            [t.classes_ for t in self.estimators_]))
+        self.classes_ = all_classes
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self.n_features_)
+        total = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            total[:, cols] += proba
+        return total / self.n_estimators
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,78 @@
+"""Brute-force k-nearest-neighbours (chunked numpy distances).
+
+The paper evaluates kNN as one of the four candidate methods (Table II):
+decent accuracy but prohibitive testing time — a behaviour that brute
+force reproduces faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+
+
+class _BaseKNN(BaseEstimator):
+    def __init__(self, n_neighbors: int = 5, chunk_size: int = 2048) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.chunk_size = chunk_size
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        if self.n_neighbors > X.shape[0]:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} > n_samples={X.shape[0]}")
+        self._X = X
+        self._y = y
+        self.n_features_ = X.shape[1]
+        self._train_sq = (X * X).sum(axis=1)
+        self._fitted = True
+        return self
+
+    def _neighbor_indices(self, X: np.ndarray) -> np.ndarray:
+        """Indices of the k nearest training rows per query row."""
+        out = np.empty((X.shape[0], self.n_neighbors), dtype=np.int64)
+        for start in range(0, X.shape[0], self.chunk_size):
+            chunk = X[start:start + self.chunk_size]
+            # squared euclidean distance via the expansion trick
+            d2 = (self._train_sq[None, :]
+                  - 2.0 * chunk @ self._X.T
+                  + (chunk * chunk).sum(axis=1)[:, None])
+            if self.n_neighbors < d2.shape[1]:
+                idx = np.argpartition(d2, self.n_neighbors - 1, axis=1)
+                out[start:start + chunk.shape[0]] = idx[:, :self.n_neighbors]
+            else:
+                out[start:start + chunk.shape[0]] = np.argsort(d2, axis=1)
+        return out
+
+
+class KNeighborsRegressor(_BaseKNN):
+    """Mean of the k nearest targets ("local interpolation", Sec. IV-B)."""
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self.n_features_)
+        neighbors = self._neighbor_indices(X)
+        return self._y[neighbors].astype(np.float64).mean(axis=1)
+
+
+class KNeighborsClassifier(_BaseKNN):
+    """Majority vote of the k nearest labels."""
+
+    def fit(self, X, y):
+        super().fit(X, y)
+        self.classes_, self._encoded = np.unique(self._y, return_inverse=True)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self.n_features_)
+        neighbors = self._neighbor_indices(X)
+        votes = self._encoded[neighbors]
+        counts = np.apply_along_axis(
+            np.bincount, 1, votes, minlength=len(self.classes_))
+        return self.classes_[np.argmax(counts, axis=1)]

@@ -1,0 +1,126 @@
+"""Linear models: least-squares regression and logistic regression.
+
+The paper's "LR" baseline learns a weight per feature — including each
+input bit position — so the model captures which bit positions matter
+for path sensitization but not their interactions (Sec. IV-B's stated
+limitation, visible in Table II's accuracy gap vs the forest).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+
+
+class LinearRegression(BaseEstimator):
+    """Ordinary least squares via ``numpy.linalg.lstsq``."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        y = y.astype(np.float64)
+        self.n_features_ = X.shape[1]
+        if self.fit_intercept:
+            design = np.hstack([X, np.ones((X.shape[0], 1))])
+        else:
+            design = X
+        coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.coef_ = coef[:-1]
+            self.intercept_ = float(coef[-1])
+        else:
+            self.coef_ = coef
+            self.intercept_ = 0.0
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self.n_features_)
+        return X @ self.coef_ + self.intercept_
+
+
+class LogisticRegression(BaseEstimator):
+    """Binary logistic regression trained by full-batch gradient descent
+    with L2 regularization and an adaptive step (backtracking halving)."""
+
+    def __init__(self, lr: float = 0.5, n_iter: int = 300,
+                 l2: float = 1e-4, tol: float = 1e-7) -> None:
+        self.lr = lr
+        self.n_iter = n_iter
+        self.l2 = l2
+        self.tol = tol
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) > 2:
+            raise ValueError("LogisticRegression is binary-only")
+        if len(self.classes_) == 1:
+            # degenerate but legal: constant predictor
+            self.n_features_ = X.shape[1]
+            self.coef_ = np.zeros(X.shape[1])
+            self.intercept_ = 0.0
+            self._constant = self.classes_[0]
+            self._fitted = True
+            return self
+        self._constant = None
+        target = (y == self.classes_[1]).astype(np.float64)
+        self.n_features_ = X.shape[1]
+        n = X.shape[0]
+        w = np.zeros(X.shape[1])
+        b = 0.0
+        lr = self.lr
+        prev_loss = np.inf
+        for _ in range(self.n_iter):
+            z = X @ w + b
+            p = self._sigmoid(z)
+            grad_w = X.T @ (p - target) / n + self.l2 * w
+            grad_b = float((p - target).mean())
+            w -= lr * grad_w
+            b -= lr * grad_b
+            # cheap adaptive control: if loss rose, halve the step
+            eps = 1e-12
+            loss = (-np.mean(target * np.log(p + eps)
+                             + (1 - target) * np.log(1 - p + eps))
+                    + 0.5 * self.l2 * float(w @ w))
+            if loss > prev_loss:
+                lr *= 0.5
+            if abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+        self.coef_ = w
+        self.intercept_ = b
+        self._fitted = True
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self.n_features_)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        p1 = self._sigmoid(self.decision_function(X))
+        return np.stack([1.0 - p1, p1], axis=1)
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted()
+        if self._constant is not None:
+            X = check_X(X, self.n_features_)
+            return np.full(X.shape[0], self._constant)
+        scores = self.decision_function(X)
+        return np.where(scores >= 0, self.classes_[1], self.classes_[0])

@@ -1,0 +1,73 @@
+"""Evaluation metrics for classification and regression."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def _check_pair(y_true, y_pred) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of matching entries — the paper's Eq. 4 when applied to
+    per-cycle error classes."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """2-D count matrix indexed [true, pred] over sorted unique labels."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def precision_recall_f1(y_true, y_pred, positive=1) -> Dict[str, float]:
+    """Binary precision/recall/F1 for the given positive label."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    tp = float(np.sum((y_true == positive) & (y_pred == positive)))
+    fp = float(np.sum((y_true != positive) & (y_pred == positive)))
+    fn = float(np.sum((y_true == positive) & (y_pred != positive)))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    diff = y_true.astype(np.float64) - y_pred.astype(np.float64)
+    return float(np.mean(diff * diff))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true.astype(np.float64)
+                                - y_pred.astype(np.float64))))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (1 = perfect, 0 = mean predictor)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    y_true = y_true.astype(np.float64)
+    y_pred = y_pred.astype(np.float64)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

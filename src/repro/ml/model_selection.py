@@ -1,0 +1,87 @@
+"""Train/test splitting and cross-validation."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .metrics import accuracy_score, r2_score
+
+
+def train_test_split(X, y, test_size: float = 0.25,
+                     random_state: Optional[int] = None,
+                     shuffle: bool = True):
+    """Split arrays into train/test partitions.
+
+    Returns ``(X_train, X_test, y_train, y_test)``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y row counts differ")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    n = X.shape[0]
+    n_test = max(1, int(round(n * test_size)))
+    if n_test >= n:
+        raise ValueError("test split would consume every sample")
+    if shuffle:
+        order = np.random.default_rng(random_state).permutation(n)
+    else:
+        order = np.arange(n)
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False,
+                 random_state: Optional[int] = None) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into "
+                             f"{self.n_splits} folds")
+        if self.shuffle:
+            order = np.random.default_rng(self.random_state).permutation(n)
+        else:
+            order = np.arange(n)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits)
+        fold_sizes[:n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = order[start:start + size]
+            train = np.concatenate([order[:start], order[start + size:]])
+            yield train, test
+            start += size
+
+
+def cross_val_score(estimator_factory, X, y, cv: int = 5,
+                    scoring: str = "accuracy",
+                    random_state: Optional[int] = None) -> List[float]:
+    """Fit-and-score across folds.
+
+    ``estimator_factory`` is a zero-argument callable returning a fresh
+    estimator (avoids state leaking between folds).
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scorer = {"accuracy": accuracy_score, "r2": r2_score}.get(scoring)
+    if scorer is None:
+        raise ValueError(f"unknown scoring {scoring!r}")
+    scores = []
+    for train_idx, test_idx in KFold(cv, shuffle=True,
+                                     random_state=random_state).split(X):
+        model = estimator_factory()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
+    return scores

@@ -1,0 +1,61 @@
+"""Feature scaling utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X
+
+
+class StandardScaler(BaseEstimator):
+    """Zero-mean, unit-variance scaling (constant columns pass through)."""
+
+    def fit(self, X):
+        X = check_X(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self.n_features_)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self.n_features_)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features into [0, 1] (constant columns map to 0)."""
+
+    def fit(self, X):
+        X = check_X(X)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        span[span == 0.0] = 1.0
+        self.span_ = span
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self.n_features_)
+        return (X - self.min_) / self.span_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self.n_features_)
+        return X * self.span_ + self.min_

@@ -1,0 +1,360 @@
+"""CART decision trees (numpy-vectorized).
+
+Supports the feature structure TEVoT produces — mostly binary bit
+features plus a few low-cardinality numeric features (V, T) — by
+scanning all split positions of each sorted feature column with
+prefix sums (exact CART); ``max_threshold_candidates`` optionally caps
+the scanned positions for very-high-cardinality features (0 = exact).
+Split gain is variance reduction (regression) or Gini impurity decrease
+(classification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y, resolve_max_features
+
+_LEAF = -1
+
+
+@dataclass
+class _TreeArrays:
+    """Flat array representation of a fitted tree."""
+
+    feature: List[int] = field(default_factory=list)
+    threshold: List[float] = field(default_factory=list)
+    left: List[int] = field(default_factory=list)
+    right: List[int] = field(default_factory=list)
+    value: List[np.ndarray] = field(default_factory=list)
+
+    def add_node(self) -> int:
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(np.zeros(0))
+        return len(self.feature) - 1
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+
+class _BaseDecisionTree(BaseEstimator):
+    """Shared CART machinery; subclasses define leaf values and impurity."""
+
+    def __init__(self, max_depth: Optional[int] = None,
+                 min_samples_split: int = 2,
+                 min_samples_leaf: int = 1,
+                 max_features=None,
+                 max_threshold_candidates: int = 0,
+                 random_state: Optional[int] = None) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_threshold_candidates = max_threshold_candidates
+        self.random_state = random_state
+
+    # subclass hooks ------------------------------------------------------
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _best_split(self, col: np.ndarray, y: np.ndarray):
+        """Best ``(gain, threshold)`` for one feature column."""
+        raise NotImplementedError
+
+    def _binary_split_gains(self, Xb: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Gains for many 0/1 columns at once (threshold fixed at 0.5).
+
+        ``Xb`` is the node's sample-by-binary-feature submatrix.  A
+        single matrix product yields the left/right statistics for every
+        column simultaneously — the workhorse that makes forests on
+        TEVoT's 128 bit-features fast.
+        """
+        raise NotImplementedError
+
+    # fitting ---------------------------------------------------------------
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        y = self._prepare_targets(y)
+        self.n_features_ = X.shape[1]
+        self._rng = np.random.default_rng(self.random_state)
+        self._binary_cols = np.all((X == 0.0) | (X == 1.0), axis=0)
+        self.feature_importances_ = np.zeros(self.n_features_)
+        self._tree = _TreeArrays()
+        root = self._tree.add_node()
+        # iterative depth-first build
+        stack = [(root, np.arange(X.shape[0]), 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            self._build_node(X, y, node, idx, depth, stack)
+        self._finalize()
+        self._fitted = True
+        return self
+
+    def _prepare_targets(self, y: np.ndarray) -> np.ndarray:
+        return y.astype(np.float64)
+
+    def _finalize(self) -> None:
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ /= total
+        t = self._tree
+        self.feature_ = np.asarray(t.feature, dtype=np.int64)
+        self.threshold_ = np.asarray(t.threshold, dtype=np.float64)
+        self.left_ = np.asarray(t.left, dtype=np.int64)
+        self.right_ = np.asarray(t.right, dtype=np.int64)
+        self.value_ = np.stack(t.value)
+
+    def _build_node(self, X, y, node, idx, depth, stack) -> None:
+        t = self._tree
+        sub_y = y[idx]
+        t.value[node] = self._leaf_value(sub_y)
+        if (len(idx) < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or self._is_pure(sub_y)):
+            return
+
+        n_candidates = resolve_max_features(self.max_features,
+                                            self.n_features_)
+        if n_candidates < self.n_features_:
+            features = self._rng.choice(self.n_features_, n_candidates,
+                                        replace=False)
+        else:
+            features = np.arange(self.n_features_)
+
+        best_gain = 1e-12
+        best_feature = -1
+        best_threshold = 0.0
+
+        is_binary = self._binary_cols[features]
+        binary_feats = features[is_binary]
+        if len(binary_feats):
+            Xb = X[np.ix_(idx, binary_feats)]
+            gains = self._binary_split_gains(Xb, sub_y)
+            best = int(np.argmax(gains))
+            if gains[best] > best_gain:
+                best_gain = float(gains[best])
+                best_feature = int(binary_feats[best])
+                best_threshold = 0.5
+
+        for f in features[~is_binary]:
+            col = X[idx, f]
+            gain, threshold = self._best_split(col, sub_y)
+            if gain > best_gain:
+                best_gain = gain
+                best_feature = int(f)
+                best_threshold = threshold
+
+        if best_feature < 0:
+            return  # no useful split: stay a leaf
+        best_mask = X[idx, best_feature] <= best_threshold
+        # mean-decrease-in-impurity contribution: gain weighted by the
+        # fraction of samples reaching this node
+        self.feature_importances_[best_feature] += len(idx) * best_gain
+
+        left = t.add_node()
+        right = t.add_node()
+        t.feature[node] = best_feature
+        t.threshold[node] = best_threshold
+        t.left[node] = left
+        t.right[node] = right
+        stack.append((left, idx[best_mask], depth + 1))
+        stack.append((right, idx[~best_mask], depth + 1))
+
+    def _split_positions(self, col_sorted: np.ndarray) -> np.ndarray:
+        """Valid split positions in a sorted column.
+
+        Position ``i`` means the left child takes sorted elements
+        ``0..i``; a position is valid when the column value actually
+        changes there and both children meet ``min_samples_leaf``.
+        """
+        n = len(col_sorted)
+        boundaries = np.nonzero(col_sorted[:-1] != col_sorted[1:])[0]
+        msl = self.min_samples_leaf
+        if msl > 1:
+            boundaries = boundaries[(boundaries + 1 >= msl)
+                                    & (n - boundaries - 1 >= msl)]
+        if (self.max_threshold_candidates
+                and len(boundaries) > self.max_threshold_candidates):
+            pick = np.linspace(0, len(boundaries) - 1,
+                               self.max_threshold_candidates).astype(int)
+            boundaries = boundaries[np.unique(pick)]
+        return boundaries
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return bool(np.all(y == y[0]))
+
+    # prediction ---------------------------------------------------------------
+
+    def _decision_leaves(self, X: np.ndarray) -> np.ndarray:
+        """Leaf node index for each sample (vectorized level descent)."""
+        self._require_fitted()
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        while True:
+            internal = self.feature_[node] != _LEAF
+            if not internal.any():
+                return node
+            active = np.nonzero(internal)[0]
+            feats = self.feature_[node[active]]
+            thrs = self.threshold_[node[active]]
+            go_left = X[active, feats] <= thrs
+            nxt = np.where(go_left,
+                           self.left_[node[active]],
+                           self.right_[node[active]])
+            node[active] = nxt
+
+    @property
+    def n_nodes(self) -> int:
+        self._require_fitted()
+        return len(self.feature_)
+
+    def depth(self) -> int:
+        """Maximum depth of the fitted tree."""
+        self._require_fitted()
+        depths = np.zeros(self.n_nodes, dtype=np.int64)
+        for node in range(self.n_nodes):
+            for child in (self.left_[node], self.right_[node]):
+                if child != _LEAF:
+                    depths[child] = depths[node] + 1
+        return int(depths.max()) if self.n_nodes else 0
+
+
+class DecisionTreeRegressor(_BaseDecisionTree):
+    """CART regressor: leaves predict the mean target; splits maximize
+    variance reduction.  TEVoT's delay model ``fd`` builds forests of
+    these."""
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.array([y.mean()])
+
+    def _binary_split_gains(self, Xb: np.ndarray, y: np.ndarray) -> np.ndarray:
+        n = len(y)
+        total1 = y.sum()
+        total2 = float(y @ y)
+        n_right = Xb.sum(axis=0)
+        n_left = n - n_right
+        s1_right = Xb.T @ y
+        s2_right = Xb.T @ (y * y)
+        s1_left = total1 - s1_right
+        s2_left = total2 - s2_right
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sse_left = s2_left - s1_left * s1_left / n_left
+            sse_right = s2_right - s1_right * s1_right / n_right
+        parent_sse = total2 - total1 * total1 / n
+        gains = (parent_sse - sse_left - sse_right) / n
+        msl = self.min_samples_leaf
+        invalid = (n_left < msl) | (n_right < msl)
+        gains[invalid] = -np.inf
+        return np.nan_to_num(gains, nan=-np.inf, posinf=-np.inf,
+                             neginf=-np.inf)
+
+    def _best_split(self, col: np.ndarray, y: np.ndarray):
+        """Exact variance-reduction scan via sorted prefix sums."""
+        order = np.argsort(col, kind="stable")
+        col_s = col[order]
+        positions = self._split_positions(col_s)
+        if len(positions) == 0:
+            return 0.0, 0.0
+        y_s = y[order]
+        n = len(y_s)
+        cum1 = np.cumsum(y_s)
+        cum2 = np.cumsum(y_s * y_s)
+        total1, total2 = cum1[-1], cum2[-1]
+        n_left = positions + 1.0
+        n_right = n - n_left
+        s1l = cum1[positions]
+        s2l = cum2[positions]
+        sse_left = s2l - s1l * s1l / n_left
+        s1r = total1 - s1l
+        sse_right = (total2 - s2l) - s1r * s1r / n_right
+        parent_sse = total2 - total1 * total1 / n
+        gains = (parent_sse - sse_left - sse_right) / n
+        best = int(np.argmax(gains))
+        pos = positions[best]
+        threshold = (col_s[pos] + col_s[pos + 1]) / 2.0
+        return float(gains[best]), float(threshold)
+
+    def predict(self, X) -> np.ndarray:
+        X = check_X(X, getattr(self, "n_features_", None))
+        leaves = self._decision_leaves(X)
+        return self.value_[leaves, 0]
+
+
+class DecisionTreeClassifier(_BaseDecisionTree):
+    """CART classifier: Gini splits, majority-vote leaves."""
+
+    def _prepare_targets(self, y: np.ndarray) -> np.ndarray:
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        return encoded.astype(np.int64)
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y, minlength=len(self.classes_))
+        return counts / counts.sum()
+
+    def _binary_split_gains(self, Xb: np.ndarray, y: np.ndarray) -> np.ndarray:
+        n = len(y)
+        k = len(self.classes_)
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y] = 1.0
+        totals = onehot.sum(axis=0)
+        right_counts = Xb.T @ onehot          # (F, k)
+        left_counts = totals[None, :] - right_counts
+        n_right = Xb.sum(axis=0)
+        n_left = n - n_right
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gini_left = 1.0 - np.sum((left_counts / n_left[:, None]) ** 2,
+                                     axis=1)
+            gini_right = 1.0 - np.sum((right_counts / n_right[:, None]) ** 2,
+                                      axis=1)
+        parent = 1.0 - np.sum((totals / n) ** 2)
+        gains = parent - (n_left * gini_left + n_right * gini_right) / n
+        msl = self.min_samples_leaf
+        invalid = (n_left < msl) | (n_right < msl)
+        gains[invalid] = -np.inf
+        return np.nan_to_num(gains, nan=-np.inf, posinf=-np.inf,
+                             neginf=-np.inf)
+
+    def _best_split(self, col: np.ndarray, y: np.ndarray):
+        """Exact Gini-decrease scan via per-class prefix counts."""
+        order = np.argsort(col, kind="stable")
+        col_s = col[order]
+        positions = self._split_positions(col_s)
+        if len(positions) == 0:
+            return 0.0, 0.0
+        y_s = y[order]
+        n = len(y_s)
+        k = len(self.classes_)
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y_s] = 1.0
+        cum = np.cumsum(onehot, axis=0)
+        totals = cum[-1]
+        left_counts = cum[positions]          # (P, k)
+        right_counts = totals - left_counts
+        n_left = (positions + 1.0)[:, None]
+        n_right = n - n_left
+        gini_left = 1.0 - np.sum((left_counts / n_left) ** 2, axis=1)
+        gini_right = 1.0 - np.sum((right_counts / n_right) ** 2, axis=1)
+        parent = 1.0 - np.sum((totals / n) ** 2)
+        gains = parent - (n_left[:, 0] * gini_left
+                          + n_right[:, 0] * gini_right) / n
+        best = int(np.argmax(gains))
+        pos = positions[best]
+        threshold = (col_s[pos] + col_s[pos + 1]) / 2.0
+        return float(gains[best]), float(threshold)
+
+    def predict_proba(self, X) -> np.ndarray:
+        X = check_X(X, getattr(self, "n_features_", None))
+        leaves = self._decision_leaves(X)
+        return self.value_[leaves]
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

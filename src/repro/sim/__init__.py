@@ -1,0 +1,28 @@
+"""Simulation substrate: levelized + event-driven timing simulators, VCD, DTA."""
+
+from .dta import (
+    DelayTrace,
+    delays_via_vcd,
+    dynamic_delay_trace,
+    timing_error_labels,
+    timing_error_rate,
+)
+from .eventsim import EventDrivenSimulator, EventTraceResult
+from .levelized import DelayTraceResult, LevelizedSimulator
+from .vcd import VCDData, VCDWriter, delays_from_vcd, read_vcd
+
+__all__ = [
+    "DelayTrace",
+    "DelayTraceResult",
+    "EventDrivenSimulator",
+    "EventTraceResult",
+    "LevelizedSimulator",
+    "VCDData",
+    "VCDWriter",
+    "delays_from_vcd",
+    "delays_via_vcd",
+    "dynamic_delay_trace",
+    "read_vcd",
+    "timing_error_labels",
+    "timing_error_rate",
+]

@@ -1,0 +1,151 @@
+"""Dynamic timing analysis: delay traces and timing-error labels.
+
+Ties the simulators to the paper's quantities: a :class:`DelayTrace`
+holds the per-cycle dynamic delay ``D[t]`` of an FU at one or more
+operating conditions; :func:`timing_error_labels` turns delays into the
+paper's two classes (``D[t] > tclk`` = timing erroneous), and
+:func:`dynamic_delay_trace` is the one-call front end used by the
+campaigns and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuits.netlist import Netlist
+from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
+from ..timing.corners import OperatingCondition
+from .eventsim import EventDrivenSimulator
+from .levelized import LevelizedSimulator
+from .vcd import delays_from_vcd, read_vcd
+
+
+@dataclass
+class DelayTrace:
+    """Dynamic delays of one input stream across operating conditions.
+
+    Attributes
+    ----------
+    delays:
+        ``(n_conditions, n_cycles)`` float32 ps.
+    conditions:
+        The operating conditions, aligned with the first axis.
+    inputs:
+        The ``(n_cycles + 1, n_bits)`` input bit matrix that produced the
+        trace (row 0 is the initial state).
+    """
+
+    delays: np.ndarray
+    conditions: List[OperatingCondition]
+    inputs: Optional[np.ndarray] = None
+
+    @property
+    def n_cycles(self) -> int:
+        return self.delays.shape[1]
+
+    def for_condition(self, condition: OperatingCondition) -> np.ndarray:
+        """Delay vector for one condition."""
+        idx = self.conditions.index(condition)
+        return self.delays[idx]
+
+    def average_delay(self) -> np.ndarray:
+        """Mean dynamic delay per condition — the Fig. 3 quantity."""
+        return self.delays.mean(axis=1)
+
+    def max_delay(self) -> np.ndarray:
+        """Max observed dynamic delay per condition (Delay-based model's
+        offline measurement)."""
+        return self.delays.max(axis=1)
+
+
+def timing_error_labels(delays: np.ndarray, clock_period: float) -> np.ndarray:
+    """Classify each cycle: 1 = timing erroneous, 0 = timing correct.
+
+    A cycle has a timing error when its sensitized dynamic delay
+    exceeds the clock period (Sec. III of the paper).
+    """
+    if clock_period <= 0:
+        raise ValueError("clock_period must be positive")
+    return (np.asarray(delays) > clock_period).astype(np.uint8)
+
+
+def timing_error_rate(delays: np.ndarray, clock_period: float) -> float:
+    """Fraction of erroneous cycles (the TER of the TER-based model)."""
+    labels = timing_error_labels(delays, clock_period)
+    return float(labels.mean())
+
+
+def dynamic_delay_trace(netlist: Netlist,
+                        input_matrix: np.ndarray,
+                        conditions: Union[OperatingCondition,
+                                          Sequence[OperatingCondition]],
+                        library: CellLibrary = DEFAULT_LIBRARY,
+                        engine: str = "levelized",
+                        vcd_path=None) -> DelayTrace:
+    """Run DTA for an input stream at one or more conditions.
+
+    Parameters
+    ----------
+    netlist:
+        FU combinational core.
+    input_matrix:
+        ``(n_cycles + 1, n_inputs)`` uint8; row 0 = initial state.
+    conditions:
+        One condition or a sequence (levelized engine vectorizes over
+        them; the event engine loops).
+    engine:
+        ``"levelized"`` (fast, graph-based DTA) or ``"event"``
+        (glitch-accurate reference; supports ``vcd_path``).
+    """
+    single = isinstance(conditions, OperatingCondition)
+    condition_list = [conditions] if single else list(conditions)
+    if not condition_list:
+        raise ValueError("need at least one operating condition")
+
+    if engine == "levelized":
+        sim = LevelizedSimulator(netlist)
+        delay_matrix = library.delay_matrix(netlist, condition_list)
+        result = sim.run(input_matrix, delay_matrix)
+        return DelayTrace(result.delays, condition_list, input_matrix)
+    if engine == "event":
+        rows = []
+        for k, condition in enumerate(condition_list):
+            delays = library.gate_delays(netlist, condition)
+            sim = EventDrivenSimulator(netlist, delays)
+            path = None
+            clock = None
+            if vcd_path is not None and k == 0:
+                path = vcd_path
+                # generous clock so windows never overlap in the dump
+                from ..timing.sta import static_delay
+
+                clock = 2.0 * static_delay(netlist, condition, library)
+            res = sim.run_trace(input_matrix, vcd_path=path,
+                                clock_period=clock)
+            rows.append(res.delays.astype(np.float32))
+        return DelayTrace(np.stack(rows), condition_list, input_matrix)
+    raise ValueError(f"unknown engine {engine!r}; use 'levelized' or 'event'")
+
+
+def delays_via_vcd(netlist: Netlist, input_matrix: np.ndarray,
+                   condition: OperatingCondition,
+                   vcd_path, library: CellLibrary = DEFAULT_LIBRARY
+                   ) -> List[float]:
+    """The paper's exact pipeline: simulate -> dump VCD -> parse VCD.
+
+    Runs the event simulator with a safely slow clock, dumps the VCD,
+    then recovers per-cycle dynamic delays purely from the file.  Used
+    in tests to show the file-based path agrees with the in-memory path.
+    """
+    from ..timing.sta import static_delay
+
+    clock = float(np.ceil(2.0 * static_delay(netlist, condition, library)))
+    delays = library.gate_delays(netlist, condition)
+    sim = EventDrivenSimulator(netlist, delays)
+    n_cycles = np.asarray(input_matrix).shape[0] - 1
+    sim.run_trace(input_matrix, vcd_path=vcd_path, clock_period=clock)
+    vcd = read_vcd(vcd_path)
+    return delays_from_vcd(vcd, int(clock), n_cycles)

@@ -1,0 +1,185 @@
+"""Value Change Dump (VCD) writer and parser.
+
+The paper's DTA extracts per-cycle dynamic delay by parsing the VCD
+files ModelSim dumps during SDF-annotated gate-level simulation ("we
+develop a Python script that can automatically parse VCD files").  This
+module is that interface: the event-driven simulator writes VCDs via
+:class:`VCDWriter`, and :func:`read_vcd` + :func:`delays_from_vcd`
+recover per-cycle dynamic delays from any VCD that follows the same
+clocked convention.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+_ID_CHARS = string.printable[:94].replace(" ", "")  # printable, no whitespace
+
+
+def identifier_code(index: int) -> str:
+    """Short VCD identifier code for variable ``index`` (base-93)."""
+    base = len(_ID_CHARS)
+    code = _ID_CHARS[index % base]
+    index //= base
+    while index:
+        code += _ID_CHARS[index % base]
+        index //= base
+    return code
+
+
+class VCDWriter:
+    """Streaming VCD writer (timescale 1 ps).
+
+    Typical use::
+
+        writer = VCDWriter(path, {"out[0]": 0, "out[1]": 1})
+        writer.write_header()
+        writer.change(0, 0, 0)       # time, var index, value
+        writer.close()
+    """
+
+    def __init__(self, path: Union[str, Path], var_names: Sequence[str],
+                 module: str = "dut") -> None:
+        self.path = Path(path)
+        self.var_names = list(var_names)
+        self.module = module
+        self._fh = None
+        self._current_time: Optional[int] = None
+
+    def write_header(self, initial_values: Optional[Sequence[int]] = None) -> None:
+        self._fh = self.path.open("w")
+        fh = self._fh
+        fh.write("$date repro TEVoT DTA $end\n")
+        fh.write("$version repro.sim.vcd 1.0 $end\n")
+        fh.write("$timescale 1ps $end\n")
+        fh.write(f"$scope module {self.module} $end\n")
+        for idx, name in enumerate(self.var_names):
+            fh.write(f"$var wire 1 {identifier_code(idx)} {name} $end\n")
+        fh.write("$upscope $end\n$enddefinitions $end\n")
+        if initial_values is not None:
+            fh.write("$dumpvars\n")
+            for idx, value in enumerate(initial_values):
+                fh.write(f"{int(value)}{identifier_code(idx)}\n")
+            fh.write("$end\n")
+
+    def change(self, time: int, var_index: int, value: int) -> None:
+        """Record a value change at an absolute time (ps)."""
+        if self._fh is None:
+            raise RuntimeError("write_header() must be called first")
+        if self._current_time != time:
+            self._fh.write(f"#{int(time)}\n")
+            self._current_time = time
+        self._fh.write(f"{int(value)}{identifier_code(var_index)}\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "VCDWriter":
+        if self._fh is None:
+            self.write_header()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class VCDData:
+    """Parsed VCD contents: per-variable change lists."""
+
+    timescale: str
+    var_names: List[str]
+    #: per variable: list of (time_ps, value) including $dumpvars at t=0
+    changes: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    def changes_for(self, name: str) -> List[Tuple[int, int]]:
+        if name not in self.changes:
+            raise KeyError(f"no variable {name!r} in VCD")
+        return self.changes[name]
+
+    def all_change_times(self) -> List[int]:
+        """Sorted unique times at which anything changed (excl. t=0 dump)."""
+        times = set()
+        for change_list in self.changes.values():
+            for t, _ in change_list:
+                if t > 0:
+                    times.add(t)
+        return sorted(times)
+
+
+def read_vcd(path: Union[str, Path]) -> VCDData:
+    """Parse a VCD file (the subset VCDWriter emits + common variants)."""
+    id_to_name: Dict[str, str] = {}
+    changes: Dict[str, List[Tuple[int, int]]] = {}
+    timescale = "1ps"
+    current_time = 0
+    in_dump = False
+    with Path(path).open() as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("$timescale"):
+                parts = line.split()
+                if len(parts) >= 2 and parts[1] != "$end":
+                    timescale = parts[1]
+                continue
+            if line.startswith("$var"):
+                parts = line.split()
+                # $var wire 1 <id> <name> $end
+                if len(parts) >= 5:
+                    id_to_name[parts[3]] = parts[4]
+                    changes[parts[4]] = []
+                continue
+            if line.startswith("$dumpvars"):
+                in_dump = True
+                continue
+            if line.startswith("$end"):
+                in_dump = False
+                continue
+            if line.startswith("$"):
+                continue
+            if line.startswith("#"):
+                current_time = int(line[1:])
+                continue
+            if line[0] in "01xXzZ":
+                value_char, code = line[0], line[1:]
+                name = id_to_name.get(code)
+                if name is None:
+                    continue
+                value = 1 if value_char == "1" else 0
+                time = 0 if in_dump else current_time
+                changes[name].append((time, value))
+    return VCDData(timescale=timescale, var_names=list(changes), changes=changes)
+
+
+def delays_from_vcd(vcd: VCDData, clock_period: int, n_cycles: int,
+                    watch: Optional[Iterable[str]] = None) -> List[float]:
+    """Per-cycle dynamic delay from a clocked VCD.
+
+    The convention matches the event-driven simulator: input vector
+    ``t`` is applied at absolute time ``t * clock_period``; the dynamic
+    delay of cycle ``t`` is the time of the last change of any watched
+    variable within ``(t*T, (t+1)*T]``, minus ``t*T`` — the paper's
+    "time of the very last toggled event at the input pins of all
+    sequential elements" minus the clock edge.
+    """
+    if clock_period <= 0:
+        raise ValueError("clock_period must be positive")
+    names = list(watch) if watch is not None else list(vcd.var_names)
+    delays = [0.0] * n_cycles
+    for name in names:
+        for time, _value in vcd.changes_for(name):
+            if time <= 0:
+                continue
+            cycle = (time - 1) // clock_period  # time in (cT, (c+1)T]
+            if 0 <= cycle < n_cycles:
+                offset = time - cycle * clock_period
+                if offset > delays[cycle]:
+                    delays[cycle] = float(offset)
+    return delays

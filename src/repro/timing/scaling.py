@@ -1,0 +1,113 @@
+"""Voltage/temperature delay scaling (alpha-power-law surrogate for CCS).
+
+The paper injects dynamic variations by re-running STA with the EDA
+tools' composite-current-source (CCS) voltage-temperature scaling and a
+TSMC 45 nm library.  Offline we model the same physics analytically with
+the alpha-power law:
+
+.. math::
+
+    d(V, T) \\propto \\frac{V}{(V - V_{th}(T))^{\\alpha}}
+             \\cdot \\left(\\frac{T_K}{T_{K,0}}\\right)^{m}
+
+where the threshold voltage falls linearly with temperature
+(``Vth(T) = Vth0 - kt * (T - T0)``) and carrier mobility degrades as a
+power of absolute temperature.  The two temperature effects compete:
+
+* lower ``Vth`` at high T -> more overdrive -> *faster* (dominates at
+  low supply voltage),
+* mobility degradation at high T -> *slower* (dominates at high V).
+
+This produces the *inverse temperature dependence* (ITD) the paper
+observes in Fig. 3: at 0.81 V delay falls with temperature, at 0.90 V
+and above it rises.  The default parameters place the ITD crossover
+near 0.86 V (calibration test in ``tests/timing/test_scaling.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KELVIN_OFFSET = 273.15
+
+
+@dataclass(frozen=True)
+class ScalingParameters:
+    """Technology parameters of the alpha-power delay model.
+
+    Defaults approximate a generic 45 nm bulk CMOS process.
+    """
+
+    vth_nominal: float = 0.45      # V, threshold at t_ref_celsius
+    vth_slope: float = 0.0012      # V per deg C threshold drop
+    alpha: float = 1.3             # velocity-saturation exponent
+    mobility_exponent: float = 1.15
+    t_ref_celsius: float = 25.0
+    v_nominal: float = 1.0
+
+    def threshold(self, temperature: float, vth_offset: float = 0.0) -> float:
+        """Threshold voltage at a given temperature (Celsius).
+
+        ``vth_offset`` shifts the effective threshold per cell class
+        (transistor stacking); see
+        :class:`repro.timing.cells.CellTiming`.
+        """
+        return (self.vth_nominal + vth_offset
+                - self.vth_slope * (temperature - self.t_ref_celsius))
+
+    def overdrive(self, voltage: float, temperature: float,
+                  vth_offset: float = 0.0) -> float:
+        """``V - Vth(T)``; raises if the transistor would not switch."""
+        ov = voltage - self.threshold(temperature, vth_offset)
+        if ov <= 0:
+            raise ValueError(
+                f"supply {voltage} V is at or below threshold "
+                f"{self.threshold(temperature, vth_offset):.3f} V "
+                f"at {temperature} C"
+            )
+        return ov
+
+    def raw_delay_factor(self, voltage: float, temperature: float,
+                         vth_offset: float = 0.0) -> float:
+        """Unnormalized alpha-power delay factor."""
+        t_kelvin = temperature + KELVIN_OFFSET
+        t_ref_kelvin = self.t_ref_celsius + KELVIN_OFFSET
+        mobility = (t_kelvin / t_ref_kelvin) ** self.mobility_exponent
+        overdrive = self.overdrive(voltage, temperature, vth_offset)
+        return voltage / overdrive ** self.alpha * mobility
+
+    def delay_scale(self, voltage: float, temperature: float,
+                    vth_offset: float = 0.0) -> float:
+        """Delay multiplier relative to nominal ``(v_nominal, t_ref)``.
+
+        ``delay_scale(1.0, 25.0) == 1.0`` by construction; lower voltage
+        or (at high V) higher temperature give factors > 1.  The
+        normalization is per cell class: a cell's nominal delay already
+        includes its stacking penalty, so only the *relative* V/T
+        sensitivity differs between classes.
+        """
+        nominal = self.raw_delay_factor(self.v_nominal, self.t_ref_celsius,
+                                        vth_offset)
+        return self.raw_delay_factor(voltage, temperature, vth_offset) / nominal
+
+    def itd_crossover_voltage(self, temperature: float) -> float:
+        """Supply voltage where the temperature sensitivity flips sign.
+
+        Setting ``d(ln delay)/dT = 0`` gives
+        ``V* = Vth(T) + alpha * kt * T_K / m``.  Below ``V*`` the circuit
+        exhibits inverse temperature dependence.
+        """
+        t_kelvin = temperature + KELVIN_OFFSET
+        return self.threshold(temperature) + (
+            self.alpha * self.vth_slope * t_kelvin / self.mobility_exponent
+        )
+
+
+DEFAULT_SCALING = ScalingParameters()
+
+
+def delay_scale(voltage: float, temperature: float,
+                params: ScalingParameters = DEFAULT_SCALING) -> float:
+    """Module-level convenience wrapper around
+    :meth:`ScalingParameters.delay_scale`."""
+    return params.delay_scale(voltage, temperature)

@@ -1,0 +1,137 @@
+"""Standard Delay Format (SDF) emission and parsing.
+
+The paper's flow runs corner STA in PrimeTime and hands one SDF file
+per ``(V, T)`` pair to the gate-level simulator for back-annotation.
+We reproduce that interface: :func:`write_sdf` serializes per-gate
+delays into a (minimal but syntactically standard) SDF 3.0 file with
+one ``CELL``/``IOPATH`` block per gate instance, and :func:`read_sdf`
+parses such a file back into the delay vector the simulators consume.
+
+Only the subset of SDF the flow needs is supported: absolute IOPATH
+delays with equal (min:typ:max) triples, picosecond timescale, one
+combinational output per cell.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..circuits.netlist import Netlist
+from .corners import OperatingCondition
+
+_HEADER_TEMPLATE = """(DELAYFILE
+  (SDFVERSION "3.0")
+  (DESIGN "{design}")
+  (VOLTAGE {voltage}:{voltage}:{voltage})
+  (TEMPERATURE {temperature}:{temperature}:{temperature})
+  (TIMESCALE 1ps)
+"""
+
+
+def instance_name(gate_index: int) -> str:
+    """Canonical gate instance name used in emitted SDF files."""
+    return f"g{gate_index}"
+
+
+def write_sdf(netlist: Netlist, gate_delays: np.ndarray,
+              path: Union[str, Path],
+              condition: Optional[OperatingCondition] = None) -> Path:
+    """Serialize per-gate delays as an SDF file; returns the path.
+
+    ``gate_delays`` is aligned with ``netlist.gates`` (ps).
+    """
+    if len(gate_delays) != len(netlist.gates):
+        raise ValueError(
+            f"gate_delays has {len(gate_delays)} entries for "
+            f"{len(netlist.gates)} gates"
+        )
+    path = Path(path)
+    voltage = condition.voltage if condition else 1.0
+    temperature = condition.temperature if condition else 25.0
+    lines = [_HEADER_TEMPLATE.format(design=netlist.name, voltage=voltage,
+                                     temperature=temperature)]
+    for idx, gate in enumerate(netlist.gates):
+        delay = float(gate_delays[idx])
+        lines.append(
+            f"  (CELL (CELLTYPE \"{gate.gtype.value}\")\n"
+            f"    (INSTANCE {instance_name(idx)})\n"
+            f"    (DELAY (ABSOLUTE\n"
+            f"      (IOPATH * o ({delay:.4f}:{delay:.4f}:{delay:.4f}))\n"
+            f"    ))\n"
+            f"  )\n"
+        )
+    lines.append(")\n")
+    path.write_text("".join(lines))
+    return path
+
+
+@dataclass
+class SDFFile:
+    """Parsed SDF contents."""
+
+    design: str
+    voltage: float
+    temperature: float
+    delays: Dict[str, float]  # instance name -> typ delay (ps)
+
+    def delay_vector(self, netlist: Netlist) -> np.ndarray:
+        """Back-annotate: align parsed delays with ``netlist.gates``."""
+        out = np.empty(len(netlist.gates), dtype=np.float64)
+        for idx in range(len(netlist.gates)):
+            name = instance_name(idx)
+            if name not in self.delays:
+                raise KeyError(f"SDF file missing instance {name}")
+            out[idx] = self.delays[name]
+        return out
+
+    @property
+    def condition(self) -> OperatingCondition:
+        return OperatingCondition(self.voltage, self.temperature)
+
+
+_DESIGN_RE = re.compile(r'\(DESIGN\s+"([^"]*)"\)')
+_VOLTAGE_RE = re.compile(r"\(VOLTAGE\s+([-\d.eE]+):")
+_TEMPERATURE_RE = re.compile(r"\(TEMPERATURE\s+([-\d.eE]+):")
+_INSTANCE_RE = re.compile(r"\(INSTANCE\s+(\S+?)\)")
+_IOPATH_RE = re.compile(
+    r"\(IOPATH\s+\S+\s+\S+\s+\(([-\d.eE]+):([-\d.eE]+):([-\d.eE]+)\)\)")
+
+
+def read_sdf(path: Union[str, Path]) -> SDFFile:
+    """Parse an SDF file emitted by :func:`write_sdf`.
+
+    Tolerates arbitrary whitespace; raises ``ValueError`` on files
+    missing the header fields or containing IOPATHs before INSTANCEs.
+    """
+    text = Path(path).read_text()
+    design_m = _DESIGN_RE.search(text)
+    voltage_m = _VOLTAGE_RE.search(text)
+    temperature_m = _TEMPERATURE_RE.search(text)
+    if not (design_m and voltage_m and temperature_m):
+        raise ValueError(f"{path}: not a recognized SDF file (missing header)")
+
+    delays: Dict[str, float] = {}
+    current: Optional[str] = None
+    for token_m in re.finditer(
+            r"\(INSTANCE\s+\S+?\)|\(IOPATH[^)]*\([^)]*\)\)", text):
+        token = token_m.group(0)
+        inst_m = _INSTANCE_RE.match(token)
+        if inst_m:
+            current = inst_m.group(1)
+            continue
+        io_m = _IOPATH_RE.match(token)
+        if io_m:
+            if current is None:
+                raise ValueError(f"{path}: IOPATH before any INSTANCE")
+            delays[current] = float(io_m.group(2))  # typ value
+    return SDFFile(
+        design=design_m.group(1),
+        voltage=float(voltage_m.group(1)),
+        temperature=float(temperature_m.group(1)),
+        delays=delays,
+    )

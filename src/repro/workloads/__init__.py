@@ -1,0 +1,15 @@
+"""Workload generators: operand streams for DTA and training."""
+
+from .streams import (
+    OperandStream,
+    float_random_stream,
+    random_stream,
+    stream_for_unit,
+)
+
+__all__ = [
+    "OperandStream",
+    "float_random_stream",
+    "random_stream",
+    "stream_for_unit",
+]

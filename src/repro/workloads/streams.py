@@ -1,0 +1,103 @@
+"""Operand streams: the input workloads FUs consume cycle by cycle.
+
+An :class:`OperandStream` is a named pair of operand-word arrays; row 0
+is the initial register state and each following row is one clock
+cycle.  Generators cover the paper's training/test sources: random data
+with operands homogeneously distributed over the 2-D input space
+(Sec. IV-B, following B-Hive), and application-profiled traces (built
+by :mod:`repro.apps.profiling`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+
+@dataclass
+class OperandStream:
+    """A stream of two-operand inputs for one FU."""
+
+    name: str
+    a: np.ndarray  # uint64 operand words, length n_cycles + 1
+    b: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.a = np.asarray(self.a, dtype=np.uint64)
+        self.b = np.asarray(self.b, dtype=np.uint64)
+        if self.a.shape != self.b.shape or self.a.ndim != 1:
+            raise ValueError("operand arrays must be equal-length 1-D")
+        if len(self.a) < 2:
+            raise ValueError("stream needs at least 2 rows "
+                             "(initial state + 1 cycle)")
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.a) - 1
+
+    def bit_matrix(self, fu) -> np.ndarray:
+        """Encode as the FU's primary-input bit matrix."""
+        return fu.encode_inputs_array(self.a, self.b)
+
+    def head(self, n_cycles: int) -> "OperandStream":
+        """First ``n_cycles`` cycles (plus the initial row)."""
+        if n_cycles < 1:
+            raise ValueError("need at least one cycle")
+        stop = min(len(self.a), n_cycles + 1)
+        return OperandStream(self.name, self.a[:stop], self.b[:stop])
+
+    def save(self, path: Union[str, Path]) -> None:
+        np.savez_compressed(path, name=self.name, a=self.a, b=self.b)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "OperandStream":
+        data = np.load(path, allow_pickle=False)
+        return cls(str(data["name"]), data["a"], data["b"])
+
+
+def random_stream(n_cycles: int, operand_width: int = 32,
+                  seed: Optional[int] = None,
+                  name: str = "random") -> OperandStream:
+    """Uniform random operands: homogeneous over the 2-D input space.
+
+    This is the paper's random training/test source — with two 32-bit
+    operands the space is 2^64, so uniform sampling of each operand
+    covers it homogeneously.
+    """
+    if n_cycles < 1:
+        raise ValueError("need at least one cycle")
+    rng = np.random.default_rng(seed)
+    high = 1 << operand_width
+    a = rng.integers(0, high, n_cycles + 1, dtype=np.uint64)
+    b = rng.integers(0, high, n_cycles + 1, dtype=np.uint64)
+    return OperandStream(name, a, b)
+
+
+def float_random_stream(n_cycles: int, seed: Optional[int] = None,
+                        low: float = -64.0, high: float = 64.0,
+                        name: str = "random") -> OperandStream:
+    """Random binary32 operands over a bounded magnitude range.
+
+    Uniform bit patterns are mostly huge-magnitude floats; FP workloads
+    in applications live in moderate ranges, so the FP units' random
+    dataset samples uniformly in value space instead.
+    """
+    if n_cycles < 1:
+        raise ValueError("need at least one cycle")
+    rng = np.random.default_rng(seed)
+    vals_a = rng.uniform(low, high, n_cycles + 1).astype(np.float32)
+    vals_b = rng.uniform(low, high, n_cycles + 1).astype(np.float32)
+    a = vals_a.view(np.uint32).astype(np.uint64)
+    b = vals_b.view(np.uint32).astype(np.uint64)
+    return OperandStream(name, a, b)
+
+
+def stream_for_unit(fu_name: str, n_cycles: int,
+                    seed: Optional[int] = None) -> OperandStream:
+    """Random stream with the natural operand distribution for an FU."""
+    if fu_name.startswith("fp"):
+        return float_random_stream(n_cycles, seed)
+    return random_stream(n_cycles, seed=seed)

@@ -1,0 +1,174 @@
+"""Tests for image generation, filters, profiling, injection, quality."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    FUHooks,
+    app_stream,
+    estimation_accuracy,
+    gaussian_filter,
+    image_corpus,
+    is_acceptable,
+    profile_filter,
+    psnr,
+    quality_for_ters,
+    run_filter,
+    run_filter_with_errors,
+    sobel_filter,
+    split_corpus,
+    synthetic_image,
+)
+from repro.apps.inject import InjectingHooks
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return image_corpus(4, size=16, seed=2)
+
+
+class TestImages:
+    def test_shape_dtype(self):
+        img = synthetic_image(20, seed=0)
+        assert img.shape == (20, 20)
+        assert img.dtype == np.uint8
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(synthetic_image(16, 5),
+                                      synthetic_image(16, 5))
+
+    def test_images_are_structured_not_noise(self):
+        """Neighbouring pixels correlate (unlike uniform noise)."""
+        img = synthetic_image(32, seed=1).astype(float)
+        horizontal_diff = np.abs(np.diff(img, axis=1)).mean()
+        assert horizontal_diff < 30  # uniform noise would be ~85
+
+    def test_split_corpus(self, corpus):
+        train, test = split_corpus(corpus, train_fraction=0.25, seed=0)
+        assert len(train) == 1
+        assert len(test) == 3
+
+    def test_split_validation(self, corpus):
+        with pytest.raises(ValueError):
+            split_corpus(corpus, train_fraction=1.5)
+
+    def test_tiny_size_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_image(2)
+
+
+class TestFilters:
+    def test_sobel_flat_image_is_zero(self):
+        flat = np.full((10, 10), 128, dtype=np.uint8)
+        assert sobel_filter(flat).max() == 0
+
+    def test_sobel_detects_vertical_edge(self):
+        img = np.zeros((10, 10), dtype=np.uint8)
+        img[:, 5:] = 255
+        edges = sobel_filter(img)
+        assert edges[5, 5] == 255      # on the edge
+        assert edges[5, 2] == 0        # far from the edge
+
+    def test_gaussian_smooths(self, corpus):
+        img = corpus[0]
+        blurred = gaussian_filter(img)
+        rough_in = np.abs(np.diff(img.astype(int), axis=1)).mean()
+        rough_out = np.abs(np.diff(blurred.astype(int), axis=1)).mean()
+        assert rough_out <= rough_in
+
+    def test_gaussian_matches_numpy_reference(self, corpus):
+        from scipy.signal import convolve2d
+
+        img = corpus[1].astype(np.int64)
+        kernel = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]])
+        want = convolve2d(img, kernel, mode="same") >> 4
+        got = gaussian_filter(corpus[1])
+        inner = np.s_[1:-1, 1:-1]
+        np.testing.assert_array_equal(
+            got[inner], np.clip(want, 0, 255).astype(np.uint8)[inner])
+
+    def test_unknown_filter_raises(self, corpus):
+        with pytest.raises(ValueError):
+            run_filter("median", corpus[0])
+
+
+class TestProfiling:
+    def test_profiled_streams_replay_filter(self, corpus):
+        streams = profile_filter("sobel", corpus[:1])
+        assert set(streams) == {"int_mul", "int_add"}
+        # every mul operand pair must multiply to a consistent result
+        s = streams["int_mul"]
+        assert s.n_cycles > 100
+
+    def test_mul_operands_are_coeff_pixel(self, corpus):
+        streams = profile_filter("gauss", corpus[:1])
+        coeffs = {1, 2, 4}
+        a_vals = set(int(v) for v in streams["int_mul"].a[:50])
+        assert a_vals <= coeffs
+
+    def test_fp_stream_valid(self, corpus):
+        s = app_stream("fp_add", "sobel", corpus[:1], max_cycles=200)
+        assert s.n_cycles <= 200
+        assert s.name == "sobel_fp_add"
+
+    def test_app_stream_int_dispatch(self, corpus):
+        s = app_stream("int_add", "sobel", corpus[:1])
+        assert s.name == "sobel_int_add"
+
+
+class TestInjection:
+    def test_zero_ter_is_exact(self, corpus):
+        clean = run_filter("sobel", corpus[0])
+        noisy = run_filter_with_errors("sobel", corpus[0],
+                                       {"int_add": 0.0, "int_mul": 0.0})
+        np.testing.assert_array_equal(clean, noisy)
+
+    def test_full_ter_destroys_output(self, corpus):
+        clean = run_filter("sobel", corpus[0])
+        noisy = run_filter_with_errors("sobel", corpus[0],
+                                       {"int_add": 1.0, "int_mul": 1.0},
+                                       seed=0)
+        assert psnr(clean, noisy) < 15.0
+
+    def test_injection_counters(self, corpus):
+        hooks = InjectingHooks({"int_add": 1.0, "int_mul": 0.0}, seed=0)
+        run_filter("gauss", corpus[0], hooks)
+        assert hooks.injected["int_add"] == hooks.executed["int_add"]
+        assert hooks.injected["int_mul"] == 0
+
+    def test_invalid_ter_rejected(self):
+        with pytest.raises(ValueError):
+            InjectingHooks({"int_add": 1.5})
+
+    def test_quality_for_ters_monotone(self, corpus):
+        clean = quality_for_ters("sobel", corpus[:2],
+                                 {"int_add": 0.0, "int_mul": 0.0})
+        dirty = quality_for_ters("sobel", corpus[:2],
+                                 {"int_add": 0.05, "int_mul": 0.05}, seed=0)
+        assert clean["psnr"] > dirty["psnr"]
+        assert clean["acceptable"] == 1.0
+        assert dirty["acceptable"] == 0.0
+
+
+class TestQualityMetrics:
+    def test_psnr_identical_is_inf(self):
+        img = synthetic_image(8, 0)
+        assert psnr(img, img) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_psnr_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_acceptability_threshold(self):
+        assert is_acceptable(30.0)
+        assert not is_acceptable(29.9)
+
+    def test_estimation_accuracy_eq5(self):
+        assert estimation_accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            estimation_accuracy([], [])

@@ -1,0 +1,207 @@
+"""Unit tests for the structural builder DSL."""
+
+import pytest
+
+from repro.circuits.builder import Bus, CircuitBuilder
+
+
+def eval_bus(netlist, input_bits, bus):
+    """Evaluate a netlist and return the integer value of ``bus``."""
+    values = netlist.evaluate(dict(zip(netlist.primary_inputs, input_bits)))
+    word = 0
+    for i, net in enumerate(bus):
+        word |= values[net] << i
+    return word
+
+
+def bits_of(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+class TestBus:
+    def test_slicing_returns_bus(self):
+        bus = Bus([5, 6, 7, 8])
+        assert isinstance(bus[1:3], Bus)
+        assert bus[1:3] == (6, 7)
+
+    def test_indexing_returns_net_id(self):
+        bus = Bus([5, 6, 7])
+        assert bus[0] == 5
+        assert bus.msb() == 7
+
+    def test_width(self):
+        assert Bus([1, 2, 3]).width == 3
+
+
+class TestConstants:
+    def test_const_bits_cached(self):
+        b = CircuitBuilder()
+        assert b.const_bit(0) == b.const_bit(0)
+        assert b.const_bit(1) == b.const_bit(1)
+        assert b.const_bit(0) != b.const_bit(1)
+
+    @pytest.mark.parametrize("value", [0, 1, 5, 0xAB, 255])
+    def test_const_bus_value(self, value):
+        b = CircuitBuilder()
+        bus = b.const_bus(value, 8)
+        nl = b.netlist
+        nl.validate()
+        assert eval_bus(nl, [], bus) == value
+
+
+class TestWordOps:
+    @pytest.mark.parametrize("a,x", [(0b1010, 0b0110), (0, 0xF), (0xF, 0xF)])
+    def test_bitwise_ops(self, a, x):
+        b = CircuitBuilder()
+        ba = b.input_bus(4, "a")
+        bx = b.input_bus(4, "b")
+        out_and = b.and_bus(ba, bx)
+        out_or = b.or_bus(ba, bx)
+        out_xor = b.xor_bus(ba, bx)
+        out_not = b.not_bus(ba)
+        nl = b.netlist
+        bits = bits_of(a, 4) + bits_of(x, 4)
+        assert eval_bus(nl, bits, out_and) == (a & x)
+        assert eval_bus(nl, bits, out_or) == (a | x)
+        assert eval_bus(nl, bits, out_xor) == (a ^ x)
+        assert eval_bus(nl, bits, out_not) == (~a) & 0xF
+
+    def test_mux_bus(self):
+        b = CircuitBuilder()
+        sel = b.input_bit("sel")
+        ba = b.input_bus(4, "a")
+        bx = b.input_bus(4, "b")
+        out = b.mux_bus(sel, ba, bx)
+        nl = b.netlist
+        a, x = 0b0011, 0b1100
+        assert eval_bus(nl, [0] + bits_of(a, 4) + bits_of(x, 4), out) == a
+        assert eval_bus(nl, [1] + bits_of(a, 4) + bits_of(x, 4), out) == x
+
+    def test_width_mismatch_raises(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            b.and_bus(b.input_bus(4), b.input_bus(3))
+
+    def test_and_bit_bus_masks(self):
+        b = CircuitBuilder()
+        bit = b.input_bit()
+        bus = b.input_bus(4)
+        out = b.and_bit_bus(bit, bus)
+        nl = b.netlist
+        assert eval_bus(nl, [0] + bits_of(0xF, 4), out) == 0
+        assert eval_bus(nl, [1] + bits_of(0xA, 4), out) == 0xA
+
+
+class TestReductions:
+    @pytest.mark.parametrize("value", range(16))
+    def test_reductions_match_python(self, value):
+        b = CircuitBuilder()
+        bus = b.input_bus(4)
+        r_and = b.and_reduce(bus)
+        r_or = b.or_reduce(bus)
+        r_xor = b.xor_reduce(bus)
+        nl = b.netlist
+        bits = bits_of(value, 4)
+        values = nl.evaluate(dict(zip(nl.primary_inputs, bits)))
+        assert values[r_and] == (1 if value == 0xF else 0)
+        assert values[r_or] == (1 if value else 0)
+        assert values[r_xor] == bin(value).count("1") % 2
+
+    def test_reduce_empty_raises(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            b.or_reduce([])
+
+    def test_single_bit_reduction_is_identity(self):
+        b = CircuitBuilder()
+        bit = b.input_bit()
+        assert b.and_reduce([bit]) == bit
+
+
+class TestStructuralUtilities:
+    def test_zero_extend(self):
+        b = CircuitBuilder()
+        bus = b.input_bus(3)
+        out = b.zero_extend(bus, 6)
+        nl = b.netlist
+        assert out.width == 6
+        assert eval_bus(nl, bits_of(0b101, 3), out) == 0b101
+
+    def test_zero_extend_narrower_raises(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            b.zero_extend(b.input_bus(4), 2)
+
+    def test_shift_left_const(self):
+        b = CircuitBuilder()
+        bus = b.input_bus(4)
+        out = b.shift_left_const(bus, 2, 8)
+        nl = b.netlist
+        assert eval_bus(nl, bits_of(0b1011, 4), out) == 0b101100
+
+    def test_concat_orders_lsb_first(self):
+        b = CircuitBuilder()
+        lo = b.input_bus(2, "lo")
+        hi = b.input_bus(2, "hi")
+        out = b.concat(lo, hi)
+        nl = b.netlist
+        # lo = 0b01, hi = 0b10 -> word = 0b1001
+        assert eval_bus(nl, bits_of(0b01, 2) + bits_of(0b10, 2), out) == 0b1001
+
+
+class TestArithmeticCells:
+    def test_half_adder_truth(self):
+        b = CircuitBuilder()
+        x = b.input_bit()
+        y = b.input_bit()
+        s, c = b.half_adder(x, y)
+        nl = b.netlist
+        for vx in (0, 1):
+            for vy in (0, 1):
+                values = nl.evaluate({x: vx, y: vy})
+                assert values[s] == (vx + vy) % 2
+                assert values[c] == (vx + vy) // 2
+
+    def test_full_adder_truth(self):
+        b = CircuitBuilder()
+        x, y, z = b.input_bit(), b.input_bit(), b.input_bit()
+        s, c = b.full_adder(x, y, z)
+        nl = b.netlist
+        for vx in (0, 1):
+            for vy in (0, 1):
+                for vz in (0, 1):
+                    values = nl.evaluate({x: vx, y: vy, z: vz})
+                    total = vx + vy + vz
+                    assert values[s] == total % 2
+                    assert values[c] == total // 2
+
+
+class TestComparisons:
+    def test_equal_bus(self):
+        b = CircuitBuilder()
+        ba = b.input_bus(4)
+        bx = b.input_bus(4)
+        eq = b.equal_bus(ba, bx)
+        nl = b.netlist
+        for a, x in [(3, 3), (3, 4), (0, 0), (15, 14)]:
+            values = nl.evaluate(dict(zip(nl.primary_inputs,
+                                          bits_of(a, 4) + bits_of(x, 4))))
+            assert values[eq] == (1 if a == x else 0)
+
+    def test_is_zero(self):
+        b = CircuitBuilder()
+        bus = b.input_bus(4)
+        z = b.is_zero(bus)
+        nl = b.netlist
+        for v in range(16):
+            values = nl.evaluate(dict(zip(nl.primary_inputs, bits_of(v, 4))))
+            assert values[z] == (1 if v == 0 else 0)
+
+
+def test_build_validates():
+    b = CircuitBuilder(name="ok")
+    bus = b.input_bus(2)
+    b.mark_output_bus(b.not_bus(bus))
+    nl = b.build()
+    assert nl.name == "ok"
+    assert nl.n_gates == 2

@@ -1,0 +1,69 @@
+"""Tests for integer multiplier generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.multipliers import (
+    MULTIPLIER_ARCHITECTURES,
+    build_int_multiplier,
+)
+
+ARCHS = sorted(MULTIPLIER_ARCHITECTURES)
+
+
+def run_mul(netlist, a, b, width, out_width):
+    bits = [(a >> i) & 1 for i in range(width)]
+    bits += [(b >> i) & 1 for i in range(width)]
+    out = netlist.evaluate_outputs(bits)
+    return sum(out[i] << i for i in range(out_width))
+
+
+class TestMultiplierArchitectures:
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_exhaustive_4bit_full_product(self, arch):
+        nl = build_int_multiplier(4, arch, full_product=True)
+        for a in range(16):
+            for b in range(16):
+                assert run_mul(nl, a, b, 4, 8) == a * b, (arch, a, b)
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_8bit_truncated(self, arch, a, b):
+        nl = _cached_mul8(arch)
+        assert run_mul(nl, a, b, 8, 8) == (a * b) & 0xFF
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_32bit_corner_values(self, arch):
+        nl = _cached_mul32(arch)
+        mask = (1 << 32) - 1
+        for a, b in [(0, 0), (1, mask), (mask, mask), (0xFFFF, 0x10001),
+                     (0x12345678, 0x9ABCDEF0)]:
+            assert run_mul(nl, a, b, 32, 32) == (a * b) & mask
+
+    def test_unknown_architecture_raises(self):
+        with pytest.raises(ValueError):
+            build_int_multiplier(8, "booth")
+
+    def test_wallace_is_shallower_than_array(self):
+        array = _cached_mul32("array")
+        wallace = _cached_mul32("wallace")
+        assert wallace.depth() < array.depth()
+
+
+_MUL_CACHE = {}
+
+
+def _cached_mul8(arch):
+    key = ("mul8", arch)
+    if key not in _MUL_CACHE:
+        _MUL_CACHE[key] = build_int_multiplier(8, arch)
+    return _MUL_CACHE[key]
+
+
+def _cached_mul32(arch):
+    key = ("mul32", arch)
+    if key not in _MUL_CACHE:
+        _MUL_CACHE[key] = build_int_multiplier(32, arch)
+    return _MUL_CACHE[key]

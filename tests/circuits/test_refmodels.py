@@ -1,0 +1,167 @@
+"""Validate the softfloat-lite reference models against numpy float32.
+
+The reference models define the exact semantics the gate-level FP units
+must match (RNE, DAZ/FTZ, canonical qNaN).  Here we check that, on
+inputs and outputs where IEEE-754 and our simplifications agree (normal
+operands, non-subnormal results), the reference models are bit-exact
+with numpy's float32 arithmetic.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.refmodels import (
+    INF,
+    QNAN,
+    bits_to_float,
+    compose32,
+    decompose32,
+    float_to_bits,
+    fp32_add_ref,
+    fp32_mul_ref,
+    int_add_ref,
+    int_mul_ref,
+    is_inf32,
+    is_nan32,
+    is_zero32_daz,
+)
+
+np.seterr(all="ignore")
+
+
+def _is_normal(bits):
+    e = (bits >> 23) & 0xFF
+    return e not in (0, 0xFF)
+
+
+def _f32(bits):
+    return np.float32(struct.unpack("<f", struct.pack("<I", bits))[0])
+
+
+def _assert_matches_numpy(op_ref, np_op, a, b):
+    if not (_is_normal(a) and _is_normal(b)):
+        return
+    want_bits = float_to_bits(float(np_op(_f32(a), _f32(b))))
+    we = (want_bits >> 23) & 0xFF
+    if we == 0 and (want_bits & 0x7FFFFFFF):
+        return  # subnormal result: FTZ legitimately differs
+    got = op_ref(a, b)
+    if we == 0xFF and (want_bits & 0x7FFFFF):
+        assert got == QNAN
+    else:
+        assert got == want_bits, (hex(a), hex(b), hex(want_bits), hex(got))
+
+
+class TestIntRefs:
+    @given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_add(self, a, b):
+        s, c = int_add_ref(a, b)
+        assert s == (a + b) & 0xFFFFFFFF
+        assert c == (a + b) >> 32
+
+    @given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_mul(self, a, b):
+        assert int_mul_ref(a, b) == (a * b) & 0xFFFFFFFF
+        assert int_mul_ref(a, b, full=True) == a * b
+
+
+class TestFieldHelpers:
+    @given(bits=st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_decompose_compose_roundtrip(self, bits):
+        s, e, m = decompose32(bits)
+        assert compose32(s, e, m) == bits
+
+    def test_classifiers(self):
+        assert is_nan32(QNAN)
+        assert not is_nan32(INF)
+        assert is_inf32(INF)
+        assert is_inf32(INF | 0x80000000)
+        assert is_zero32_daz(0)
+        assert is_zero32_daz(0x00000001)  # subnormal counts as zero (DAZ)
+        assert not is_zero32_daz(float_to_bits(1.0))
+
+    def test_float_roundtrip(self):
+        for v in (0.0, 1.0, -2.5, 3.14159, 1e30, -1e-30):
+            assert bits_to_float(float_to_bits(v)) == np.float32(v)
+
+
+class TestFpAddVsNumpy:
+    @given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
+    @settings(max_examples=400, deadline=None)
+    def test_random_bit_patterns(self, a, b):
+        _assert_matches_numpy(fp32_add_ref, lambda x, y: x + y, a, b)
+
+    @given(
+        a=st.floats(min_value=2.0**-100, max_value=2.0**100, allow_nan=False, width=32),
+        b=st.floats(min_value=2.0**-100, max_value=2.0**100, allow_nan=False, width=32),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_positive_floats(self, a, b):
+        _assert_matches_numpy(fp32_add_ref, lambda x, y: x + y,
+                              float_to_bits(a), float_to_bits(b))
+
+    @given(a=st.floats(min_value=-(2.0**66), max_value=2.0**66, allow_nan=False,
+                       width=32))
+    @settings(max_examples=200, deadline=None)
+    def test_catastrophic_cancellation(self, a):
+        bits = float_to_bits(a)
+        neg = bits ^ 0x80000000
+        assert fp32_add_ref(bits, neg) == 0  # x + (-x) == +0 under RNE
+
+    def test_specials(self):
+        one = float_to_bits(1.0)
+        assert fp32_add_ref(QNAN, one) == QNAN
+        assert fp32_add_ref(one, QNAN) == QNAN
+        assert fp32_add_ref(INF, one) == INF
+        assert fp32_add_ref(INF, INF) == INF
+        assert fp32_add_ref(INF, INF | 0x80000000) == QNAN  # inf - inf
+        assert fp32_add_ref(0, one) == one
+        assert fp32_add_ref(one, 0) == one
+        assert fp32_add_ref(0x80000000, 0x80000000) == 0x80000000  # -0 + -0
+        assert fp32_add_ref(0x80000000, 0) == 0  # -0 + +0 = +0
+
+    def test_overflow_to_inf(self):
+        big = float_to_bits(3.4e38)
+        assert fp32_add_ref(big, big) == INF
+
+    def test_daz_input(self):
+        sub = 0x00000001  # smallest subnormal, treated as zero
+        one = float_to_bits(1.0)
+        assert fp32_add_ref(sub, one) == one
+
+
+class TestFpMulVsNumpy:
+    @given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
+    @settings(max_examples=400, deadline=None)
+    def test_random_bit_patterns(self, a, b):
+        _assert_matches_numpy(fp32_mul_ref, lambda x, y: x * y, a, b)
+
+    def test_specials(self):
+        one = float_to_bits(1.0)
+        two = float_to_bits(2.0)
+        assert fp32_mul_ref(one, two) == two
+        assert fp32_mul_ref(QNAN, one) == QNAN
+        assert fp32_mul_ref(INF, one) == INF
+        assert fp32_mul_ref(INF, 0) == QNAN  # inf * 0
+        assert fp32_mul_ref(INF, two | 0x80000000) == INF | 0x80000000
+        assert fp32_mul_ref(0, one) == 0
+        assert fp32_mul_ref(one | 0x80000000, two) == two | 0x80000000
+
+    def test_overflow_and_underflow(self):
+        big = float_to_bits(3e38)
+        tiny = float_to_bits(1e-38)
+        assert fp32_mul_ref(big, big) == INF
+        assert fp32_mul_ref(tiny, tiny) == 0  # FTZ
+
+    @given(a=st.floats(min_value=0.5, max_value=2.0, width=32))
+    @settings(max_examples=100, deadline=None)
+    def test_mul_by_one_is_identity(self, a):
+        bits = float_to_bits(a)
+        assert fp32_mul_ref(bits, float_to_bits(1.0)) == bits

@@ -1,0 +1,74 @@
+"""Tests for the Table III evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DelayBasedModel,
+    TERBasedModel,
+    TEVoT,
+    evaluate_models,
+    make_tevot_nh,
+)
+from repro.core.features import build_training_set
+from repro.ml import LinearRegression
+from repro.sim.dta import DelayTrace
+from repro.timing import OperatingCondition, sped_up_clock
+from repro.workloads import random_stream
+
+CONDS = [OperatingCondition(0.85, 25.0), OperatingCondition(1.00, 75.0)]
+
+
+@pytest.fixture
+def setup():
+    """Tiny synthetic world where delays are a simple known function."""
+    rng = np.random.default_rng(0)
+    stream = random_stream(80, seed=0)
+    # synthetic "true" delays: depends on condition index + noise-free
+    delays = np.stack([
+        100.0 + 5.0 * (np.arange(80) % 7),
+        60.0 + 3.0 * (np.arange(80) % 5),
+    ]).astype(np.float32)
+    trace = DelayTrace(delays, CONDS)
+    clocks = {c: float(delays[k].max()) for k, c in enumerate(CONDS)}
+
+    tevot = TEVoT(regressor=LinearRegression())
+    X, y = build_training_set(stream, CONDS, delays)
+    tevot.fit(X, y)
+    nh = make_tevot_nh(regressor=LinearRegression())
+    Xn, yn = build_training_set(stream, CONDS, delays, spec=nh.spec)
+    nh.fit(Xn, yn)
+    delay_based = DelayBasedModel().fit(CONDS, delays)
+    clock_table = {c: [sped_up_clock(clocks[c], s) for s in (0.05, 0.10, 0.15)]
+                   for c in CONDS}
+    ter_based = TERBasedModel(seed=0).fit(CONDS, delays, clock_table)
+    return stream, trace, clocks, tevot, nh, delay_based, ter_based
+
+
+class TestEvaluateModels:
+    def test_sweep_structure(self, setup):
+        stream, trace, clocks, tevot, nh, db, tb = setup
+        sweep = evaluate_models(tevot, nh, db, tb, stream, trace, clocks)
+        assert sweep.per_cell["TEVoT"].shape == (2, 3)
+        for model, cells in sweep.per_cell.items():
+            assert np.all(cells >= 0) and np.all(cells <= 1), model
+
+    def test_averages_match_cells(self, setup):
+        stream, trace, clocks, tevot, nh, db, tb = setup
+        sweep = evaluate_models(tevot, nh, db, tb, stream, trace, clocks)
+        avg = sweep.averages()
+        assert avg.tevot == pytest.approx(sweep.per_cell["TEVoT"].mean())
+        assert set(avg.as_dict()) == {"TEVoT", "Delay-based", "TER-based",
+                                      "TEVoT-NH"}
+
+    def test_delay_based_accuracy_equals_ter(self, setup):
+        """Delay-based predicts all-error at sped-up clocks, so its
+        accuracy per cell equals that cell's true TER."""
+        stream, trace, clocks, tevot, nh, db, tb = setup
+        sweep = evaluate_models(tevot, nh, db, tb, stream, trace, clocks)
+        for ci, cond in enumerate(trace.conditions):
+            for si, s in enumerate(sweep.speedups):
+                tclk = sped_up_clock(clocks[cond], s)
+                ter = float((trace.delays[ci] > tclk).mean())
+                assert sweep.per_cell["Delay-based"][ci, si] == \
+                    pytest.approx(ter)

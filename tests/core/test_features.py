@@ -1,0 +1,97 @@
+"""Tests for TEVoT feature generation (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    FeatureSpec,
+    build_feature_matrix,
+    build_training_set,
+    stream_bits,
+)
+from repro.timing import OperatingCondition
+from repro.workloads import OperandStream, random_stream
+
+
+@pytest.fixture
+def stream():
+    return random_stream(10, seed=0)
+
+
+COND = OperatingCondition(0.85, 50.0)
+
+
+class TestFeatureSpec:
+    def test_dimension_with_history_matches_eq3(self):
+        spec = FeatureSpec(operand_width=32, include_history=True)
+        assert spec.n_features == 130  # 64 + 64 + V + T
+
+    def test_dimension_without_history(self):
+        spec = FeatureSpec(operand_width=32, include_history=False)
+        assert spec.n_features == 66
+
+    def test_column_names_length(self):
+        spec = FeatureSpec()
+        assert len(spec.column_names()) == spec.n_features
+        assert spec.column_names()[-2:] == ["V", "T"]
+
+
+class TestStreamBits:
+    def test_bit_expansion_roundtrip(self, stream):
+        bits = stream_bits(stream)
+        assert bits.shape == (11, 64)
+        word = int(stream.a[3])
+        got = sum(int(bits[3, i]) << i for i in range(32))
+        assert got == word
+
+    def test_b_operand_in_upper_half(self, stream):
+        bits = stream_bits(stream)
+        word = int(stream.b[5])
+        got = sum(int(bits[5, 32 + i]) << i for i in range(32))
+        assert got == word
+
+
+class TestBuildFeatureMatrix:
+    def test_shape(self, stream):
+        X = build_feature_matrix(stream, COND)
+        assert X.shape == (10, 130)
+
+    def test_history_columns_are_previous_cycle(self, stream):
+        X = build_feature_matrix(stream, COND)
+        bits = stream_bits(stream)
+        np.testing.assert_array_equal(X[:, :64], bits[1:])
+        np.testing.assert_array_equal(X[:, 64:128], bits[:-1])
+
+    def test_condition_columns(self, stream):
+        X = build_feature_matrix(stream, COND)
+        assert np.all(X[:, 128] == np.float32(0.85))
+        assert np.all(X[:, 129] == np.float32(50.0))
+
+    def test_no_history_spec(self, stream):
+        X = build_feature_matrix(stream, COND,
+                                 FeatureSpec(include_history=False))
+        assert X.shape == (10, 66)
+
+
+class TestBuildTrainingSet:
+    def test_stacks_conditions(self, stream):
+        conds = [OperatingCondition(0.81, 0), OperatingCondition(1.0, 100)]
+        delays = np.arange(20, dtype=np.float32).reshape(2, 10)
+        X, y = build_training_set(stream, conds, delays)
+        assert X.shape == (20, 130)
+        assert y.shape == (20,)
+        np.testing.assert_array_equal(y[:10], delays[0])
+        assert np.all(X[:10, 128] == np.float32(0.81))
+        assert np.all(X[10:, 128] == np.float32(1.0))
+
+    def test_max_rows_subsamples(self, stream):
+        conds = [OperatingCondition(0.81, 0)]
+        delays = np.zeros((1, 10))
+        X, y = build_training_set(stream, conds, delays, max_rows=4, seed=0)
+        assert X.shape[0] == 4
+
+    def test_shape_validation(self, stream):
+        with pytest.raises(ValueError):
+            build_training_set(stream, [COND], np.zeros((2, 10)))
+        with pytest.raises(ValueError):
+            build_training_set(stream, [COND], np.zeros((1, 7)))

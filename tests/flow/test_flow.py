@@ -1,0 +1,94 @@
+"""Tests for the simulated ASIC flow and DTA campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_functional_unit
+from repro.flow import characterize, error_free_clocks, implement
+from repro.timing import OperatingCondition, read_sdf
+from repro.workloads import random_stream
+
+CONDS = [OperatingCondition(0.81, 0.0), OperatingCondition(1.00, 100.0)]
+
+
+class TestImplement:
+    def test_signoff_covers_all_corners(self):
+        design = implement("int_add", CONDS, width=8)
+        assert set(design.corners()) == set(CONDS)
+        for cond in CONDS:
+            assert design.static_delay(cond) > 0
+
+    def test_low_voltage_corner_is_slower(self):
+        design = implement("int_add", CONDS, width=8)
+        assert design.static_delay(CONDS[0]) > design.static_delay(CONDS[1])
+
+    def test_unsigned_corner_raises(self):
+        design = implement("int_add", CONDS[:1], width=8)
+        with pytest.raises(KeyError):
+            design.static_delay(CONDS[1])
+
+    def test_emit_sdf_per_corner(self, tmp_path):
+        design = implement("int_add", CONDS, width=8)
+        paths = design.emit_sdf(tmp_path)
+        assert len(paths) == 2
+        sdf = read_sdf(paths[0])
+        assert sdf.condition == CONDS[0]
+        np.testing.assert_allclose(sdf.delay_vector(design.netlist),
+                                   design.gate_delays(CONDS[0]), atol=1e-3)
+
+    def test_fu_kwargs_forwarded(self):
+        design = implement("int_add", CONDS[:1], width=8,
+                           architecture="cla")
+        assert "cla" in design.netlist.name
+
+
+class TestCharacterize:
+    def test_delay_trace_shape(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(30, operand_width=8, seed=0)
+        trace = characterize(fu, stream, CONDS, cache_dir=tmp_path)
+        assert trace.delays.shape == (2, 30)
+        assert np.all(trace.delays >= 0)
+
+    def test_cache_roundtrip(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(30, operand_width=8, seed=1)
+        first = characterize(fu, stream, CONDS, cache_dir=tmp_path)
+        cached = characterize(fu, stream, CONDS, cache_dir=tmp_path)
+        np.testing.assert_array_equal(first.delays, cached.delays)
+        assert len(list(tmp_path.glob("dta_*.npz"))) == 1
+
+    def test_cache_distinguishes_streams(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        s1 = random_stream(30, operand_width=8, seed=2)
+        s2 = random_stream(30, operand_width=8, seed=3)
+        characterize(fu, s1, CONDS, cache_dir=tmp_path)
+        characterize(fu, s2, CONDS, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("dta_*.npz"))) == 2
+
+    def test_error_free_clocks_are_max_delays(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(50, operand_width=8, seed=4)
+        trace = characterize(fu, stream, CONDS, cache_dir=tmp_path)
+        clocks = error_free_clocks(trace)
+        for k, cond in enumerate(CONDS):
+            assert clocks[cond] == trace.delays[k].max()
+            # error-free: no training delay exceeds the clock
+            assert not np.any(trace.delays[k] > clocks[cond])
+
+
+class TestEndToEndSmall:
+    def test_run_experiment_smoke(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.core import run_experiment
+
+        res = run_experiment("int_add", conditions=CONDS,
+                             n_train_cycles=150, n_test_cycles=100,
+                             width=8)
+        summary = res.summary()
+        assert set(summary) == {"TEVoT", "Delay-based", "TER-based",
+                                "TEVoT-NH"}
+        for value in summary.values():
+            assert 0.0 <= value <= 1.0
+        # the workload-aware model must beat the pessimist
+        assert summary["TEVoT"] > summary["Delay-based"]

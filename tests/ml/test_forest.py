@@ -1,0 +1,85 @@
+"""Tests for random forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestClassifier, RandomForestRegressor
+from repro.ml.metrics import accuracy_score, r2_score
+
+
+def make_interaction_data(n=800, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 2, (n, 10)).astype(float)
+    y = 5 * X[:, 0] * X[:, 1] + 2 * X[:, 2] + rng.normal(0, 0.1, n)
+    return X, y
+
+
+class TestRegressorForest:
+    def test_generalizes_interactions(self):
+        X, y = make_interaction_data()
+        model = RandomForestRegressor(n_estimators=10, random_state=0)
+        model.fit(X[:600], y[:600])
+        assert r2_score(y[600:], model.predict(X[600:])) > 0.95
+
+    def test_reproducible_with_seed(self):
+        X, y = make_interaction_data()
+        p1 = RandomForestRegressor(5, random_state=42).fit(X, y).predict(X[:20])
+        p2 = RandomForestRegressor(5, random_state=42).fit(X, y).predict(X[:20])
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_more_trees_reduce_variance(self):
+        X, y = make_interaction_data(seed=3)
+        single = RandomForestRegressor(1, random_state=0).fit(X[:600], y[:600])
+        many = RandomForestRegressor(20, random_state=0).fit(X[:600], y[:600])
+        err1 = np.mean((y[600:] - single.predict(X[600:])) ** 2)
+        err20 = np.mean((y[600:] - many.predict(X[600:])) ** 2)
+        assert err20 <= err1 * 1.2
+
+    def test_feature_importances_identify_signal(self):
+        X, y = make_interaction_data()
+        model = RandomForestRegressor(10, random_state=0).fit(X, y)
+        imp = model.feature_importances()
+        assert imp.shape == (10,)
+        assert imp.sum() == pytest.approx(1.0)
+        assert set(np.argsort(imp)[-3:]) >= {0, 1}
+
+    def test_no_bootstrap_option(self):
+        X, y = make_interaction_data()
+        model = RandomForestRegressor(3, bootstrap=False, random_state=0)
+        model.fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.95
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(0)
+
+
+class TestClassifierForest:
+    def test_classifies_xor(self):
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 2, (600, 2)).astype(float)
+        y = (X[:, 0].astype(int) ^ X[:, 1].astype(int))
+        model = RandomForestClassifier(10, random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.99
+
+    def test_predict_proba_normalized(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 0] > 0).astype(int)
+        model = RandomForestClassifier(5, random_state=0).fit(X, y)
+        proba = model.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_sqrt_max_features(self):
+        rng = np.random.default_rng(3)
+        X = rng.integers(0, 2, (300, 16)).astype(float)
+        y = X[:, 0].astype(int)
+        model = RandomForestClassifier(10, max_features="sqrt",
+                                       random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.95
+
+    def test_class_labels_preserved(self):
+        X = np.array([[0.0], [1.0]] * 50)
+        y = np.array([3, 9] * 50)
+        model = RandomForestClassifier(5, random_state=0).fit(X, y)
+        assert set(model.predict(X)) == {3, 9}

@@ -1,0 +1,141 @@
+"""Tests for metrics, model selection, and preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    KFold,
+    LinearRegression,
+    MinMaxScaler,
+    StandardScaler,
+    accuracy_score,
+    confusion_matrix,
+    cross_val_score,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_recall_f1,
+    r2_score,
+    train_test_split,
+)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 0, 0, 1]) == 0.75
+
+    def test_accuracy_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+    def test_confusion_matrix(self):
+        m = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(m, [[1, 1], [0, 2]])
+
+    def test_precision_recall_f1(self):
+        stats = precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0])
+        assert stats["precision"] == 0.5
+        assert stats["recall"] == 0.5
+        assert stats["f1"] == 0.5
+
+    def test_prf_degenerate_no_positives(self):
+        stats = precision_recall_f1([0, 0], [0, 0])
+        assert stats == {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+
+    def test_mse_mae(self):
+        assert mean_squared_error([0, 2], [0, 0]) == 2.0
+        assert mean_absolute_error([0, 2], [0, 0]) == 1.0
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_accuracy_bounds(self, labels):
+        y = np.array(labels)
+        assert 0.0 <= accuracy_score(y, 1 - y) <= 1.0
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25,
+                                              random_state=0)
+        assert len(Xte) == 5 and len(Xtr) == 15
+        assert len(ytr) == 15 and len(yte) == 5
+
+    def test_partition_is_exact(self):
+        X = np.arange(30).reshape(15, 2)
+        y = np.arange(15)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, random_state=1)
+        together = sorted(list(ytr) + list(yte))
+        assert together == list(range(15))
+
+    def test_reproducible(self):
+        X = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        a = train_test_split(X, y, random_state=7)
+        b = train_test_split(X, y, random_state=7)
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_bad_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_size=1.5)
+
+
+class TestKFold:
+    def test_folds_partition_data(self):
+        folds = list(KFold(4).split(np.zeros((10, 1))))
+        assert len(folds) == 4
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test) == list(range(10))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(3).split(np.zeros((9, 1))):
+            assert not set(train) & set(test)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(np.zeros((3, 1))))
+
+    def test_cross_val_score_r2(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 2))
+        y = X @ np.array([1.0, 2.0]) + 0.5
+        scores = cross_val_score(LinearRegression, X, y, cv=3, scoring="r2",
+                                 random_state=0)
+        assert len(scores) == 3
+        assert min(scores) > 0.99
+
+    def test_unknown_scoring_raises(self):
+        with pytest.raises(ValueError):
+            cross_val_score(LinearRegression, np.zeros((6, 1)),
+                            np.zeros(6), scoring="banana")
+
+
+class TestScalers:
+    def test_standard_scaler_roundtrip(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5, 3, size=(50, 4))
+        scaler = StandardScaler()
+        Z = scaler.fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1, atol=1e-9)
+        np.testing.assert_allclose(scaler.inverse_transform(Z), X)
+
+    def test_standard_scaler_constant_column(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_minmax_scaler_range(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-4, 9, size=(30, 3))
+        scaler = MinMaxScaler()
+        Z = scaler.fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+        np.testing.assert_allclose(scaler.inverse_transform(Z), X)

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_fu_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sta", "--fu", "div"])
+
+
+class TestCommands:
+    def test_stats_all_units(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        for name in ("int_add", "int_mul", "fp_add", "fp_mul"):
+            assert name in out
+
+    def test_sta_single_corner(self, capsys):
+        rc = main(["sta", "--fu", "int_add",
+                   "--voltages", "1.0", "--temperatures", "25"])
+        assert rc == 0
+        assert "(1.00,25)" in capsys.readouterr().out
+
+    def test_characterize(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        rc = main(["characterize", "--fu", "int_add", "--cycles", "50",
+                   "--voltages", "0.9", "--temperatures", "25"])
+        assert rc == 0
+        assert "mean" in capsys.readouterr().out
+
+    def test_train_and_predict_roundtrip(self, capsys, tmp_path,
+                                         monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        model_path = tmp_path / "m.pkl"
+        rc = main(["train", "--fu", "int_add", "--cycles", "80",
+                   "--voltages", "0.85", "--temperatures", "25",
+                   "-o", str(model_path)])
+        assert rc == 0
+        assert model_path.exists()
+        rc = main(["predict", "-m", str(model_path), "--fu", "int_add",
+                   "--cycles", "40", "--speedup", "0.15",
+                   "--voltages", "0.85", "--temperatures", "25"])
+        assert rc == 0
+        assert "TER" in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Cross-module integration tests: the full Fig.-2 pipeline end to end
+for each functional unit at a tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import PAPER_UNITS, build_functional_unit
+from repro.core import run_experiment
+from repro.flow import characterize, error_free_clocks
+from repro.timing import OperatingCondition, run_sta
+from repro.workloads import stream_for_unit
+
+CONDS = [OperatingCondition(0.81, 0.0), OperatingCondition(1.00, 100.0)]
+
+
+@pytest.mark.parametrize("fu_name", PAPER_UNITS)
+def test_full_pipeline_per_unit(fu_name, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    res = run_experiment(fu_name, conditions=CONDS,
+                         n_train_cycles=120, n_test_cycles=80)
+    summary = res.summary()
+    assert set(summary) == {"TEVoT", "Delay-based", "TER-based", "TEVoT-NH"}
+    for model, acc in summary.items():
+        assert 0.0 <= acc <= 1.0, model
+    # dimension sanity: sweep covers conditions x 3 speedups
+    assert res.sweep.per_cell["TEVoT"].shape == (2, 3)
+    # error-free clocks are positive and corner-ordered: the low-voltage
+    # corner is slower
+    assert res.clocks[CONDS[0]] > res.clocks[CONDS[1]] > 0
+
+
+@pytest.mark.parametrize("fu_name", PAPER_UNITS)
+def test_dynamic_delay_never_exceeds_static(fu_name, tmp_path):
+    fu = build_functional_unit(fu_name)
+    stream = stream_for_unit(fu_name, 60, seed=5)
+    stream.name = f"integ_{fu_name}"
+    trace = characterize(fu, stream, CONDS, cache_dir=tmp_path)
+    for k, cond in enumerate(CONDS):
+        static = run_sta(fu.netlist, cond).critical_delay
+        assert np.all(trace.delays[k] <= static + 1e-2), (fu_name, cond)
+        assert np.all(trace.delays[k] >= 0.0)
+
+
+def test_functional_consistency_through_sim_stack():
+    """The levelized simulator's output values equal the reference
+    model's results on a real stream — values and timing come from the
+    same pass."""
+    from repro.sim.levelized import LevelizedSimulator
+
+    fu = build_functional_unit("fp_add")
+    stream = stream_for_unit("fp_add", 30, seed=6)
+    sim = LevelizedSimulator(fu.netlist)
+    values = sim.run_values(stream.bit_matrix(fu))
+    for row in range(1, 10):
+        got = fu.decode_result(values[row])
+        want = fu.compute(int(stream.a[row]), int(stream.b[row]))
+        assert got == want

@@ -1,0 +1,158 @@
+"""Tests for the cell library, STA, and SDF round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adders import build_int_adder
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.netlist import GateType
+from repro.timing.cells import DEFAULT_LIBRARY, CellLibrary, CellTiming
+from repro.timing.corners import OperatingCondition
+from repro.timing.sdf import instance_name, read_sdf, write_sdf
+from repro.timing.sta import run_sta, static_delay
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return build_int_adder(8)
+
+
+class TestCellLibrary:
+    def test_every_gate_type_has_timing(self):
+        for gtype in GateType:
+            assert gtype in DEFAULT_LIBRARY.timings
+
+    def test_cell_delay_nominal(self):
+        d = DEFAULT_LIBRARY.cell_delay(GateType.NAND2, fanout=1)
+        timing = DEFAULT_LIBRARY.timings[GateType.NAND2]
+        assert d == pytest.approx(timing.intrinsic + timing.load)
+
+    def test_fanout_increases_delay(self):
+        lib = DEFAULT_LIBRARY
+        assert lib.cell_delay(GateType.NAND2, 4) > lib.cell_delay(GateType.NAND2, 1)
+
+    def test_condition_derates(self):
+        lib = DEFAULT_LIBRARY
+        slow = lib.cell_delay(GateType.NAND2, 1, OperatingCondition(0.81, 0))
+        assert slow > lib.cell_delay(GateType.NAND2, 1)
+
+    def test_gate_delays_vector(self, adder):
+        delays = DEFAULT_LIBRARY.gate_delays(adder)
+        assert delays.shape == (len(adder.gates),)
+        assert np.all(delays >= 0)
+
+    def test_scaling_not_uniform_across_cell_types(self):
+        """Per-cell Vth offsets: XOR derates more than NOT at low V."""
+        lib = DEFAULT_LIBRARY
+        cond = OperatingCondition(0.81, 0)
+        xor_ratio = (lib.cell_delay(GateType.XOR2, 1, cond)
+                     / lib.cell_delay(GateType.XOR2, 1))
+        not_ratio = (lib.cell_delay(GateType.NOT, 1, cond)
+                     / lib.cell_delay(GateType.NOT, 1))
+        assert xor_ratio > not_ratio * 1.01
+
+    def test_delay_matrix_shape(self, adder):
+        conds = [OperatingCondition(0.81, 0), OperatingCondition(1.0, 25)]
+        m = DEFAULT_LIBRARY.delay_matrix(adder, conds)
+        assert m.shape == (2, len(adder.gates))
+
+    def test_missing_cell_type_raises(self, adder):
+        lib = CellLibrary(timings={GateType.CONST0: CellTiming(0, 0)})
+        with pytest.raises(KeyError):
+            lib.gate_delays(adder)
+
+
+class TestSTA:
+    def test_critical_delay_positive(self, adder):
+        assert static_delay(adder) > 0
+
+    def test_critical_path_is_connected(self, adder):
+        result = run_sta(adder)
+        path = result.critical_path
+        assert len(path) >= 2
+        driver = adder.driver_of()
+        for upstream, downstream in zip(path, path[1:]):
+            gate = driver[downstream]
+            assert upstream in gate.inputs
+
+    def test_critical_path_starts_at_input_or_const(self, adder):
+        result = run_sta(adder)
+        first = result.critical_path[0]
+        driver = adder.driver_of()
+        assert first in adder.primary_inputs or not driver[first].inputs
+
+    def test_arrival_monotone_along_path(self, adder):
+        result = run_sta(adder)
+        arr = [result.arrival[n] for n in result.critical_path]
+        assert all(b >= a for a, b in zip(arr, arr[1:]))
+
+    def test_low_voltage_increases_static_delay(self, adder):
+        slow = static_delay(adder, OperatingCondition(0.81, 0))
+        fast = static_delay(adder, OperatingCondition(1.00, 25))
+        assert slow > fast * 1.2
+
+    def test_error_free_clock_alias(self, adder):
+        result = run_sta(adder)
+        assert result.error_free_clock == result.critical_delay
+
+    def test_precomputed_delays_override(self, adder):
+        ones = np.ones(len(adder.gates))
+        result = run_sta(adder, gate_delays=ones)
+        assert result.critical_delay == pytest.approx(adder.depth(), abs=1e-9)
+
+    def test_wrong_delay_count_raises(self, adder):
+        with pytest.raises(ValueError):
+            run_sta(adder, gate_delays=np.ones(3))
+
+    def test_empty_netlist(self):
+        from repro.circuits.netlist import Netlist
+
+        result = run_sta(Netlist())
+        assert result.critical_delay == 0.0
+
+
+class TestSDFRoundtrip:
+    def test_write_and_read_back(self, adder, tmp_path):
+        cond = OperatingCondition(0.85, 75)
+        delays = DEFAULT_LIBRARY.gate_delays(adder, cond)
+        path = write_sdf(adder, delays, tmp_path / "a.sdf", cond)
+        sdf = read_sdf(path)
+        assert sdf.design == adder.name
+        assert sdf.voltage == pytest.approx(0.85)
+        assert sdf.temperature == pytest.approx(75)
+        np.testing.assert_allclose(sdf.delay_vector(adder), delays, atol=1e-3)
+
+    def test_condition_property(self, adder, tmp_path):
+        cond = OperatingCondition(0.9, 25)
+        delays = DEFAULT_LIBRARY.gate_delays(adder, cond)
+        sdf = read_sdf(write_sdf(adder, delays, tmp_path / "b.sdf", cond))
+        assert sdf.condition == cond
+
+    def test_sta_from_sdf_matches_direct(self, adder, tmp_path):
+        cond = OperatingCondition(0.81, 100)
+        delays = DEFAULT_LIBRARY.gate_delays(adder, cond)
+        sdf = read_sdf(write_sdf(adder, delays, tmp_path / "c.sdf", cond))
+        via_sdf = run_sta(adder, gate_delays=sdf.delay_vector(adder))
+        direct = run_sta(adder, cond)
+        assert via_sdf.critical_delay == pytest.approx(
+            direct.critical_delay, rel=1e-5)
+
+    def test_wrong_vector_length_raises(self, adder, tmp_path):
+        with pytest.raises(ValueError):
+            write_sdf(adder, np.ones(2), tmp_path / "d.sdf")
+
+    def test_missing_instance_raises(self, adder, tmp_path):
+        delays = DEFAULT_LIBRARY.gate_delays(adder)
+        path = write_sdf(adder, delays, tmp_path / "e.sdf")
+        text = path.read_text().replace(f"(INSTANCE {instance_name(0)})",
+                                        "(INSTANCE zz)")
+        path.write_text(text)
+        sdf = read_sdf(path)
+        with pytest.raises(KeyError):
+            sdf.delay_vector(adder)
+
+    def test_non_sdf_file_raises(self, tmp_path):
+        bad = tmp_path / "bad.sdf"
+        bad.write_text("hello world")
+        with pytest.raises(ValueError):
+            read_sdf(bad)

@@ -1,0 +1,83 @@
+"""Tests for the alpha-power V/T scaling model (ITD calibration)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing.scaling import DEFAULT_SCALING, ScalingParameters, delay_scale
+
+
+class TestBasicProperties:
+    def test_nominal_is_unity(self):
+        assert delay_scale(1.0, 25.0) == pytest.approx(1.0)
+
+    @given(v=st.floats(0.75, 1.1), t=st.floats(0.0, 100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_positive(self, v, t):
+        assert delay_scale(v, t) > 0
+
+    @given(t=st.floats(0.0, 100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_voltage(self, t):
+        voltages = np.linspace(0.75, 1.1, 15)
+        scales = [delay_scale(v, t) for v in voltages]
+        assert all(a > b for a, b in zip(scales, scales[1:]))
+
+    def test_low_voltage_is_much_slower(self):
+        assert delay_scale(0.81, 25.0) > 1.3
+
+    def test_below_threshold_raises(self):
+        with pytest.raises(ValueError):
+            delay_scale(0.4, 25.0)
+
+
+class TestInverseTemperatureDependence:
+    """Fig. 3's observation: at 0.81 V higher temperature *reduces*
+    delay; at 0.90 V and 1.00 V it increases delay."""
+
+    def test_itd_at_low_voltage(self):
+        assert delay_scale(0.81, 100.0) < delay_scale(0.81, 0.0)
+
+    def test_normal_dependence_at_090(self):
+        assert delay_scale(0.90, 100.0) > delay_scale(0.90, 0.0)
+
+    def test_normal_dependence_at_nominal(self):
+        assert delay_scale(1.00, 100.0) > delay_scale(1.00, 0.0)
+
+    def test_crossover_voltage_between_081_and_090(self):
+        vstar = DEFAULT_SCALING.itd_crossover_voltage(50.0)
+        assert 0.81 < vstar < 0.90
+
+    def test_crossover_matches_numerical_sensitivity(self):
+        """The analytic crossover is where d(delay)/dT flips sign."""
+        vstar = DEFAULT_SCALING.itd_crossover_voltage(50.0)
+        eps = 0.5
+        below = delay_scale(vstar - 0.03, 50.0 + eps) - \
+            delay_scale(vstar - 0.03, 50.0 - eps)
+        above = delay_scale(vstar + 0.03, 50.0 + eps) - \
+            delay_scale(vstar + 0.03, 50.0 - eps)
+        assert below < 0 < above
+
+
+class TestThreshold:
+    def test_threshold_falls_with_temperature(self):
+        p = DEFAULT_SCALING
+        assert p.threshold(100.0) < p.threshold(0.0)
+
+    def test_vth_offset_shifts_threshold(self):
+        p = DEFAULT_SCALING
+        assert p.threshold(25.0, 0.03) == pytest.approx(
+            p.threshold(25.0) + 0.03)
+
+    def test_offset_cells_derate_more_at_low_voltage(self):
+        """Stacked (higher-Vth) cells slow down more when V drops."""
+        p = DEFAULT_SCALING
+        plain = p.delay_scale(0.81, 25.0, 0.0)
+        stacked = p.delay_scale(0.81, 25.0, 0.03)
+        assert stacked > plain
+
+    def test_custom_parameters(self):
+        p = ScalingParameters(vth_nominal=0.3, alpha=2.0)
+        assert p.delay_scale(1.0, 25.0) == pytest.approx(1.0)
+        assert p.delay_scale(0.8, 25.0) > 1.0

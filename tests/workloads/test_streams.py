@@ -1,0 +1,84 @@
+"""Tests for operand streams."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_functional_unit
+from repro.workloads import (
+    OperandStream,
+    float_random_stream,
+    random_stream,
+    stream_for_unit,
+)
+
+
+class TestOperandStream:
+    def test_cycle_count(self):
+        s = OperandStream("t", np.arange(11, dtype=np.uint64),
+                          np.arange(11, dtype=np.uint64))
+        assert s.n_cycles == 10
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            OperandStream("t", np.zeros(3, dtype=np.uint64),
+                          np.zeros(4, dtype=np.uint64))
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            OperandStream("t", np.zeros(1, dtype=np.uint64),
+                          np.zeros(1, dtype=np.uint64))
+
+    def test_head(self):
+        s = random_stream(50, seed=0)
+        h = s.head(10)
+        assert h.n_cycles == 10
+        np.testing.assert_array_equal(h.a, s.a[:11])
+
+    def test_bit_matrix_shape(self):
+        fu = build_functional_unit("int_add")
+        s = random_stream(5, seed=0)
+        m = s.bit_matrix(fu)
+        assert m.shape == (6, 64)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        s = random_stream(20, seed=3, name="roundtrip")
+        path = tmp_path / "s.npz"
+        s.save(path)
+        loaded = OperandStream.load(path)
+        assert loaded.name == "roundtrip"
+        np.testing.assert_array_equal(loaded.a, s.a)
+        np.testing.assert_array_equal(loaded.b, s.b)
+
+
+class TestGenerators:
+    def test_random_stream_reproducible(self):
+        a = random_stream(10, seed=7)
+        b = random_stream(10, seed=7)
+        np.testing.assert_array_equal(a.a, b.a)
+
+    def test_random_stream_covers_range(self):
+        s = random_stream(2000, seed=0)
+        assert s.a.max() > (1 << 31)
+        assert s.a.min() < (1 << 28)
+
+    def test_random_stream_respects_width(self):
+        s = random_stream(100, operand_width=8, seed=0)
+        assert s.a.max() < 256
+
+    def test_float_stream_is_valid_float32(self):
+        from repro.circuits.refmodels import bits_to_float
+
+        s = float_random_stream(100, seed=1, low=-10, high=10)
+        values = [bits_to_float(int(w)) for w in s.a[:20]]
+        assert all(-10 <= v <= 10 for v in values)
+
+    def test_stream_for_unit_dispatch(self):
+        ints = stream_for_unit("int_add", 10, seed=0)
+        floats = stream_for_unit("fp_add", 10, seed=0)
+        assert ints.a.max() != floats.a.max()
+
+    def test_invalid_cycle_counts(self):
+        with pytest.raises(ValueError):
+            random_stream(0)
+        with pytest.raises(ValueError):
+            float_random_stream(0)
