@@ -7,6 +7,10 @@ default scale (documented in EXPERIMENTS.md).  Scale knobs:
   the 9-corner Fig.-3 subset.
 * ``REPRO_BENCH_CYCLES`` — characterization cycles per stream
   (default 1500).
+* ``REPRO_BENCH_BACKEND`` — simulation backend for every
+  characterization (default: the campaign layer's default, the
+  bit-packed engine).
+* ``REPRO_BENCH_WORKERS`` — campaign process-pool width (default 1).
 
 Rendered tables are printed in the pytest terminal summary and written
 to ``benchmarks/results/``.
@@ -24,7 +28,7 @@ import pytest
 from repro.apps import app_stream, image_corpus, split_corpus
 from repro.circuits import build_functional_unit
 from repro.core.pipeline import train_models
-from repro.flow import characterize
+from repro.flow import DEFAULT_BACKEND, CampaignRunner, characterize
 from repro.timing import fig3_corner_subset, paper_corner_grid
 from repro.workloads import OperandStream, stream_for_unit
 
@@ -56,6 +60,14 @@ def conditions():
     if os.environ.get("REPRO_BENCH_FULL_GRID") == "1":
         return paper_corner_grid()
     return fig3_corner_subset()
+
+
+@pytest.fixture(scope="session")
+def campaign_runner():
+    """Shared campaign runner for every bench characterization."""
+    return CampaignRunner(
+        backend=os.environ.get("REPRO_BENCH_BACKEND", DEFAULT_BACKEND),
+        n_workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
 
 
 @pytest.fixture(scope="session")
@@ -107,7 +119,7 @@ def datasets(corpus_split):
 
 
 @pytest.fixture(scope="session")
-def trained_models(datasets, conditions):
+def trained_models(datasets, conditions, campaign_runner):
     """Session cache: fitted TEVoT/NH/baselines + clocks per FU."""
     cache = {}
 
@@ -117,7 +129,8 @@ def trained_models(datasets, conditions):
             streams = datasets(fu_name)
             tevot, nh, delay_based, ter_based, train_trace, clocks = \
                 train_models(fu, streams["train"], conditions,
-                             max_train_rows=60_000, seed=0)
+                             max_train_rows=60_000, seed=0,
+                             runner=campaign_runner)
             cache[fu_name] = {
                 "fu": fu,
                 "tevot": tevot,

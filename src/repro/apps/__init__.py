@@ -3,7 +3,12 @@
 from .filters import FUHooks, gaussian_filter, run_filter, sobel_filter
 from .images import image_corpus, split_corpus, synthetic_image
 from .inject import InjectingHooks, quality_for_ters, run_filter_with_errors
-from .profiling import app_stream, profile_filter, profile_filter_float
+from .profiling import (
+    app_stream,
+    characterize_app_streams,
+    profile_filter,
+    profile_filter_float,
+)
 from .quality import (
     ACCEPTABLE_PSNR_DB,
     estimation_accuracy,
@@ -16,6 +21,7 @@ __all__ = [
     "FUHooks",
     "InjectingHooks",
     "app_stream",
+    "characterize_app_streams",
     "estimation_accuracy",
     "gaussian_filter",
     "image_corpus",

@@ -6,6 +6,8 @@ pipeline without writing Python:
 * ``python -m repro stats``                      — FU netlist statistics
 * ``python -m repro sta --fu int_add``           — corner STA sweep
 * ``python -m repro characterize --fu fp_add``   — DTA delay summary
+* ``python -m repro campaign --fu int_add fp_mul --workers 4``
+                                                 — batched multi-FU DTA
 * ``python -m repro train --fu int_add -o m.pkl``— train + save a model
 * ``python -m repro predict -m m.pkl --fu int_add --speedup 0.1``
                                                  — TER estimates
@@ -19,9 +21,24 @@ from typing import List, Optional
 
 from .circuits import PAPER_UNITS, build_functional_unit
 from .core import TEVoT, build_training_set
-from .flow import characterize, error_free_clocks, implement
+from .flow import (
+    DEFAULT_BACKEND,
+    CampaignJob,
+    CampaignRunner,
+    characterize,
+    error_free_clocks,
+    implement,
+)
+from .sim import available_backends
 from .timing import OperatingCondition, paper_corner_grid, sped_up_clock
 from .workloads import stream_for_unit
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def _condition_args(parser: argparse.ArgumentParser) -> None:
@@ -57,11 +74,32 @@ def cmd_characterize(args) -> int:
     fu = build_functional_unit(args.fu)
     stream = stream_for_unit(args.fu, args.cycles, seed=args.seed)
     stream.name = f"cli_{args.fu}_{args.seed}"
-    trace = characterize(fu, stream, conditions)
+    trace = characterize(fu, stream, conditions, backend=args.backend)
     print(f"dynamic delay of {args.fu} over {args.cycles} random cycles (ps):")
     for k, cond in enumerate(conditions):
         d = trace.delays[k]
         print(f"  {cond.label}: mean {d.mean():8.1f}  max {d.max():8.1f}")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    conditions = _conditions(args)
+    runner = CampaignRunner(backend=args.backend, n_workers=args.workers,
+                            use_cache=not args.no_cache)
+    jobs = []
+    for name in args.fu:
+        fu = build_functional_unit(name)
+        stream = stream_for_unit(name, args.cycles, seed=args.seed)
+        stream.name = f"cli_campaign_{name}_{args.seed}"
+        jobs.append(CampaignJob(fu, stream, conditions))
+    traces = runner.run(jobs)
+    print(f"campaign: {len(jobs)} job(s), {len(conditions)} corner(s), "
+          f"backend={args.backend}, workers={args.workers} "
+          f"[{runner.stats.hits} cached, {runner.stats.misses} simulated]")
+    for job, trace in zip(jobs, traces):
+        d = trace.delays
+        print(f"  {job.fu.name:8s} {trace.n_cycles:6d} cycles  "
+              f"mean {d.mean():8.1f} ps  worst {d.max():8.1f} ps")
     return 0
 
 
@@ -113,8 +151,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fu", required=True, choices=PAPER_UNITS)
     p.add_argument("--cycles", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", default=DEFAULT_BACKEND,
+                   choices=available_backends())
     _condition_args(p)
     p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("campaign",
+                       help="batched DTA over several FUs (process pool)")
+    p.add_argument("--fu", nargs="+", default=list(PAPER_UNITS),
+                   choices=PAPER_UNITS)
+    p.add_argument("--cycles", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=_positive_int, default=1)
+    p.add_argument("--backend", default=DEFAULT_BACKEND,
+                   choices=available_backends())
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the trace store entirely")
+    _condition_args(p)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("train", help="train and save a TEVoT model")
     p.add_argument("--fu", required=True, choices=PAPER_UNITS)

@@ -15,7 +15,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..circuits.functional_units import FunctionalUnit, build_functional_unit
-from ..flow.campaign import characterize, error_free_clocks
+from ..flow.campaign import (
+    DEFAULT_BACKEND,
+    CampaignJob,
+    CampaignRunner,
+    error_free_clocks,
+)
 from ..sim.dta import DelayTrace
 from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
 from ..timing.corners import (
@@ -57,14 +62,22 @@ def train_models(fu: FunctionalUnit,
                  max_train_rows: int = 200_000,
                  speedups: Sequence[float] = CLOCK_SPEEDUPS,
                  seed: int = 0,
-                 use_cache: bool = True):
+                 use_cache: bool = True,
+                 runner: Optional[CampaignRunner] = None,
+                 train_trace: Optional[DelayTrace] = None):
     """Characterize a training stream and fit all four models.
 
-    Returns ``(tevot, tevot_nh, delay_based, ter_based, train_trace,
-    clocks)``.
+    ``runner`` selects the campaign runner (backend, store, worker
+    pool); a default one is built when omitted.  A precomputed
+    ``train_trace`` (e.g. from a batched campaign) skips the
+    characterization step.  Returns ``(tevot, tevot_nh, delay_based,
+    ter_based, train_trace, clocks)``.
     """
-    train_trace = characterize(fu, train_stream, conditions, library,
-                               use_cache=use_cache)
+    if train_trace is None:
+        if runner is None:
+            runner = CampaignRunner(use_cache=use_cache)
+        train_trace = runner.characterize(fu, train_stream, conditions,
+                                          library)
     clocks = error_free_clocks(train_trace)
 
     tevot = TEVoT(operand_width=fu.operand_width)
@@ -101,11 +114,16 @@ def run_experiment(fu_name: str,
                    speedups: Sequence[float] = CLOCK_SPEEDUPS,
                    seed: int = 0,
                    use_cache: bool = True,
+                   backend: str = DEFAULT_BACKEND,
+                   n_workers: int = 1,
+                   runner: Optional[CampaignRunner] = None,
                    **fu_kwargs) -> ExperimentResult:
     """One full Fig.-2 pipeline run for an FU.
 
     Defaults: random train/test streams (unseen test data, like the
-    paper's 200 K/200 K split) over the full Table I corner grid.
+    paper's 200 K/200 K split) over the full Table I corner grid.  The
+    train and test characterizations run as one campaign batch, so
+    ``n_workers > 1`` overlaps them.
     """
     fu = build_functional_unit(fu_name, **fu_kwargs)
     conditions = list(conditions) if conditions else paper_corner_grid()
@@ -116,13 +134,18 @@ def run_experiment(fu_name: str,
         test_stream = stream_for_unit(fu_name, n_test_cycles, seed=seed + 1)
         test_stream.name = "random_test"
 
+    if runner is None:
+        runner = CampaignRunner(backend=backend, n_workers=n_workers,
+                                use_cache=use_cache)
+    train_trace, test_trace = runner.run([
+        CampaignJob(fu, train_stream, conditions, library),
+        CampaignJob(fu, test_stream, conditions, library),
+    ])
+
     tevot, nh, delay_based, ter_based, train_trace, clocks = train_models(
         fu, train_stream, conditions, library,
         max_train_rows=max_train_rows, speedups=speedups, seed=seed,
-        use_cache=use_cache)
-
-    test_trace = characterize(fu, test_stream, conditions, library,
-                              use_cache=use_cache)
+        use_cache=use_cache, runner=runner, train_trace=train_trace)
     sweep = evaluate_models(tevot, nh, delay_based, ter_based,
                             test_stream, test_trace, clocks, speedups)
     return ExperimentResult(

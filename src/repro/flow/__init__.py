@@ -1,12 +1,32 @@
 """Flow orchestration: simulated ASIC flow + DTA campaigns."""
 
 from .asicflow import ImplementedDesign, implement
-from .campaign import characterize, default_cache_dir, error_free_clocks
+from .campaign import (
+    DEFAULT_BACKEND,
+    CampaignJob,
+    CampaignRunner,
+    CampaignStats,
+    characterize,
+    error_free_clocks,
+)
+from .tracestore import (
+    TraceStore,
+    default_cache_dir,
+    library_fingerprint,
+    trace_key,
+)
 
 __all__ = [
+    "CampaignJob",
+    "CampaignRunner",
+    "CampaignStats",
+    "DEFAULT_BACKEND",
     "ImplementedDesign",
+    "TraceStore",
     "characterize",
     "default_cache_dir",
     "error_free_clocks",
     "implement",
+    "library_fingerprint",
+    "trace_key",
 ]

@@ -1,76 +1,197 @@
 """DTA campaigns: characterize FUs across workloads and corners.
 
-A campaign runs the levelized DTA engine over an operand stream at many
+A campaign runs a simulation backend over operand streams at many
 operating conditions, yielding the delay matrices that feed training,
-baselines, and every bench.  Results cache to ``.npz`` files keyed by a
-content hash so reruns of the benches are cheap.
+baselines, and every bench.  The unit of work is a
+:class:`CampaignJob` — one (FU, stream, corner-grid, library) tuple —
+and a :class:`CampaignRunner` executes a batch of jobs:
+
+* results persist in a versioned
+  :class:`~repro.flow.tracestore.TraceStore` keyed by netlist, stream,
+  corners, **and library**, so reruns are cache hits;
+* cache misses fan out over a ``concurrent.futures`` process pool when
+  ``n_workers > 1`` (each worker receives only the picklable job core:
+  netlist + input bits + delay matrix + backend name);
+* the simulation backend is pluggable
+  (:func:`repro.sim.engine.get_backend`); the default is the
+  bit-packed engine, which is delay-identical to ``levelized``.
+
+:func:`characterize` remains as a thin single-job compatibility shim —
+every pre-existing call site keeps working unchanged.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..circuits.functional_units import FunctionalUnit
+from ..circuits.netlist import Netlist
 from ..sim.dta import DelayTrace
-from ..sim.levelized import LevelizedSimulator
+from ..sim.engine import get_backend
 from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
 from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
+from .tracestore import TraceStore, default_cache_dir, trace_key
 
-#: Default on-disk cache location (override with REPRO_CACHE_DIR).
-def default_cache_dir() -> Path:
-    return Path(os.environ.get("REPRO_CACHE_DIR",
-                               Path.home() / ".cache" / "repro-tevot"))
+#: Backend used when callers do not ask for a specific one.  The
+#: bit-packed engine produces delays bit-identical to ``levelized``
+#: (asserted by tests/sim/test_engine.py) at lower cost.
+DEFAULT_BACKEND = "bitpacked"
 
 
-def _campaign_key(fu: FunctionalUnit, stream: OperandStream,
-                  conditions: Sequence[OperatingCondition]) -> str:
-    """Content hash of (netlist structure, stream data, corner list)."""
-    h = hashlib.sha256()
-    h.update(fu.name.encode())
-    h.update(str(fu.netlist.stats()).encode())
-    h.update(np.ascontiguousarray(stream.a).tobytes())
-    h.update(np.ascontiguousarray(stream.b).tobytes())
-    for c in conditions:
-        h.update(f"{c.voltage:.4f},{c.temperature:.2f};".encode())
-    return h.hexdigest()[:24]
+@dataclass
+class CampaignJob:
+    """One characterization work item."""
+
+    fu: FunctionalUnit
+    stream: OperandStream
+    conditions: Sequence[OperatingCondition]
+    library: CellLibrary = field(default_factory=lambda: DEFAULT_LIBRARY)
+
+    def key(self, delay_model: str = "dta") -> str:
+        return trace_key(self.fu, self.stream, list(self.conditions),
+                         self.library, delay_model)
+
+
+@dataclass
+class CampaignStats:
+    """Bookkeeping from the latest :meth:`CampaignRunner.run`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+
+def _run_payload(payload: Tuple[Netlist, np.ndarray, np.ndarray, str]
+                 ) -> np.ndarray:
+    """Worker body: simulate one job core and return its delay matrix.
+
+    Module-level (and free of FU reference models, which close over
+    lambdas) so it pickles across process boundaries.
+    """
+    netlist, inputs, delay_matrix, backend_name = payload
+    backend = get_backend(backend_name)
+    return backend.run_delays(netlist, inputs, delay_matrix).delays
+
+
+class CampaignRunner:
+    """Executes batches of characterization jobs with caching.
+
+    Parameters
+    ----------
+    backend:
+        Simulation-backend name (see
+        :func:`repro.sim.engine.available_backends`).
+    store:
+        A :class:`TraceStore`, a directory path for one, or None for
+        the default cache directory.  Ignored when ``use_cache`` is
+        False.
+    n_workers:
+        Process-pool width for cache misses; 1 runs inline.
+    use_cache:
+        Disable all persistence when False.
+    """
+
+    def __init__(self, backend: str = DEFAULT_BACKEND,
+                 store: Union[TraceStore, str, Path, None] = None,
+                 n_workers: int = 1, use_cache: bool = True) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.backend_name = backend
+        self.backend = get_backend(backend)
+        if not use_cache:
+            self.store: Optional[TraceStore] = None
+        elif isinstance(store, TraceStore):
+            self.store = store
+        else:
+            self.store = TraceStore(store)
+        self.n_workers = n_workers
+        self.stats = CampaignStats()
+
+    def run(self, jobs: Sequence[CampaignJob]) -> List[DelayTrace]:
+        """Execute a batch of jobs, in order, returning their traces.
+
+        Cached jobs load from the store; the rest are simulated (in
+        parallel when ``n_workers > 1``) and persisted.  The result
+        list is aligned with ``jobs`` and is identical whatever the
+        worker count — workers only ever compute independent jobs.
+        """
+        jobs = list(jobs)
+        delay_model = self.backend.delay_model
+        results: List[Optional[DelayTrace]] = [None] * len(jobs)
+        pending: List[Tuple[int, CampaignJob, str, np.ndarray]] = []
+        self.stats = CampaignStats()
+
+        for i, job in enumerate(jobs):
+            inputs = job.stream.bit_matrix(job.fu)
+            key = job.key(delay_model)
+            if self.store is not None:
+                cached = self.store.get(key, list(job.conditions),
+                                        inputs=inputs)
+                if cached is not None:
+                    results[i] = cached
+                    self.stats.hits += 1
+                    continue
+            pending.append((i, job, key, inputs))
+
+        if pending:
+            payloads = [
+                (job.fu.netlist, inputs,
+                 job.library.delay_matrix(job.fu.netlist,
+                                          list(job.conditions)),
+                 self.backend_name)
+                for _, job, _, inputs in pending
+            ]
+            if self.n_workers > 1 and len(pending) > 1:
+                workers = min(self.n_workers, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    delay_mats = list(pool.map(_run_payload, payloads))
+            else:
+                delay_mats = [_run_payload(p) for p in payloads]
+            for (i, job, key, inputs), delays in zip(pending, delay_mats):
+                trace = DelayTrace(delays, list(job.conditions),
+                                   inputs=inputs)
+                if self.store is not None:
+                    self.store.put(key, trace, fu_name=job.fu.name,
+                                   stream_name=job.stream.name,
+                                   library=job.library,
+                                   delay_model=delay_model,
+                                   backend=self.backend_name)
+                results[i] = trace
+                self.stats.misses += 1
+        return results  # type: ignore[return-value]
+
+    def characterize(self, fu: FunctionalUnit, stream: OperandStream,
+                     conditions: Sequence[OperatingCondition],
+                     library: CellLibrary = DEFAULT_LIBRARY) -> DelayTrace:
+        """Single-job convenience wrapper over :meth:`run`."""
+        return self.run([CampaignJob(fu, stream, list(conditions),
+                                     library)])[0]
 
 
 def characterize(fu: FunctionalUnit, stream: OperandStream,
                  conditions: Sequence[OperatingCondition],
                  library: CellLibrary = DEFAULT_LIBRARY,
                  cache_dir: Optional[Path] = None,
-                 use_cache: bool = True) -> DelayTrace:
+                 use_cache: bool = True,
+                 backend: str = DEFAULT_BACKEND) -> DelayTrace:
     """Dynamic-delay characterization of one FU under one workload.
 
-    Returns a :class:`DelayTrace` with shape ``(n_conditions,
-    n_cycles)``; transparently cached on disk.
+    Compatibility shim over :class:`CampaignRunner` — returns a
+    :class:`DelayTrace` with shape ``(n_conditions, n_cycles)``,
+    transparently cached in the trace store under ``cache_dir``.
     """
-    conditions = list(conditions)
-    cache_path = None
-    if use_cache:
-        cache_root = Path(cache_dir) if cache_dir else default_cache_dir()
-        cache_root.mkdir(parents=True, exist_ok=True)
-        key = _campaign_key(fu, stream, conditions)
-        cache_path = cache_root / f"dta_{fu.name}_{stream.name}_{key}.npz"
-        if cache_path.exists():
-            data = np.load(cache_path)
-            return DelayTrace(data["delays"], conditions,
-                              inputs=stream.bit_matrix(fu))
-
-    sim = LevelizedSimulator(fu.netlist)
-    inputs = stream.bit_matrix(fu)
-    delay_matrix = library.delay_matrix(fu.netlist, conditions)
-    result = sim.run(inputs, delay_matrix)
-    trace = DelayTrace(result.delays, conditions, inputs=inputs)
-    if cache_path is not None:
-        np.savez_compressed(cache_path, delays=trace.delays)
-    return trace
+    runner = CampaignRunner(backend=backend, store=cache_dir,
+                            use_cache=use_cache)
+    return runner.characterize(fu, stream, conditions, library)
 
 
 def error_free_clocks(trace: DelayTrace) -> Dict[OperatingCondition, float]:

@@ -1,0 +1,164 @@
+"""Versioned on-disk store for characterization traces.
+
+Replaces the old flat-file ``.npz`` cache: a :class:`TraceStore` is a
+directory holding one ``manifest.json`` plus one compressed ``.npz``
+blob per trace.  Entries are keyed by a content hash covering
+everything that determines a DTA trace:
+
+* the netlist identity (FU name + structural stats),
+* the exact operand stream bytes,
+* the operating-corner list,
+* the **cell library** (per-cell timings + V/T scaling parameters) —
+  the old cache omitted this, so characterizing with a non-default
+  library silently returned stale delays, and
+* the backend's delay model (``"dta"`` vs ``"glitch"``): the DTA
+  engines agree bit-for-bit and share entries; the glitch-accurate
+  event engine must not.
+
+The manifest records per-entry metadata (shapes, library fingerprint,
+producing backend, creation time) and a store schema version so future
+layout changes can migrate or ignore old stores safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuits.functional_units import FunctionalUnit
+from ..sim.dta import DelayTrace
+from ..timing.cells import CellLibrary
+from ..timing.corners import OperatingCondition
+from ..workloads.streams import OperandStream
+
+#: Bump when the on-disk layout or key derivation changes.
+STORE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Default on-disk store location (override with REPRO_CACHE_DIR)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR",
+                               Path.home() / ".cache" / "repro-tevot"))
+
+
+def library_fingerprint(library: CellLibrary) -> str:
+    """Stable content hash of a cell library's timing model.
+
+    Covers every per-cell timing figure and the V/T scaling parameters
+    — two libraries with the same fingerprint produce identical delay
+    matrices for any netlist.
+    """
+    h = hashlib.sha256()
+    for gtype in sorted(library.timings, key=lambda g: g.value):
+        t = library.timings[gtype]
+        h.update(f"{gtype.value}:{t.intrinsic!r},{t.load!r},"
+                 f"{t.vth_offset!r};".encode())
+    h.update(repr(library.scaling).encode())
+    return h.hexdigest()[:16]
+
+
+def trace_key(fu: FunctionalUnit, stream: OperandStream,
+              conditions: Sequence[OperatingCondition],
+              library: CellLibrary,
+              delay_model: str = "dta") -> str:
+    """Content hash identifying one characterization trace."""
+    h = hashlib.sha256()
+    h.update(f"v{STORE_VERSION};".encode())
+    h.update(fu.name.encode())
+    h.update(str(fu.netlist.stats()).encode())
+    h.update(np.ascontiguousarray(stream.a).tobytes())
+    h.update(np.ascontiguousarray(stream.b).tobytes())
+    for c in conditions:
+        h.update(f"{c.voltage:.4f},{c.temperature:.2f};".encode())
+    h.update(library_fingerprint(library).encode())
+    h.update(delay_model.encode())
+    return h.hexdigest()[:24]
+
+
+class TraceStore:
+    """Manifest-backed store of delay traces under one root directory."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    # -- manifest -------------------------------------------------------------
+
+    def _read_manifest(self) -> Dict:
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {"store_version": STORE_VERSION, "entries": {}}
+        if manifest.get("store_version") != STORE_VERSION:
+            # incompatible layout: ignore rather than misread
+            return {"store_version": STORE_VERSION, "entries": {}}
+        return manifest
+
+    def _write_manifest(self, manifest: Dict) -> None:
+        # per-writer tmp name: concurrent writers may still lose one
+        # another's newest entry (last rename wins) but can never
+        # interleave bytes into a corrupt manifest, and a lost entry
+        # only degrades to the blob-glob fallback in get()
+        tmp = self.root / f".manifest.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=1, sort_keys=True)
+        tmp.replace(self.manifest_path)
+
+    def entries(self) -> Dict[str, Dict]:
+        """Key -> metadata for everything in the store."""
+        return dict(self._read_manifest()["entries"])
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._read_manifest()["entries"]
+
+    # -- traces ---------------------------------------------------------------
+
+    def get(self, key: str, conditions: Sequence[OperatingCondition],
+            inputs: Optional[np.ndarray] = None) -> Optional[DelayTrace]:
+        """Load the trace stored under ``key``, or None on a miss."""
+        entry = self._read_manifest()["entries"].get(key)
+        if entry is not None:
+            blob = self.root / entry["file"]
+        else:
+            # blob names embed the key, so a manifest entry lost to a
+            # concurrent writer still resolves instead of re-simulating
+            blob = next(iter(self.root.glob(f"dta_*_{key}.npz")), None)
+            if blob is None:
+                return None
+        try:
+            data = np.load(blob)
+        except (FileNotFoundError, OSError):
+            return None
+        return DelayTrace(data["delays"], list(conditions), inputs=inputs)
+
+    def put(self, key: str, trace: DelayTrace, *, fu_name: str,
+            stream_name: str, library: CellLibrary,
+            delay_model: str = "dta", backend: str = "") -> Path:
+        """Persist a trace and record it in the manifest."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fname = f"dta_{fu_name}_{stream_name}_{key}.npz"
+        np.savez_compressed(self.root / fname, delays=trace.delays)
+        manifest = self._read_manifest()
+        manifest["entries"][key] = {
+            "file": fname,
+            "fu": fu_name,
+            "stream": stream_name,
+            "n_conditions": int(trace.delays.shape[0]),
+            "n_cycles": int(trace.delays.shape[1]),
+            "library": library_fingerprint(library),
+            "delay_model": delay_model,
+            "backend": backend,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }
+        self._write_manifest(manifest)
+        return self.root / fname

@@ -1,5 +1,7 @@
-"""Simulation substrate: levelized + event-driven timing simulators, VCD, DTA."""
+"""Simulation substrate: pluggable engine layer over the levelized,
+event-driven, and bit-packed timing simulators, plus VCD and DTA."""
 
+from .bitpacked import BitPackedBackend, BitPackedSimulator
 from .dta import (
     DelayTrace,
     delays_via_vcd,
@@ -7,22 +9,37 @@ from .dta import (
     timing_error_labels,
     timing_error_rate,
 )
-from .eventsim import EventDrivenSimulator, EventTraceResult
-from .levelized import DelayTraceResult, LevelizedSimulator
+from .engine import (
+    DelayTraceResult,
+    SimBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .eventsim import EventBackend, EventDrivenSimulator, EventTraceResult
+from .levelized import LevelizedBackend, LevelizedSimulator
 from .vcd import VCDData, VCDWriter, delays_from_vcd, read_vcd
 
 __all__ = [
+    "BitPackedBackend",
+    "BitPackedSimulator",
     "DelayTrace",
     "DelayTraceResult",
+    "EventBackend",
     "EventDrivenSimulator",
     "EventTraceResult",
+    "LevelizedBackend",
     "LevelizedSimulator",
+    "SimBackend",
     "VCDData",
     "VCDWriter",
+    "available_backends",
     "delays_from_vcd",
     "delays_via_vcd",
     "dynamic_delay_trace",
+    "get_backend",
     "read_vcd",
+    "register_backend",
     "timing_error_labels",
     "timing_error_rate",
 ]

@@ -1,0 +1,275 @@
+"""Bit-packed logic-evaluation backend.
+
+The levelized engine spends a large share of every characterization
+pass on pure boolean work: settling each net's per-cycle value and
+deriving toggle masks.  This backend packs the cycle axis into
+``uint64`` words — cycle ``t`` lives at bit ``t % 64`` of word
+``t // 64`` — so a single bitwise instruction evaluates 64 cycles of a
+gate, cutting the memory traffic of value/toggle computation by 8x
+versus one-byte-per-cycle arrays.
+
+Delay propagation cannot be bit-packed (arrival times are floats), so
+:meth:`BitPackedSimulator.run` falls back to the exact arrival pass of
+:class:`repro.sim.levelized.LevelizedSimulator` — same masking, same
+operation order, same float32 arithmetic — which makes its delays
+**bit-identical** to the levelized engine's (asserted by the backend
+parity tests).  ``run_values`` stays packed end to end and only unpacks
+the primary outputs.
+
+Word layout invariants:
+
+* packing is little-endian within bytes and words, so on a
+  little-endian host ``np.unpackbits(words.view(np.uint8),
+  bitorder="little")`` recovers cycle order directly;
+* tail bits past the last row are unspecified (inverting gates flip
+  them); toggle words are therefore masked to the first ``n_cycles``
+  bits before any ``any()`` test or unpack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..circuits.netlist import Netlist
+from .engine import DelayTraceResult, SimBackend
+from .levelized import LevelizedSimulator
+from .logic import eval_gate_words
+
+NEG_INF = np.float32(-np.inf)
+_ONE = np.uint64(1)
+_SIXTY_THREE = np.uint64(63)
+
+
+def pack_columns(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(n_rows, n_cols)`` 0/1 matrix into per-column words.
+
+    Returns ``(n_cols, ceil(n_rows / 64))`` uint64 with row ``t`` of
+    column ``c`` at bit ``t % 64`` of ``out[c, t // 64]``.
+    """
+    cols = np.ascontiguousarray(np.asarray(matrix, dtype=np.uint8).T)
+    packed = np.packbits(cols, axis=1, bitorder="little")
+    pad = (-packed.shape[1]) % 8
+    if pad:
+        packed = np.pad(packed, ((0, 0), (0, pad)))
+    return packed.view(np.uint64)
+
+
+def unpack_words(words: np.ndarray, n: int) -> np.ndarray:
+    """First ``n`` bits of a packed word vector as a uint8 0/1 array."""
+    return np.unpackbits(np.ascontiguousarray(words).view(np.uint8),
+                         count=n, bitorder="little")
+
+
+def toggle_words(value_words: np.ndarray, n_cycles: int) -> np.ndarray:
+    """Packed toggle mask: bit ``t`` set iff rows ``t`` and ``t+1`` differ.
+
+    Only the first ``n_cycles`` bits are meaningful; the rest are
+    zeroed so ``any()`` tests and unpacks are exact.
+    """
+    shifted = value_words >> _ONE
+    if value_words.shape[0] > 1:
+        shifted[:-1] |= value_words[1:] << _SIXTY_THREE
+    tog = value_words ^ shifted
+    n_full, rem = divmod(n_cycles, 64)
+    if rem:
+        tog[n_full] &= np.uint64((1 << rem) - 1)
+        tog[n_full + 1:] = 0
+    else:
+        tog[n_full:] = 0
+    return tog
+
+
+class BitPackedSimulator:
+    """Bit-parallel simulator for one netlist.
+
+    Same public contract as :class:`LevelizedSimulator` (and the same
+    eager net-freeing discipline); only the boolean substrate differs.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self._last_use = LevelizedSimulator._compute_last_use(netlist)
+        self._po_set = frozenset(netlist.primary_outputs)
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, input_matrix: np.ndarray, gate_delays: np.ndarray,
+            collect_outputs: bool = False,
+            chunk_cycles: Optional[int] = None) -> DelayTraceResult:
+        """Simulate a stream of input vectors across corners.
+
+        Arguments and result shapes match
+        :meth:`LevelizedSimulator.run`; delays are bit-identical to it.
+        Chunk boundaries never affect results because each cycle's
+        arrival computation only reads input rows ``t`` and ``t+1``.
+        """
+        inputs = np.asarray(input_matrix, dtype=np.uint8)
+        if inputs.ndim != 2 or inputs.shape[1] != len(self.netlist.primary_inputs):
+            raise ValueError(
+                f"input matrix must be (rows, {len(self.netlist.primary_inputs)}), "
+                f"got {inputs.shape}"
+            )
+        if inputs.shape[0] < 2:
+            raise ValueError("need at least 2 input rows (initial state + 1 cycle)")
+
+        delays = np.asarray(gate_delays, dtype=np.float32)
+        if delays.ndim == 1:
+            delays = delays[None, :]
+        if delays.shape[1] != len(self.netlist.gates):
+            raise ValueError(
+                f"gate_delays must have {len(self.netlist.gates)} per-gate "
+                f"entries, got {delays.shape}"
+            )
+
+        n_cycles = inputs.shape[0] - 1
+        n_corners = delays.shape[0]
+        if chunk_cycles is None:
+            # arrival arrays dominate memory exactly as in the
+            # levelized engine, so size chunks the same way (rounded to
+            # whole words)
+            budget_elems = 16 * 1024 * 1024
+            width = max(64, self._live_width_estimate())
+            chunk_cycles = max(64, budget_elems // max(1, n_corners * width))
+        chunk_cycles = max(64, (chunk_cycles // 64) * 64)
+
+        out_delays = np.zeros((n_corners, n_cycles), dtype=np.float32)
+        out_values = (np.zeros((n_cycles, len(self.netlist.primary_outputs)),
+                               dtype=np.uint8) if collect_outputs else None)
+
+        start = 0
+        while start < n_cycles:
+            stop = min(start + chunk_cycles, n_cycles)
+            chunk = inputs[start:stop + 1]
+            d, vals = self._run_chunk(chunk, delays, collect_outputs)
+            out_delays[:, start:stop] = d
+            if collect_outputs:
+                out_values[start:stop] = vals
+            start = stop
+        return DelayTraceResult(out_delays, out_values)
+
+    def run_values(self, input_matrix: np.ndarray) -> np.ndarray:
+        """Settled output values only: ``(n_rows, n_outputs)`` uint8.
+
+        Fully bit-parallel — values stay packed through every gate and
+        only the primary outputs are unpacked.
+        """
+        inputs = np.asarray(input_matrix, dtype=np.uint8)
+        if inputs.ndim != 2 or inputs.shape[1] != len(self.netlist.primary_inputs):
+            raise ValueError("bad input matrix shape")
+        nl = self.netlist
+        n = inputs.shape[0]
+        n_words = (n + 63) // 64
+        last_use = self._last_use
+
+        values: List[Optional[np.ndarray]] = [None] * nl.n_nets
+        packed_pis = pack_columns(inputs)
+        for pos, net in enumerate(nl.primary_inputs):
+            values[net] = packed_pis[pos]
+        for idx, gate in enumerate(nl.gates):
+            values[gate.output] = eval_gate_words(
+                gate.gtype, [values[i] for i in gate.inputs], n_words)
+            for i in gate.inputs:
+                if last_use[i] == idx and i not in self._po_set:
+                    values[i] = None
+        return np.stack(
+            [unpack_words(values[o], n) for o in nl.primary_outputs], axis=1)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _live_width_estimate(self) -> int:
+        return LevelizedSimulator._live_width_estimate(self)  # type: ignore[arg-type]
+
+    def _run_chunk(self, inputs: np.ndarray, delays: np.ndarray,
+                   collect_outputs: bool):
+        """Simulate one chunk: ``inputs`` has n_cycles+1 rows.
+
+        Values and toggle masks are computed on packed words; the
+        arrival pass reproduces the levelized engine's float pipeline
+        operation for operation.
+        """
+        nl = self.netlist
+        n_rows = inputs.shape[0]
+        n_cycles = n_rows - 1
+        n_corners = delays.shape[0]
+        n_words = (n_rows + 63) // 64
+        last_use = self._last_use
+
+        values: List[Optional[np.ndarray]] = [None] * nl.n_nets   # packed words
+        toggles: List[Optional[np.ndarray]] = [None] * nl.n_nets  # (n_cycles,) bool
+        arrival: List[Optional[np.ndarray]] = [None] * nl.n_nets
+
+        zero_arr = np.zeros(n_cycles, dtype=np.float32)
+        no_toggles = np.zeros(n_cycles, dtype=bool)
+        packed_pis = pack_columns(inputs)
+        for pos, net in enumerate(nl.primary_inputs):
+            vw = packed_pis[pos]
+            tog = unpack_words(toggle_words(vw, n_cycles),
+                               n_cycles).astype(bool)
+            values[net] = vw
+            toggles[net] = tog
+            arrival[net] = np.where(tog, zero_arr, NEG_INF).astype(np.float32)
+
+        for idx, gate in enumerate(nl.gates):
+            ins = gate.inputs
+            out_words = eval_gate_words(
+                gate.gtype, [values[i] for i in ins], n_words)
+            tog_words = toggle_words(out_words, n_cycles)
+
+            if ins and tog_words.any():
+                out_tog = unpack_words(tog_words, n_cycles).astype(bool)
+                cand = None
+                for i in ins:
+                    masked = np.where(toggles[i], arrival[i], NEG_INF)
+                    cand = masked if cand is None else np.maximum(cand, masked)
+                arr = cand + delays[:, idx][:, None]
+                arr = np.where(out_tog, arr, NEG_INF).astype(np.float32)
+            else:
+                out_tog = no_toggles
+                arr = np.full(n_cycles, NEG_INF, dtype=np.float32)
+
+            values[gate.output] = out_words
+            toggles[gate.output] = out_tog
+            arrival[gate.output] = arr
+
+            for i in ins:
+                if last_use[i] == idx and i not in self._po_set:
+                    values[i] = None
+                    toggles[i] = None
+                    arrival[i] = None
+
+        worst = None
+        for po in nl.primary_outputs:
+            arr = arrival[po]
+            if arr.ndim == 1:
+                arr = np.broadcast_to(arr, (n_corners, n_cycles))
+            worst = arr if worst is None else np.maximum(worst, arr)
+        worst = np.maximum(worst, 0.0)
+
+        out_vals = None
+        if collect_outputs:
+            out_vals = np.stack(
+                [unpack_words(values[o], n_rows)[1:]
+                 for o in nl.primary_outputs], axis=1)
+        return worst, out_vals
+
+
+class BitPackedBackend(SimBackend):
+    """:class:`BitPackedSimulator` behind the engine protocol."""
+
+    name = "bitpacked"
+    supports_multi_corner = True
+    models_glitches = False
+
+    def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
+                   gate_delays: np.ndarray,
+                   collect_outputs: bool = False) -> DelayTraceResult:
+        sim = BitPackedSimulator(netlist)
+        return sim.run(input_matrix, gate_delays,
+                       collect_outputs=collect_outputs)
+
+    def run_values(self, netlist: Netlist,
+                   input_matrix: np.ndarray) -> np.ndarray:
+        return BitPackedSimulator(netlist).run_values(input_matrix)

@@ -18,8 +18,8 @@ import numpy as np
 from ..circuits.netlist import Netlist
 from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
 from ..timing.corners import OperatingCondition
+from .engine import get_backend
 from .eventsim import EventDrivenSimulator
-from .levelized import LevelizedSimulator
 from .vcd import delays_from_vcd, read_vcd
 
 
@@ -97,27 +97,23 @@ def dynamic_delay_trace(netlist: Netlist,
         One condition or a sequence (levelized engine vectorizes over
         them; the event engine loops).
     engine:
-        ``"levelized"`` (fast, graph-based DTA) or ``"event"``
-        (glitch-accurate reference; supports ``vcd_path``).
+        Any name registered with the simulation-engine layer
+        (``"levelized"``, ``"bitpacked"``, ``"event"``, ...); only the
+        event engine supports ``vcd_path``.
     """
     single = isinstance(conditions, OperatingCondition)
     condition_list = [conditions] if single else list(conditions)
     if not condition_list:
         raise ValueError("need at least one operating condition")
 
-    if engine == "levelized":
-        sim = LevelizedSimulator(netlist)
-        delay_matrix = library.delay_matrix(netlist, condition_list)
-        result = sim.run(input_matrix, delay_matrix)
-        return DelayTrace(result.delays, condition_list, input_matrix)
-    if engine == "event":
+    if engine == "event" and vcd_path is not None:
         rows = []
         for k, condition in enumerate(condition_list):
             delays = library.gate_delays(netlist, condition)
             sim = EventDrivenSimulator(netlist, delays)
             path = None
             clock = None
-            if vcd_path is not None and k == 0:
+            if k == 0:
                 path = vcd_path
                 # generous clock so windows never overlap in the dump
                 from ..timing.sta import static_delay
@@ -127,7 +123,12 @@ def dynamic_delay_trace(netlist: Netlist,
                                 clock_period=clock)
             rows.append(res.delays.astype(np.float32))
         return DelayTrace(np.stack(rows), condition_list, input_matrix)
-    raise ValueError(f"unknown engine {engine!r}; use 'levelized' or 'event'")
+    if vcd_path is not None:
+        raise ValueError(f"engine {engine!r} does not support vcd_path")
+    backend = get_backend(engine)
+    delay_matrix = library.delay_matrix(netlist, condition_list)
+    result = backend.run_delays(netlist, input_matrix, delay_matrix)
+    return DelayTrace(result.delays, condition_list, input_matrix)
 
 
 def delays_via_vcd(netlist: Netlist, input_matrix: np.ndarray,

@@ -1,0 +1,185 @@
+"""Pluggable simulation-engine layer.
+
+Every consumer of gate-level simulation — the DTA campaigns, the CLI,
+the benches — talks to a :class:`SimBackend` instead of instantiating a
+simulator class directly.  A backend knows how to produce the two
+quantities the pipeline needs from a netlist and an input stream:
+
+* ``run_delays`` — per-cycle dynamic delays across operating corners
+  (the paper's ground-truth labels), and
+* ``run_values`` — settled primary-output values per cycle (used for
+  functional verification and toggle statistics).
+
+Backends are looked up by name through :func:`get_backend`; the three
+built-ins are
+
+``levelized``
+    The vectorized graph-based DTA engine (:mod:`repro.sim.levelized`).
+``event``
+    The glitch-accurate event-driven reference
+    (:mod:`repro.sim.eventsim`) — orders of magnitude slower, models
+    glitch pulses, so its delays are *not* interchangeable with the DTA
+    engines (see :attr:`SimBackend.models_glitches`).
+``bitpacked``
+    Bit-parallel logic evaluation (:mod:`repro.sim.bitpacked`): the
+    cycle axis is packed into ``uint64`` words so one bitwise op
+    evaluates 64 cycles; delay propagation reuses the levelized
+    arrival pass and is bit-identical to ``levelized``.
+
+Built-in registrations map names to ``"module:Class"`` strings
+resolved on first :func:`get_backend`: backend modules import this one
+for :class:`SimBackend` and :class:`DelayTraceResult`, so the registry
+must not import them at module level (and standalone
+:mod:`repro.sim.engine` users don't pay for backends they never
+request — though importing the :mod:`repro.sim` package re-exports
+every built-in eagerly).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from importlib import import_module
+from typing import Dict, Optional, Tuple, Type, Union
+
+import numpy as np
+
+from ..circuits.netlist import Netlist
+
+
+@dataclass
+class DelayTraceResult:
+    """Result of a multi-corner delay simulation.
+
+    Attributes
+    ----------
+    delays:
+        ``(n_corners, n_cycles)`` float32 — dynamic delay per cycle (ps);
+        0 where no primary output toggled.  Always 2-D: 1-D
+        ``gate_delays`` inputs are treated as a single corner.
+    outputs:
+        ``(n_cycles, n_outputs)`` uint8 — settled output values per
+        cycle (cycle ``t`` corresponds to input row ``t+1``).
+    """
+
+    delays: np.ndarray
+    outputs: Optional[np.ndarray] = None
+
+    @property
+    def n_cycles(self) -> int:
+        return self.delays.shape[1]
+
+    @property
+    def n_corners(self) -> int:
+        return self.delays.shape[0]
+
+
+class SimBackend(abc.ABC):
+    """One way of simulating a combinational netlist.
+
+    Concrete backends are stateless: per-netlist precomputation happens
+    inside each call, so a single backend instance can be shared freely
+    (the registry hands out singletons).
+    """
+
+    #: Registry key.
+    name: str = ""
+    #: ``run_delays`` vectorizes over an ``(n_corners, n_gates)`` delay
+    #: matrix in one pass (as opposed to looping corner by corner).
+    supports_multi_corner: bool = False
+    #: Models glitch pulses on nets whose settled value does not change.
+    #: Glitch-aware delays are systematically >= DTA delays, so traces
+    #: from glitch backends must never share a cache entry with DTA
+    #: traces (see :attr:`delay_model`).
+    models_glitches: bool = False
+
+    @property
+    def delay_model(self) -> str:
+        """Equivalence class of the delays this backend produces.
+
+        Backends with the same ``delay_model`` are interchangeable for
+        characterization caching: ``"dta"`` engines agree bit-for-bit,
+        ``"glitch"`` engines see extra transitions.
+        """
+        return "glitch" if self.models_glitches else "dta"
+
+    @abc.abstractmethod
+    def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
+                   gate_delays: np.ndarray,
+                   collect_outputs: bool = False) -> DelayTraceResult:
+        """Per-cycle dynamic delays for an input stream.
+
+        Parameters
+        ----------
+        netlist:
+            Combinational core to simulate.
+        input_matrix:
+            ``(n_cycles + 1, n_inputs)`` uint8; row 0 is the initial
+            state.
+        gate_delays:
+            ``(n_gates,)`` for one corner or ``(n_corners, n_gates)``;
+            picoseconds per gate.  Backends that do not support
+            multi-corner vectorization loop over the corner axis.
+        collect_outputs:
+            Also return settled output values per cycle.
+        """
+
+    @abc.abstractmethod
+    def run_values(self, netlist: Netlist,
+                   input_matrix: np.ndarray) -> np.ndarray:
+        """Settled output values only: ``(n_rows, n_outputs)`` uint8."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<{type(self).__name__} name={self.name!r} "
+                f"multi_corner={self.supports_multi_corner} "
+                f"glitches={self.models_glitches}>")
+
+
+#: name -> "module:Class" (lazy) or SimBackend subclass (eager).
+_REGISTRY: Dict[str, Union[str, Type[SimBackend]]] = {
+    "levelized": "repro.sim.levelized:LevelizedBackend",
+    "event": "repro.sim.eventsim:EventBackend",
+    "bitpacked": "repro.sim.bitpacked:BitPackedBackend",
+}
+_INSTANCES: Dict[str, SimBackend] = {}
+
+
+def register_backend(name: str,
+                     target: Union[str, Type[SimBackend]]) -> None:
+    """Register a backend under ``name``.
+
+    ``target`` is either a :class:`SimBackend` subclass or a lazy
+    ``"module:Class"`` string resolved on first :func:`get_backend`.
+    Re-registering a name replaces it (and drops any cached instance).
+    """
+    _REGISTRY[name] = target
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> SimBackend:
+    """Resolve a backend by name (cached singleton instances)."""
+    try:
+        return _INSTANCES[name]
+    except KeyError:
+        pass
+    try:
+        target = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sim backend {name!r}; "
+            f"available: {', '.join(available_backends())}") from None
+    if isinstance(target, str):
+        module_name, _, class_name = target.partition(":")
+        target = getattr(import_module(module_name), class_name)
+    backend = target()
+    if backend.name != name:
+        raise ValueError(
+            f"backend class {type(backend).__name__} declares name "
+            f"{backend.name!r} but is registered as {name!r}")
+    _INSTANCES[name] = backend
+    return backend

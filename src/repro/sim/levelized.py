@@ -30,41 +30,15 @@ last structural use and by chunking the cycle axis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
 from ..circuits.netlist import Netlist
+from .engine import DelayTraceResult, SimBackend
 from .logic import eval_gate_array
 
 NEG_INF = np.float32(-np.inf)
-
-
-@dataclass
-class DelayTraceResult:
-    """Result of a multi-corner delay simulation.
-
-    Attributes
-    ----------
-    delays:
-        ``(n_corners, n_cycles)`` float32 — dynamic delay per cycle (ps);
-        0 where no primary output toggled.
-    outputs:
-        ``(n_cycles, n_outputs)`` uint8 — settled output values per
-        cycle (cycle ``t`` corresponds to input row ``t+1``).
-    """
-
-    delays: np.ndarray
-    outputs: Optional[np.ndarray] = None
-
-    @property
-    def n_cycles(self) -> int:
-        return self.delays.shape[1]
-
-    @property
-    def n_corners(self) -> int:
-        return self.delays.shape[0]
 
 
 class LevelizedSimulator:
@@ -107,7 +81,10 @@ class LevelizedSimulator:
             ``n_cycles = n_rows - 1``.
         gate_delays:
             ``(n_gates,)`` for a single corner or ``(n_corners,
-            n_gates)``; picoseconds per gate.
+            n_gates)``; picoseconds per gate.  The result's ``delays``
+            are always ``(n_corners, n_cycles)`` — a 1-D input is
+            treated as one corner and yields a ``(1, n_cycles)`` array
+            (callers index ``result.delays[0]``; nothing is squeezed).
         collect_outputs:
             Also return settled output values per cycle.
         chunk_cycles:
@@ -123,8 +100,7 @@ class LevelizedSimulator:
             raise ValueError("need at least 2 input rows (initial state + 1 cycle)")
 
         delays = np.asarray(gate_delays, dtype=np.float32)
-        squeeze = delays.ndim == 1
-        if squeeze:
+        if delays.ndim == 1:
             delays = delays[None, :]
         if delays.shape[1] != len(self.netlist.gates):
             raise ValueError(
@@ -153,8 +129,6 @@ class LevelizedSimulator:
                 out_values[start:stop] = vals
             start = stop
 
-        if squeeze:
-            return DelayTraceResult(out_delays, out_values)
         return DelayTraceResult(out_delays, out_values)
 
     def run_values(self, input_matrix: np.ndarray) -> np.ndarray:
@@ -255,3 +229,22 @@ class LevelizedSimulator:
             out_vals = np.stack(
                 [values[o][1:] for o in nl.primary_outputs], axis=1)
         return worst, out_vals
+
+
+class LevelizedBackend(SimBackend):
+    """:class:`LevelizedSimulator` behind the engine protocol."""
+
+    name = "levelized"
+    supports_multi_corner = True
+    models_glitches = False
+
+    def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
+                   gate_delays: np.ndarray,
+                   collect_outputs: bool = False) -> DelayTraceResult:
+        sim = LevelizedSimulator(netlist)
+        return sim.run(input_matrix, gate_delays,
+                       collect_outputs=collect_outputs)
+
+    def run_values(self, netlist: Netlist,
+                   input_matrix: np.ndarray) -> np.ndarray:
+        return LevelizedSimulator(netlist).run_values(input_matrix)

@@ -1,0 +1,183 @@
+"""Tests for the campaign runner and the versioned trace store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_functional_unit
+from repro.flow import (
+    CampaignJob,
+    CampaignRunner,
+    TraceStore,
+    characterize,
+    library_fingerprint,
+    trace_key,
+)
+from repro.timing import DEFAULT_LIBRARY, OperatingCondition
+from repro.timing.cells import CellLibrary, CellTiming
+from repro.workloads import random_stream
+
+CONDS = [OperatingCondition(0.81, 0.0), OperatingCondition(1.00, 100.0)]
+
+
+def _slow_library() -> CellLibrary:
+    """A library with every intrinsic delay doubled."""
+    timings = {
+        gtype: CellTiming(t.intrinsic * 2.0, t.load, t.vth_offset)
+        for gtype, t in DEFAULT_LIBRARY.timings.items()
+    }
+    return CellLibrary(timings=timings)
+
+
+class TestTraceKey:
+    def test_library_changes_key(self):
+        # regression: the old cache hash omitted the CellLibrary, so a
+        # non-default library silently reused default-library delays
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(20, operand_width=8, seed=0)
+        k_default = trace_key(fu, stream, CONDS, DEFAULT_LIBRARY)
+        k_slow = trace_key(fu, stream, CONDS, _slow_library())
+        assert k_default != k_slow
+
+    def test_delay_model_changes_key(self):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(20, operand_width=8, seed=0)
+        assert (trace_key(fu, stream, CONDS, DEFAULT_LIBRARY, "dta")
+                != trace_key(fu, stream, CONDS, DEFAULT_LIBRARY, "glitch"))
+
+    def test_fingerprint_stable_and_sensitive(self):
+        assert (library_fingerprint(DEFAULT_LIBRARY)
+                == library_fingerprint(CellLibrary()))
+        assert (library_fingerprint(DEFAULT_LIBRARY)
+                != library_fingerprint(_slow_library()))
+
+
+class TestLibraryCacheRegression:
+    def test_non_default_library_not_served_stale(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(30, operand_width=8, seed=1)
+        base = characterize(fu, stream, CONDS, cache_dir=tmp_path)
+        slow = characterize(fu, stream, CONDS, library=_slow_library(),
+                            cache_dir=tmp_path)
+        # doubled intrinsics must show up: strictly slower worst delay
+        assert slow.delays.max() > base.delays.max()
+        # and both entries coexist in the store
+        assert len(TraceStore(tmp_path).entries()) == 2
+
+
+class TestTraceStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(25, operand_width=8, seed=2)
+        store = TraceStore(tmp_path)
+        key = trace_key(fu, stream, CONDS, DEFAULT_LIBRARY)
+        assert store.get(key, CONDS) is None
+        trace = characterize(fu, stream, CONDS, use_cache=False)
+        store.put(key, trace, fu_name=fu.name, stream_name=stream.name,
+                  library=DEFAULT_LIBRARY, backend="bitpacked")
+        assert key in store
+        loaded = store.get(key, CONDS)
+        np.testing.assert_array_equal(loaded.delays, trace.delays)
+
+    def test_manifest_records_metadata(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(25, operand_width=8, seed=3)
+        characterize(fu, stream, CONDS, cache_dir=tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        (entry,) = manifest["entries"].values()
+        assert entry["fu"] == "int_add"
+        assert entry["n_conditions"] == 2
+        assert entry["n_cycles"] == 25
+        assert entry["delay_model"] == "dta"
+        assert entry["library"] == library_fingerprint(DEFAULT_LIBRARY)
+
+    def test_incompatible_store_version_ignored(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"store_version": 999, "entries": {"k": {}}}))
+        assert TraceStore(tmp_path).entries() == {}
+
+    def test_lost_manifest_entry_recovers_via_blob(self, tmp_path):
+        # key-embedding blob names make the store self-healing when a
+        # concurrent writer clobbers the manifest
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(25, operand_width=8, seed=12)
+        first = characterize(fu, stream, CONDS, cache_dir=tmp_path)
+        (tmp_path / "manifest.json").unlink()
+        key = trace_key(fu, stream, CONDS, DEFAULT_LIBRARY)
+        recovered = TraceStore(tmp_path).get(key, CONDS)
+        np.testing.assert_array_equal(recovered.delays, first.delays)
+
+    def test_missing_blob_is_a_miss(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(25, operand_width=8, seed=4)
+        characterize(fu, stream, CONDS, cache_dir=tmp_path)
+        for blob in tmp_path.glob("dta_*.npz"):
+            blob.unlink()
+        key = trace_key(fu, stream, CONDS, DEFAULT_LIBRARY)
+        assert TraceStore(tmp_path).get(key, CONDS) is None
+
+
+class TestCampaignRunner:
+    def _jobs(self, n_cycles=40):
+        jobs = []
+        for name, width, seed in (("int_add", 8, 5), ("int_add", 8, 6),
+                                  ("int_mul", 4, 7)):
+            fu = build_functional_unit(name, width=width)
+            stream = random_stream(n_cycles, operand_width=width, seed=seed)
+            stream.name = f"par_{name}_{seed}"
+            jobs.append(CampaignJob(fu, stream, CONDS))
+        return jobs
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = CampaignRunner(n_workers=1,
+                                store=tmp_path / "serial").run(self._jobs())
+        parallel = CampaignRunner(n_workers=2,
+                                  store=tmp_path / "par").run(self._jobs())
+        assert len(serial) == len(parallel) == 3
+        for s, p in zip(serial, parallel):
+            np.testing.assert_array_equal(s.delays, p.delays)
+
+    def test_cache_hits_reported(self, tmp_path):
+        runner = CampaignRunner(store=tmp_path)
+        jobs = self._jobs()
+        runner.run(jobs)
+        assert (runner.stats.hits, runner.stats.misses) == (0, 3)
+        runner.run(jobs)
+        assert (runner.stats.hits, runner.stats.misses) == (3, 0)
+
+    def test_results_aligned_with_jobs(self, tmp_path):
+        jobs = self._jobs()
+        runner = CampaignRunner(store=tmp_path)
+        first = runner.run(jobs)
+        # a second run mixing cached and fresh jobs keeps order
+        fu = build_functional_unit("int_add", width=8)
+        fresh_stream = random_stream(40, operand_width=8, seed=99)
+        fresh_stream.name = "par_fresh"
+        mixed = [jobs[1], CampaignJob(fu, fresh_stream, CONDS), jobs[0]]
+        out = runner.run(mixed)
+        np.testing.assert_array_equal(out[0].delays, first[1].delays)
+        np.testing.assert_array_equal(out[2].delays, first[0].delays)
+
+    def test_backends_share_dta_cache_but_not_event(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(20, operand_width=8, seed=8)
+        job = [CampaignJob(fu, stream, CONDS[:1])]
+        store = TraceStore(tmp_path)
+        CampaignRunner(backend="levelized", store=store).run(job)
+        bp = CampaignRunner(backend="bitpacked", store=store)
+        bp.run(job)
+        assert bp.stats.hits == 1  # dta engines interchangeable
+        ev = CampaignRunner(backend="event", store=store)
+        ev.run(job)
+        assert ev.stats.misses == 1  # glitch model never shares
+
+    def test_no_cache_runner_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runner = CampaignRunner(use_cache=False)
+        runner.run(self._jobs())
+        assert list(tmp_path.iterdir()) == []
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(n_workers=0)

@@ -1,0 +1,190 @@
+"""Tests for the pluggable simulation-engine layer.
+
+Covers the registry/capability surface, the bit-packing primitives,
+and — the load-bearing guarantee — backend parity: all engines agree
+on settled output values, and the DTA engines (levelized, bitpacked)
+produce bit-identical delays for every paper FU.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import PAPER_UNITS, build_functional_unit
+from repro.sim import (
+    BitPackedBackend,
+    DelayTraceResult,
+    LevelizedSimulator,
+    SimBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.sim.bitpacked import (
+    BitPackedSimulator,
+    pack_columns,
+    toggle_words,
+    unpack_words,
+)
+from repro.timing import DEFAULT_LIBRARY, OperatingCondition
+from repro.workloads import stream_for_unit
+
+CONDS = [OperatingCondition(0.81, 0.0), OperatingCondition(1.00, 100.0)]
+
+
+def _fu_inputs(fu_name, n_cycles, seed=0, **fu_kwargs):
+    fu = build_functional_unit(fu_name, **fu_kwargs)
+    stream = stream_for_unit(fu_name, n_cycles, seed=seed)
+    return fu, stream.bit_matrix(fu)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"levelized", "event", "bitpacked"} <= set(
+            available_backends())
+
+    def test_get_backend_returns_singleton(self):
+        assert get_backend("bitpacked") is get_backend("bitpacked")
+
+    def test_unknown_backend_raises_with_listing(self):
+        with pytest.raises(ValueError, match="bitpacked"):
+            get_backend("modelsim")
+
+    def test_capability_flags(self):
+        lev = get_backend("levelized")
+        bp = get_backend("bitpacked")
+        ev = get_backend("event")
+        assert lev.supports_multi_corner and bp.supports_multi_corner
+        assert not ev.supports_multi_corner
+        assert ev.models_glitches
+        assert not lev.models_glitches and not bp.models_glitches
+        assert lev.delay_model == bp.delay_model == "dta"
+        assert ev.delay_model == "glitch"
+
+    def test_register_custom_backend(self):
+        class DummyBackend(SimBackend):
+            name = "dummy"
+
+            def run_delays(self, netlist, input_matrix, gate_delays,
+                           collect_outputs=False):
+                return DelayTraceResult(np.zeros((1, 1), np.float32))
+
+            def run_values(self, netlist, input_matrix):
+                return np.zeros((1, 1), np.uint8)
+
+        register_backend("dummy", DummyBackend)
+        try:
+            assert isinstance(get_backend("dummy"), DummyBackend)
+            assert "dummy" in available_backends()
+        finally:
+            import repro.sim.engine as engine
+            engine._REGISTRY.pop("dummy", None)
+            engine._INSTANCES.pop("dummy", None)
+
+    def test_registered_name_must_match_class(self):
+        class Misnamed(SimBackend):
+            name = "other"
+
+            def run_delays(self, *a, **k):  # pragma: no cover
+                raise NotImplementedError
+
+            def run_values(self, *a, **k):  # pragma: no cover
+                raise NotImplementedError
+
+        register_backend("wrong", Misnamed)
+        try:
+            with pytest.raises(ValueError, match="declares name"):
+                get_backend("wrong")
+        finally:
+            import repro.sim.engine as engine
+            engine._REGISTRY.pop("wrong", None)
+
+
+class TestBitPackingPrimitives:
+    def test_pack_unpack_roundtrip(self):
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 2, (130, 5), dtype=np.uint8)
+        packed = pack_columns(m)
+        assert packed.shape == (5, 3)  # ceil(130/64) words per column
+        for c in range(5):
+            np.testing.assert_array_equal(
+                unpack_words(packed[c], 130), m[:, c])
+
+    def test_toggle_words_match_elementwise(self):
+        rng = np.random.default_rng(1)
+        col = rng.integers(0, 2, 200, dtype=np.uint8)
+        words = pack_columns(col[:, None])[0]
+        tog = unpack_words(toggle_words(words, 199), 199)
+        np.testing.assert_array_equal(tog, (col[1:] != col[:-1]))
+
+    def test_toggle_words_mask_tail(self):
+        # all-ones column: no toggles anywhere, including the tail word
+        words = pack_columns(np.ones((70, 1), np.uint8))[0]
+        assert not toggle_words(words, 69).any()
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("fu_name", PAPER_UNITS)
+    def test_settled_values_agree_across_all_backends(self, fu_name):
+        fu, inputs = _fu_inputs(fu_name, 10, seed=5)
+        reference = get_backend("levelized").run_values(fu.netlist, inputs)
+        for name in ("bitpacked", "event"):
+            got = get_backend(name).run_values(fu.netlist, inputs)
+            np.testing.assert_array_equal(got, reference, err_msg=name)
+
+    @pytest.mark.parametrize("fu_name", PAPER_UNITS)
+    def test_bitpacked_delays_bit_identical_to_levelized(self, fu_name):
+        # 130 cycles: spans three 64-cycle words with a ragged tail
+        fu, inputs = _fu_inputs(fu_name, 130, seed=6)
+        dm = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
+        lev = get_backend("levelized").run_delays(
+            fu.netlist, inputs, dm, collect_outputs=True)
+        bp = get_backend("bitpacked").run_delays(
+            fu.netlist, inputs, dm, collect_outputs=True)
+        np.testing.assert_array_equal(lev.delays, bp.delays)
+        np.testing.assert_array_equal(lev.outputs, bp.outputs)
+
+    def test_event_values_on_wide_unit(self):
+        fu, inputs = _fu_inputs("int_add", 15, seed=7, width=8)
+        ref = get_backend("levelized").run_values(fu.netlist, inputs)
+        got = get_backend("event").run_values(fu.netlist, inputs)
+        np.testing.assert_array_equal(got, ref)
+
+
+class TestBitPackedSimulator:
+    def test_chunking_does_not_change_results(self):
+        fu, inputs = _fu_inputs("int_add", 200, seed=8, width=8)
+        dm = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
+        sim = BitPackedSimulator(fu.netlist)
+        whole = sim.run(inputs, dm)
+        chunked = sim.run(inputs, dm, chunk_cycles=64)
+        np.testing.assert_array_equal(whole.delays, chunked.delays)
+
+    def test_one_dim_delays_yield_single_corner(self):
+        fu, inputs = _fu_inputs("int_add", 20, seed=9, width=8)
+        delays = DEFAULT_LIBRARY.gate_delays(fu.netlist, CONDS[0])
+        res = BitPackedBackend().run_delays(fu.netlist, inputs, delays)
+        assert res.delays.shape == (1, 20)
+
+    def test_run_values_matches_reference_model(self):
+        fu, inputs = _fu_inputs("int_add", 40, seed=10, width=8)
+        vals = BitPackedSimulator(fu.netlist).run_values(inputs)
+        ref = LevelizedSimulator(fu.netlist).run_values(inputs)
+        np.testing.assert_array_equal(vals, ref)
+
+    def test_input_validation(self):
+        fu = build_functional_unit("int_add", width=8)
+        sim = BitPackedSimulator(fu.netlist)
+        with pytest.raises(ValueError):
+            sim.run(np.zeros((5, 3), np.uint8), np.zeros(161))
+        with pytest.raises(ValueError):
+            sim.run_values(np.zeros((5, 3), np.uint8))
+
+
+class TestLevelizedResultShape:
+    def test_one_dim_delays_not_squeezed(self):
+        # documented invariant: delays are always (n_corners, n_cycles)
+        fu, inputs = _fu_inputs("int_add", 12, seed=11, width=8)
+        delays = DEFAULT_LIBRARY.gate_delays(fu.netlist, CONDS[0])
+        res = LevelizedSimulator(fu.netlist).run(inputs, delays)
+        assert res.delays.shape == (1, 12)
+        assert res.n_corners == 1
