@@ -28,7 +28,7 @@ import pytest
 from repro.apps import app_stream, image_corpus, split_corpus
 from repro.circuits import build_functional_unit
 from repro.core.pipeline import train_models
-from repro.flow import DEFAULT_BACKEND, CampaignRunner, characterize
+from repro.flow import DEFAULT_BACKEND, CampaignRunner
 from repro.timing import fig3_corner_subset, paper_corner_grid
 from repro.workloads import OperandStream, stream_for_unit
 

@@ -15,7 +15,6 @@ from repro.circuits.multipliers import (
     MULTIPLIER_ARCHITECTURES,
     build_int_multiplier,
 )
-from repro.flow import characterize
 from repro.circuits.functional_units import FunctionalUnit
 from repro.circuits import refmodels
 from repro.timing import OperatingCondition, static_delay
@@ -24,7 +23,7 @@ from repro.workloads import random_stream
 COND = OperatingCondition(1.00, 25.0)
 
 
-def _adder_rows():
+def _adder_rows(runner):
     rows = []
     stream = random_stream(min(bench_cycles(), 800), seed=40)
     for arch in sorted(ADDER_ARCHITECTURES):
@@ -33,14 +32,14 @@ def _adder_rows():
             name="int_add", netlist=nl, operand_width=32, result_width=32,
             reference=lambda a, b: refmodels.int_add_ref(a, b, 32)[0])
         static = static_delay(nl, COND)
-        trace = characterize(fu, stream, [COND])
+        trace = runner.characterize(fu, stream, [COND])
         dynamic = float(trace.delays.mean())
         rows.append([arch, nl.n_gates, nl.depth(), f"{static:.0f}",
                      f"{dynamic:.0f}", f"{dynamic / static:.2f}"])
     return rows
 
 
-def _multiplier_rows():
+def _multiplier_rows(runner):
     rows = []
     stream = random_stream(min(bench_cycles(), 500), seed=41)
     for arch in sorted(MULTIPLIER_ARCHITECTURES):
@@ -49,7 +48,7 @@ def _multiplier_rows():
             name="int_mul", netlist=nl, operand_width=32, result_width=32,
             reference=lambda a, b: refmodels.int_mul_ref(a, b, 32))
         static = static_delay(nl, COND)
-        trace = characterize(fu, stream, [COND])
+        trace = runner.characterize(fu, stream, [COND])
         dynamic = float(trace.delays.mean())
         rows.append([arch, nl.n_gates, nl.depth(), f"{static:.0f}",
                      f"{dynamic:.0f}", f"{dynamic / static:.2f}"])
@@ -61,8 +60,9 @@ HEADERS = ["arch", "gates", "depth", "static ps", "avg dynamic ps",
 
 
 @pytest.mark.benchmark(group="ablation-arch")
-def test_adder_architectures(benchmark):
-    rows = benchmark.pedantic(_adder_rows, rounds=1, iterations=1)
+def test_adder_architectures(benchmark, campaign_runner):
+    rows = benchmark.pedantic(_adder_rows, args=(campaign_runner,),
+                              rounds=1, iterations=1)
     record_report("Ablation - 32-bit adder architectures",
                   format_table(HEADERS, rows))
     by_arch = {r[0]: r for r in rows}
@@ -75,8 +75,9 @@ def test_adder_architectures(benchmark):
 
 
 @pytest.mark.benchmark(group="ablation-arch")
-def test_multiplier_architectures(benchmark):
-    rows = benchmark.pedantic(_multiplier_rows, rounds=1, iterations=1)
+def test_multiplier_architectures(benchmark, campaign_runner):
+    rows = benchmark.pedantic(_multiplier_rows, args=(campaign_runner,),
+                              rounds=1, iterations=1)
     record_report("Ablation - 32-bit multiplier architectures",
                   format_table(HEADERS, rows))
     by_arch = {r[0]: r for r in rows}

@@ -16,7 +16,6 @@ import pytest
 
 from conftest import format_table, record_report
 from repro.core.features import build_feature_matrix
-from repro.flow import characterize
 from repro.ml import mean_absolute_error
 from repro.sim.levelized import LevelizedSimulator
 from repro.timing import DEFAULT_LIBRARY, OperatingCondition
@@ -68,11 +67,12 @@ def test_history_determines_delay(benchmark, trained_models):
 @pytest.mark.parametrize("fu_name", ["int_mul", "fp_mul"])
 def test_history_improves_app_delay_prediction(benchmark, fu_name,
                                                trained_models, datasets,
-                                               conditions):
+                                               conditions, campaign_runner):
     def run():
         bundle = trained_models(fu_name)
         stream = datasets(fu_name)["sobel"]
-        trace = characterize(bundle["fu"], stream, conditions)
+        trace = campaign_runner.characterize(bundle["fu"], stream,
+                                             conditions)
         maes = {"TEVoT": [], "TEVoT-NH": []}
         for k, condition in enumerate(conditions):
             X = build_feature_matrix(stream, condition,

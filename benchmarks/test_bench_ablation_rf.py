@@ -11,19 +11,18 @@ import pytest
 
 from conftest import format_table, record_report
 from repro.core.features import build_feature_matrix, build_training_set
-from repro.flow import characterize
 from repro.ml import RandomForestRegressor, mean_absolute_error
 from repro.timing import sped_up_clock
 
 FU_NAME = "fp_add"
 
 
-def _sweep(trained_models, datasets, conditions):
+def _sweep(trained_models, datasets, conditions, runner):
     bundle = trained_models(FU_NAME)
     train_stream = datasets(FU_NAME)["train"]
     test_stream = datasets(FU_NAME)["random"]
     train_trace = bundle["train_trace"]
-    test_trace = characterize(bundle["fu"], test_stream, conditions)
+    test_trace = runner.characterize(bundle["fu"], test_stream, conditions)
     X_train, y_train = build_training_set(
         train_stream, train_trace.conditions, train_trace.delays,
         max_rows=20_000, seed=0)
@@ -56,9 +55,9 @@ def _sweep(trained_models, datasets, conditions):
 
 @pytest.mark.benchmark(group="ablation-rf")
 def test_rf_hyperparameter_sweep(benchmark, trained_models, datasets,
-                                 conditions):
+                                 conditions, campaign_runner):
     rows, importances = benchmark.pedantic(
-        _sweep, args=(trained_models, datasets, conditions),
+        _sweep, args=(trained_models, datasets, conditions, campaign_runner),
         rounds=1, iterations=1)
     mae = dict(rows)
     record_report(

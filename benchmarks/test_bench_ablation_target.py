@@ -13,7 +13,6 @@ import pytest
 
 from conftest import format_table, record_report
 from repro.core.features import build_training_set
-from repro.flow import characterize, error_free_clocks
 from repro.ml import RandomForestClassifier, accuracy_score
 from repro.timing import CLOCK_SPEEDUPS, sped_up_clock
 from repro.workloads import stream_for_unit
@@ -21,14 +20,14 @@ from repro.workloads import stream_for_unit
 FU_NAME = "int_mul"
 
 
-def _run(trained_models, datasets, conditions):
+def _run(trained_models, datasets, conditions, runner):
     bundle = trained_models(FU_NAME)
     tevot = bundle["tevot"]
     clocks = bundle["clocks"]
     train_stream = datasets(FU_NAME)["train"]
     test_stream = datasets(FU_NAME)["random"]
     train_trace = bundle["train_trace"]
-    test_trace = characterize(bundle["fu"], test_stream, conditions)
+    test_trace = runner.characterize(bundle["fu"], test_stream, conditions)
 
     X_train, y_train_delay = build_training_set(
         train_stream, train_trace.conditions, train_trace.delays,
@@ -75,9 +74,10 @@ def _run(trained_models, datasets, conditions):
 @pytest.mark.benchmark(group="ablation-target")
 def test_delay_regression_vs_direct_classification(benchmark,
                                                    trained_models,
-                                                   datasets, conditions):
+                                                   datasets, conditions,
+                                                   campaign_runner):
     rows = benchmark.pedantic(_run, args=(trained_models, datasets,
-                                          conditions),
+                                          conditions, campaign_runner),
                               rounds=1, iterations=1)
     record_report(
         "Ablation - Eq.2 delay regression vs Eq.1 direct classification "

@@ -14,26 +14,26 @@ import pytest
 
 from conftest import bench_cycles, format_table, record_report
 from repro.circuits import PAPER_UNITS, build_functional_unit
-from repro.flow import characterize
 from repro.timing import OperatingCondition, fig3_corner_subset
 
 FIG3_CONDS = fig3_corner_subset()
 
 
-def _average_delays(fu_name, datasets):
+def _average_delays(fu_name, datasets, runner):
     fu = build_functional_unit(fu_name)
     streams = datasets(fu_name)
     means = {}
     for key in ("random", "sobel", "gauss"):
-        trace = characterize(fu, streams[key], FIG3_CONDS)
+        trace = runner.characterize(fu, streams[key], FIG3_CONDS)
         means[key] = trace.average_delay()
     return means
 
 
 @pytest.mark.benchmark(group="fig3")
 @pytest.mark.parametrize("fu_name", PAPER_UNITS)
-def test_fig3_average_delay(benchmark, fu_name, datasets):
-    means = benchmark.pedantic(_average_delays, args=(fu_name, datasets),
+def test_fig3_average_delay(benchmark, fu_name, datasets, campaign_runner):
+    means = benchmark.pedantic(_average_delays,
+                               args=(fu_name, datasets, campaign_runner),
                                rounds=1, iterations=1)
 
     labels = [c.label for c in FIG3_CONDS]

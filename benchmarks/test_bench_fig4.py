@@ -16,7 +16,6 @@ import pytest
 from conftest import format_table, record_report
 from repro.apps import quality_for_ters
 from repro.core.features import build_feature_matrix
-from repro.flow import characterize
 from repro.timing import sped_up_clock
 
 APP_FUS = ("int_mul", "int_add")
@@ -39,12 +38,13 @@ def _pick_operating_point(bundles, streams, traces, conditions):
     return 0, conditions[0], 0.15
 
 
-def _run(trained_models, datasets, conditions, corpus_split):
+def _run(trained_models, datasets, conditions, corpus_split, runner):
     _, test_images = corpus_split
     image = test_images[0]
     bundles = {fu: trained_models(fu) for fu in APP_FUS}
     streams = {fu: datasets(fu)["sobel"] for fu in APP_FUS}
-    traces = {fu: characterize(bundles[fu]["fu"], streams[fu], conditions)
+    traces = {fu: runner.characterize(bundles[fu]["fu"], streams[fu],
+                                      conditions)
               for fu in APP_FUS}
     ci, condition, speedup = _pick_operating_point(
         bundles, streams, traces, conditions)
@@ -75,9 +75,11 @@ def _run(trained_models, datasets, conditions, corpus_split):
 
 @pytest.mark.benchmark(group="fig4")
 def test_fig4_sobel_output_quality(benchmark, trained_models, datasets,
-                                   conditions, corpus_split):
+                                   conditions, corpus_split,
+                                   campaign_runner):
     condition, speedup, ters, results = benchmark.pedantic(
-        _run, args=(trained_models, datasets, conditions, corpus_split),
+        _run, args=(trained_models, datasets, conditions, corpus_split,
+                    campaign_runner),
         rounds=1, iterations=1)
 
     rows = []

@@ -16,7 +16,6 @@ from conftest import format_table, record_report
 from repro.circuits import build_functional_unit
 from repro.core import TEVoT, build_training_set
 from repro.core.features import build_feature_matrix
-from repro.flow import characterize
 from repro.sim.eventsim import EventDrivenSimulator
 from repro.timing import DEFAULT_LIBRARY, OperatingCondition
 from repro.workloads import stream_for_unit
@@ -25,7 +24,7 @@ COND = OperatingCondition(0.81, 0.0)
 _ROWS = []
 
 
-def _measure(fu_name):
+def _measure(fu_name, runner):
     fu = build_functional_unit(fu_name)
     n_sim_cycles = 60
     n_pred_cycles = 4000
@@ -34,7 +33,7 @@ def _measure(fu_name):
 
     # train a small TEVoT so inference is realistic
     small = stream.head(400)
-    trace = characterize(fu, small, [COND])
+    trace = runner.characterize(fu, small, [COND])
     X, y = build_training_set(small, [COND], trace.delays)
     model = TEVoT().fit(X, y)
 
@@ -57,9 +56,9 @@ def _measure(fu_name):
 
 @pytest.mark.benchmark(group="speedup")
 @pytest.mark.parametrize("fu_name", ["int_add", "fp_mul"])
-def test_speedup_vs_gate_level_sim(benchmark, fu_name):
+def test_speedup_vs_gate_level_sim(benchmark, fu_name, campaign_runner):
     sim_pc, tevot_pc, n_gates = benchmark.pedantic(
-        _measure, args=(fu_name,), rounds=1, iterations=1)
+        _measure, args=(fu_name, campaign_runner), rounds=1, iterations=1)
     speedup = sim_pc / tevot_pc
     _ROWS.append([fu_name, n_gates, f"{sim_pc*1e3:.3f}ms",
                   f"{tevot_pc*1e6:.1f}us", f"{speedup:.0f}x"])

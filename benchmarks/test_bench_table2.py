@@ -17,7 +17,6 @@ import pytest
 from conftest import bench_cycles, format_table, record_report
 from repro.circuits import build_functional_unit
 from repro.core.features import build_training_set
-from repro.flow import characterize, error_free_clocks
 from repro.ml import (
     KNeighborsClassifier,
     LinearSVC,
@@ -31,7 +30,7 @@ from repro.workloads import stream_for_unit
 FU_NAME = "fp_add"  # moderate error rates -> discriminative labels
 
 
-def _make_classification_data(conditions):
+def _make_classification_data(conditions, runner):
     """Error labels across the corner grid.
 
     The comparison clock sits at the 70th percentile of each corner's
@@ -48,8 +47,8 @@ def _make_classification_data(conditions):
     train.name = "t2_train"
     test = stream_for_unit(FU_NAME, n, seed=21)
     test.name = "t2_test"
-    train_trace = characterize(fu, train, conditions)
-    test_trace = characterize(fu, test, conditions)
+    train_trace = runner.characterize(fu, train, conditions)
+    test_trace = runner.characterize(fu, test, conditions)
     clocks = {cond: float(np.percentile(train_trace.delays[k], 70))
               for k, cond in enumerate(train_trace.conditions)}
 
@@ -79,8 +78,10 @@ _ROWS = {}
 
 @pytest.mark.benchmark(group="table2")
 @pytest.mark.parametrize("method", list(METHODS))
-def test_table2_method_comparison(benchmark, method, conditions):
-    X_train, y_train, X_test, y_test = _cached_data(conditions)
+def test_table2_method_comparison(benchmark, method, conditions,
+                                  campaign_runner):
+    X_train, y_train, X_test, y_test = _cached_data(conditions,
+                                                    campaign_runner)
 
     def run():
         model = METHODS[method]()
@@ -119,8 +120,8 @@ def test_table2_method_comparison(benchmark, method, conditions):
 _DATA_CACHE = {}
 
 
-def _cached_data(conditions):
+def _cached_data(conditions, runner):
     key = id(conditions)
     if key not in _DATA_CACHE:
-        _DATA_CACHE[key] = _make_classification_data(conditions)
+        _DATA_CACHE[key] = _make_classification_data(conditions, runner)
     return _DATA_CACHE[key]

@@ -18,16 +18,16 @@ import pytest
 from conftest import format_table, record_report
 from repro.circuits import PAPER_UNITS, build_functional_unit
 from repro.core.evaluation import evaluate_models
-from repro.flow import characterize
 
 _RESULTS = {}
 
 
-def _evaluate(fu_name, dataset_key, trained_models, datasets, conditions):
+def _evaluate(fu_name, dataset_key, trained_models, datasets, conditions,
+              runner):
     bundle = trained_models(fu_name)
     streams = datasets(fu_name)
     stream = streams[dataset_key]
-    test_trace = characterize(bundle["fu"], stream, conditions)
+    test_trace = runner.characterize(bundle["fu"], stream, conditions)
     sweep = evaluate_models(
         bundle["tevot"], bundle["tevot_nh"], bundle["delay_based"],
         bundle["ter_based"], stream, test_trace, bundle["clocks"])
@@ -38,10 +38,11 @@ def _evaluate(fu_name, dataset_key, trained_models, datasets, conditions):
 @pytest.mark.parametrize("fu_name", PAPER_UNITS)
 @pytest.mark.parametrize("dataset_key", ["random", "sobel", "gauss"])
 def test_table3_prediction_accuracy(benchmark, fu_name, dataset_key,
-                                    trained_models, datasets, conditions):
+                                    trained_models, datasets, conditions,
+                                    campaign_runner):
     summary = benchmark.pedantic(
         _evaluate, args=(fu_name, dataset_key, trained_models, datasets,
-                         conditions),
+                         conditions, campaign_runner),
         rounds=1, iterations=1)
     _RESULTS[(fu_name, dataset_key)] = summary
 

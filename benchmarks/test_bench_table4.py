@@ -15,7 +15,6 @@ import pytest
 from conftest import format_table, record_report
 from repro.apps import estimation_accuracy, quality_for_ters
 from repro.core.features import build_feature_matrix
-from repro.flow import characterize
 from repro.timing import CLOCK_SPEEDUPS, sped_up_clock
 
 APP_FUS = ("int_mul", "int_add")
@@ -40,13 +39,14 @@ def _model_ters(bundle, stream, trace, condition, k, tclk):
 
 
 def _run_filter_case(filter_name, trained_models, datasets, conditions,
-                     corpus_split):
+                     corpus_split, runner):
     _, test_images = corpus_split
     images = test_images[:2]
 
     bundles = {fu: trained_models(fu) for fu in APP_FUS}
     streams = {fu: datasets(fu)[filter_name] for fu in APP_FUS}
-    traces = {fu: characterize(bundles[fu]["fu"], streams[fu], conditions)
+    traces = {fu: runner.characterize(bundles[fu]["fu"], streams[fu],
+                                      conditions)
               for fu in APP_FUS}
 
     verdicts = {name: [] for name in MODELS}
@@ -78,11 +78,12 @@ def _run_filter_case(filter_name, trained_models, datasets, conditions,
 @pytest.mark.benchmark(group="table4")
 @pytest.mark.parametrize("filter_name", ["sobel", "gauss"])
 def test_table4_quality_estimation(benchmark, filter_name, trained_models,
-                                   datasets, conditions, corpus_split):
+                                   datasets, conditions, corpus_split,
+                                   campaign_runner):
     accuracies = benchmark.pedantic(
         _run_filter_case,
         args=(filter_name, trained_models, datasets, conditions,
-              corpus_split),
+              corpus_split, campaign_runner),
         rounds=1, iterations=1)
     _ROWS[filter_name] = accuracies
 

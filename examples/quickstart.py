@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core import TEVoT, build_training_set, prediction_accuracy
 from repro.core.features import build_feature_matrix
-from repro.flow import characterize, error_free_clocks, implement
+from repro.flow import CampaignRunner, error_free_clocks, implement
 from repro.timing import OperatingCondition, sped_up_clock
 from repro.workloads import random_stream
 
@@ -37,8 +37,9 @@ def main() -> None:
     print("\n== 2. dynamic timing analysis ==")
     train = random_stream(2000, seed=0, name="train")
     test = random_stream(1000, seed=1, name="test")
-    train_trace = characterize(design.fu, train, conditions)
-    test_trace = characterize(design.fu, test, conditions)
+    runner = CampaignRunner()
+    train_trace = runner.characterize(design.fu, train, conditions)
+    test_trace = runner.characterize(design.fu, test, conditions)
     clocks = error_free_clocks(train_trace)
     cond = conditions[0]
     print(f"mean dynamic delay @ {cond.label}: "

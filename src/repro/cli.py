@@ -11,6 +11,10 @@ pipeline without writing Python:
 * ``python -m repro train --fu int_add -o m.pkl``— train + save a model
 * ``python -m repro predict -m m.pkl --fu int_add --speedup 0.1``
                                                  — TER estimates
+* ``python -m repro models publish -m m.pkl --fu int_add --registry r/``
+                                                 — registry operations
+* ``python -m repro serve --registry r/``        — HTTP prediction server
+* ``python -m repro store gc --max-mb 256``      — trace-store eviction
 """
 
 from __future__ import annotations
@@ -20,12 +24,12 @@ import sys
 from typing import List, Optional
 
 from .circuits import PAPER_UNITS, build_functional_unit
-from .core import TEVoT, build_training_set
+from .core import TEVoT, build_training_set, load_model
 from .flow import (
     DEFAULT_BACKEND,
     CampaignJob,
     CampaignRunner,
-    characterize,
+    TraceStore,
     error_free_clocks,
     implement,
 )
@@ -39,6 +43,20 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
     return value
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=DEFAULT_BACKEND,
+                        choices=available_backends(),
+                        help="simulation backend (choices list the "
+                             "registered names)")
 
 
 def _condition_args(parser: argparse.ArgumentParser) -> None:
@@ -74,7 +92,8 @@ def cmd_characterize(args) -> int:
     fu = build_functional_unit(args.fu)
     stream = stream_for_unit(args.fu, args.cycles, seed=args.seed)
     stream.name = f"cli_{args.fu}_{args.seed}"
-    trace = characterize(fu, stream, conditions, backend=args.backend)
+    runner = CampaignRunner(backend=args.backend)
+    trace = runner.characterize(fu, stream, conditions)
     print(f"dynamic delay of {args.fu} over {args.cycles} random cycles (ps):")
     for k, cond in enumerate(conditions):
         d = trace.delays[k]
@@ -108,12 +127,19 @@ def cmd_train(args) -> int:
     fu = build_functional_unit(args.fu)
     stream = stream_for_unit(args.fu, args.cycles, seed=args.seed)
     stream.name = f"cli_train_{args.fu}_{args.seed}"
-    trace = characterize(fu, stream, conditions)
+    runner = CampaignRunner(backend=args.backend)
+    trace = runner.characterize(fu, stream, conditions)
     X, y = build_training_set(stream, conditions, trace.delays,
                               max_rows=args.max_rows)
     model = TEVoT().fit(X, y)
-    model.save(args.output)
+    model.save(args.output, metadata={"fu": args.fu, "cycles": args.cycles,
+                                      "seed": args.seed})
     print(f"trained on {X.shape[0]} rows; saved to {args.output}")
+    if args.publish:
+        from .serve import ModelRegistry
+        record = ModelRegistry(args.publish).publish(
+            model, fu=fu, conditions=conditions, train_stream=stream)
+        print(f"published {record.model_id} to {args.publish}")
     return 0
 
 
@@ -123,13 +149,104 @@ def cmd_predict(args) -> int:
     fu = build_functional_unit(args.fu)
     workload = stream_for_unit(args.fu, args.cycles, seed=args.seed)
     workload.name = f"cli_wl_{args.fu}_{args.seed}"
-    trace = characterize(fu, workload, conditions)
+    runner = CampaignRunner(backend=args.backend)
+    trace = runner.characterize(fu, workload, conditions)
     clocks = error_free_clocks(trace)
     print(f"estimated TER at +{args.speedup:.0%} overclock:")
     for cond in conditions:
         tclk = sped_up_clock(clocks[cond], args.speedup)
         ter = model.timing_error_rate(workload, cond, tclk)
         print(f"  {cond.label}: {ter*100:6.2f}%")
+    return 0
+
+
+# -- serving ------------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    from .serve import PredictionEngine, PredictionServer
+
+    engine = PredictionEngine(registry=args.registry, kind=args.kind,
+                              sim_fallback=not args.no_fallback,
+                              backend=args.backend)
+    server = PredictionServer(engine, host=args.host, port=args.port,
+                              batch_window_ms=args.batch_window_ms,
+                              max_batch=args.max_batch,
+                              verbose=args.verbose)
+    host, port = server.address
+    published = 0 if engine.registry is None else len(engine.registry)
+    print(f"repro serve on http://{host}:{port}  "
+          f"[registry={args.registry or '-'}, {published} model(s), "
+          f"fallback={'off' if args.no_fallback else args.backend}, "
+          f"window={args.batch_window_ms}ms, max_batch={args.max_batch}]",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
+def cmd_models(args) -> int:
+    from .serve import MODEL_KINDS, ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    if args.action == "list":
+        records = registry.list_models()
+        if not records:
+            print(f"no models published in {args.registry}")
+            return 0
+        for r in records:
+            print(f"  {r.model_id:24s} key={r.key} "
+                  f"{r.size_bytes / 1e3:8.1f} kB  {r.created}")
+        return 0
+    if args.action == "publish":
+        if not args.model:
+            print("models publish requires -m/--model", file=sys.stderr)
+            return 2
+        if not args.fu:
+            print("models publish requires --fu", file=sys.stderr)
+            return 2
+        if args.kind not in MODEL_KINDS:
+            print(f"unknown kind {args.kind!r}; available: "
+                  f"{', '.join(MODEL_KINDS)}", file=sys.stderr)
+            return 2
+        model, metadata = load_model(args.model)
+        record = registry.publish(model, fu=args.fu, kind=args.kind,
+                                  metadata=metadata)
+        print(f"published {record.model_id} (key={record.key})")
+        return 0
+    # gc
+    report = registry.gc(keep=args.keep, dry_run=args.dry_run)
+    prefix = "would have " if args.dry_run else ""
+    print(f"registry gc: {prefix}{report.summary()}")
+    return 0
+
+
+def cmd_store(args) -> int:
+    store = TraceStore(args.dir)
+    if args.action == "list":
+        entries = store.entries()
+        if not entries:
+            print(f"trace store {store.root} is empty")
+            return 0
+        total = store.size_bytes()
+        print(f"trace store {store.root}: {len(entries)} entr(y/ies), "
+              f"{total / 1e6:.2f} MB")
+        for key, entry in sorted(entries.items(),
+                                 key=lambda kv: kv[1].get("created", "")):
+            print(f"  {key}  {entry['fu']:8s} {entry['stream']:28s} "
+                  f"{entry['n_conditions']:3d}x{entry['n_cycles']:<7d} "
+                  f"{entry.get('created', '')}")
+        return 0
+    # gc
+    max_bytes = None if args.max_mb is None else int(args.max_mb * 1e6)
+    report = store.gc(max_bytes=max_bytes, dry_run=args.dry_run)
+    prefix = "would have " if args.dry_run else ""
+    print(f"store gc: {prefix}{report.summary()}")
     return 0
 
 
@@ -149,10 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("characterize", help="DTA delay summary")
     p.add_argument("--fu", required=True, choices=PAPER_UNITS)
-    p.add_argument("--cycles", type=int, default=1000)
+    p.add_argument("--cycles", type=_positive_int, default=1000)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--backend", default=DEFAULT_BACKEND,
-                   choices=available_backends())
+    _backend_arg(p)
     _condition_args(p)
     p.set_defaults(func=cmd_characterize)
 
@@ -160,11 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batched DTA over several FUs (process pool)")
     p.add_argument("--fu", nargs="+", default=list(PAPER_UNITS),
                    choices=PAPER_UNITS)
-    p.add_argument("--cycles", type=int, default=1000)
+    p.add_argument("--cycles", type=_positive_int, default=1000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=_positive_int, default=1)
-    p.add_argument("--backend", default=DEFAULT_BACKEND,
-                   choices=available_backends())
+    _backend_arg(p)
     p.add_argument("--no-cache", action="store_true",
                    help="skip the trace store entirely")
     _condition_args(p)
@@ -172,21 +287,63 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("train", help="train and save a TEVoT model")
     p.add_argument("--fu", required=True, choices=PAPER_UNITS)
-    p.add_argument("--cycles", type=int, default=2000)
-    p.add_argument("--max-rows", type=int, default=60_000)
+    p.add_argument("--cycles", type=_positive_int, default=2000)
+    p.add_argument("--max-rows", type=_positive_int, default=60_000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", required=True)
+    p.add_argument("--publish", metavar="REGISTRY_DIR",
+                   help="also publish into a serving model registry")
+    _backend_arg(p)
     _condition_args(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("predict", help="estimate TERs with a saved model")
     p.add_argument("-m", "--model", required=True)
     p.add_argument("--fu", required=True, choices=PAPER_UNITS)
-    p.add_argument("--speedup", type=float, default=0.10)
-    p.add_argument("--cycles", type=int, default=500)
+    p.add_argument("--speedup", type=_nonnegative_float, default=0.10)
+    p.add_argument("--cycles", type=_positive_int, default=500)
     p.add_argument("--seed", type=int, default=1)
+    _backend_arg(p)
     _condition_args(p)
     p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("serve", help="HTTP/JSON prediction server")
+    p.add_argument("--registry", help="model registry directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000,
+                   help="TCP port (0 binds an ephemeral one)")
+    p.add_argument("--kind", default="tevot",
+                   help="published model kind to serve")
+    p.add_argument("--batch-window-ms", type=_nonnegative_float, default=2.0,
+                   help="micro-batch collection window")
+    p.add_argument("--max-batch", type=_positive_int, default=64)
+    p.add_argument("--no-fallback", action="store_true",
+                   help="disable the gate-level simulation fallback")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    _backend_arg(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("models", help="serving model registry operations")
+    p.add_argument("action", choices=("list", "publish", "gc"))
+    p.add_argument("--registry", required=True)
+    p.add_argument("-m", "--model", help="artifact to publish")
+    p.add_argument("--fu", choices=PAPER_UNITS,
+                   help="FU the published model belongs to")
+    p.add_argument("--kind", default="tevot")
+    p.add_argument("--keep", type=_positive_int, default=1,
+                   help="gc: versions to keep per (FU, kind)")
+    p.add_argument("--dry-run", action="store_true")
+    p.set_defaults(func=cmd_models)
+
+    p = sub.add_parser("store", help="characterization trace-store upkeep")
+    p.add_argument("action", choices=("list", "gc"))
+    p.add_argument("--dir", default=None,
+                   help="store directory (default: REPRO_CACHE_DIR)")
+    p.add_argument("--max-mb", type=_nonnegative_float, default=None,
+                   help="gc: evict oldest traces beyond this size budget")
+    p.add_argument("--dry-run", action="store_true")
+    p.set_defaults(func=cmd_store)
     return parser
 
 

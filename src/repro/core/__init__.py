@@ -8,17 +8,25 @@ from .evaluation import (
     prediction_accuracy,
 )
 from .features import (
+    FEATURE_SPEC_VERSION,
     FeatureSpec,
     build_feature_matrix,
     build_training_set,
+    operand_bits,
     stream_bits,
 )
-from .model import TEVoT, default_regressor
-from .pipeline import ExperimentResult, run_experiment, train_models
+from .model import TEVoT, default_regressor, load_model, save_model
+from .pipeline import (
+    ExperimentResult,
+    publish_models,
+    run_experiment,
+    train_models,
+)
 
 __all__ = [
     "DelayBasedModel",
     "ExperimentResult",
+    "FEATURE_SPEC_VERSION",
     "FeatureSpec",
     "ModelAccuracies",
     "SweepResult",
@@ -28,9 +36,13 @@ __all__ = [
     "build_training_set",
     "default_regressor",
     "evaluate_models",
+    "load_model",
     "make_tevot_nh",
+    "operand_bits",
     "prediction_accuracy",
+    "publish_models",
     "run_experiment",
+    "save_model",
     "stream_bits",
     "train_models",
 ]

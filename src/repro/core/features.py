@@ -17,6 +17,11 @@ import numpy as np
 from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
 
+#: Version of the Eq.-3 feature layout.  Bump on any change to column
+#: order/meaning — the model registry keys published artifacts by it so
+#: a served model is never fed features from a different layout.
+FEATURE_SPEC_VERSION = 1
+
 
 @dataclass(frozen=True)
 class FeatureSpec:
@@ -38,6 +43,11 @@ class FeatureSpec:
         words = 2 if self.include_history else 1
         return words * self.bits_per_cycle + 2  # + V + T
 
+    def version_tag(self) -> str:
+        """Registry tag: layout version + the knobs that change it."""
+        return (f"fs{FEATURE_SPEC_VERSION}:w{self.operand_width}:"
+                f"h{int(self.include_history)}")
+
     def column_names(self) -> List[str]:
         """Human-readable names, for importance reports."""
         names = [f"x_t[{i}]" for i in range(self.bits_per_cycle)]
@@ -46,12 +56,22 @@ class FeatureSpec:
         return names + ["V", "T"]
 
 
+def operand_bits(words: np.ndarray, operand_width: int = 32) -> np.ndarray:
+    """LSB-first bit expansion of operand words: ``(n, width)`` float32.
+
+    The single bit-layout definition shared by offline training
+    (:func:`stream_bits`) and the serving engine — both sides must
+    build identical feature columns for bit-exact parity.
+    """
+    shifts = np.arange(operand_width, dtype=np.uint64)
+    words = np.asarray(words, dtype=np.uint64)
+    return ((words[:, None] >> shifts) & 1).astype(np.float32)
+
+
 def stream_bits(stream: OperandStream, operand_width: int = 32) -> np.ndarray:
     """Bit-expand a stream: ``(n_rows, 2 * width)`` float32 matrix."""
-    shifts = np.arange(operand_width, dtype=np.uint64)
-    bits_a = ((stream.a[:, None] >> shifts) & 1).astype(np.float32)
-    bits_b = ((stream.b[:, None] >> shifts) & 1).astype(np.float32)
-    return np.concatenate([bits_a, bits_b], axis=1)
+    return np.concatenate([operand_bits(stream.a, operand_width),
+                           operand_bits(stream.b, operand_width)], axis=1)
 
 
 def build_feature_matrix(stream: OperandStream,

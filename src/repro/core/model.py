@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -20,6 +20,54 @@ from ..ml.forest import RandomForestRegressor
 from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
 from .features import FeatureSpec, build_feature_matrix
+
+#: Marker + schema version of the on-disk model artifact format.  v1
+#: artifacts were a bare pickled model object; v2 wraps the model in a
+#: self-describing payload dict so registries can read class, feature
+#: spec, and user metadata without unpickling surprises.
+ARTIFACT_FORMAT = "repro-model"
+ARTIFACT_VERSION = 2
+
+
+def save_model(model: Any, path: Union[str, Path],
+               metadata: Optional[Dict] = None) -> None:
+    """Persist any trained model object in the stable artifact format.
+
+    Works for :class:`TEVoT` and the baseline models alike; ``metadata``
+    is an arbitrary JSON-like dict stored alongside (provenance,
+    registry keys, ...).
+    """
+    spec = getattr(model, "spec", None)
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "format_version": ARTIFACT_VERSION,
+        "class": type(model).__name__,
+        "feature_spec": None if spec is None else {
+            "operand_width": spec.operand_width,
+            "include_history": spec.include_history,
+        },
+        "metadata": dict(metadata or {}),
+        "model": model,
+    }
+    with Path(path).open("wb") as fh:
+        pickle.dump(payload, fh)
+
+
+def load_model(path: Union[str, Path]) -> Tuple[Any, Dict]:
+    """Load ``(model, metadata)`` from either artifact format.
+
+    v2 payload dicts yield their stored metadata; bare v1 pickles (the
+    pre-registry format) yield ``{}`` — old artifacts keep loading.
+    """
+    with Path(path).open("rb") as fh:
+        obj = pickle.load(fh)
+    if isinstance(obj, dict) and obj.get("format") == ARTIFACT_FORMAT:
+        if obj.get("format_version") > ARTIFACT_VERSION:
+            raise ValueError(
+                f"{path}: artifact format v{obj.get('format_version')} is "
+                f"newer than this code understands (v{ARTIFACT_VERSION})")
+        return obj["model"], dict(obj.get("metadata") or {})
+    return obj, {}
 
 
 def default_regressor(random_state: Optional[int] = 0) -> RandomForestRegressor:
@@ -108,17 +156,24 @@ class TEVoT:
 
     # -- persistence ("we will open-source the pre-trained models") -----------
 
-    def save(self, path: Union[str, Path]) -> None:
-        with Path(path).open("wb") as fh:
-            pickle.dump(self, fh)
+    def save(self, path: Union[str, Path],
+             metadata: Optional[Dict] = None) -> None:
+        """Write the stable v2 artifact (payload dict + metadata)."""
+        save_model(self, path, metadata=metadata)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TEVoT":
-        with Path(path).open("rb") as fh:
-            model = pickle.load(fh)
+        model, _ = cls.load_with_metadata(path)
+        return model
+
+    @classmethod
+    def load_with_metadata(cls, path: Union[str, Path]
+                           ) -> Tuple["TEVoT", Dict]:
+        """Load a model plus its stored metadata (``{}`` for v1 files)."""
+        model, metadata = load_model(path)
         if not isinstance(model, cls):
             raise TypeError(f"{path} does not contain a {cls.__name__}")
-        return model
+        return model, metadata
 
     def _check_fitted(self) -> None:
         if not self._fitted:

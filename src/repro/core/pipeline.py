@@ -54,6 +54,40 @@ class ExperimentResult:
     def summary(self) -> Dict[str, float]:
         return self.sweep.averages().as_dict()
 
+    def publish(self, registry) -> List:
+        """Publish all four trained models; see :func:`publish_models`."""
+        return publish_models(registry, self)
+
+
+def publish_models(registry, result: "ExperimentResult",
+                   metadata: Optional[Dict] = None) -> List:
+    """Publish an experiment's models into a serving registry.
+
+    ``registry`` is a :class:`~repro.serve.registry.ModelRegistry` or a
+    directory path for one.  Each of TEVoT, TEVoT-NH, and the two
+    baselines becomes one versioned artifact keyed by the FU, the
+    corner grid, the training-stream fingerprint (from the train
+    trace's input bits), and the feature-spec version.  Returns the new
+    :class:`~repro.serve.registry.ModelRecord` list.
+    """
+    # imported here: repro.serve depends on repro.core, not vice versa
+    from ..serve.registry import ModelRegistry
+
+    if not isinstance(registry, ModelRegistry):
+        registry = ModelRegistry(registry)
+    conditions = result.train_trace.conditions
+    train_inputs = result.train_trace.inputs
+    meta = {"dataset": result.dataset, **(metadata or {})}
+    records = []
+    for kind, model in (("tevot", result.tevot),
+                        ("tevot_nh", result.tevot_nh),
+                        ("delay_based", result.delay_based),
+                        ("ter_based", result.ter_based)):
+        records.append(registry.publish(
+            model, fu=result.fu_name, kind=kind, conditions=conditions,
+            train_stream=train_inputs, metadata=meta))
+    return records
+
 
 def train_models(fu: FunctionalUnit,
                  train_stream: OperandStream,
@@ -117,13 +151,16 @@ def run_experiment(fu_name: str,
                    backend: str = DEFAULT_BACKEND,
                    n_workers: int = 1,
                    runner: Optional[CampaignRunner] = None,
+                   registry=None,
                    **fu_kwargs) -> ExperimentResult:
     """One full Fig.-2 pipeline run for an FU.
 
     Defaults: random train/test streams (unseen test data, like the
     paper's 200 K/200 K split) over the full Table I corner grid.  The
     train and test characterizations run as one campaign batch, so
-    ``n_workers > 1`` overlaps them.
+    ``n_workers > 1`` overlaps them.  A ``registry`` (path or
+    :class:`~repro.serve.registry.ModelRegistry`) publishes the trained
+    models for serving before returning.
     """
     fu = build_functional_unit(fu_name, **fu_kwargs)
     conditions = list(conditions) if conditions else paper_corner_grid()
@@ -148,7 +185,7 @@ def run_experiment(fu_name: str,
         use_cache=use_cache, runner=runner, train_trace=train_trace)
     sweep = evaluate_models(tevot, nh, delay_based, ter_based,
                             test_stream, test_trace, clocks, speedups)
-    return ExperimentResult(
+    result = ExperimentResult(
         fu_name=fu_name,
         dataset=test_stream.name,
         sweep=sweep,
@@ -160,3 +197,6 @@ def run_experiment(fu_name: str,
         test_trace=test_trace,
         clocks=clocks,
     )
+    if registry is not None:
+        result.publish(registry)
+    return result

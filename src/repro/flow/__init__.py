@@ -9,7 +9,9 @@ from .campaign import (
     characterize,
     error_free_clocks,
 )
+from .manifest import read_manifest, write_manifest
 from .tracestore import (
+    GCReport,
     TraceStore,
     default_cache_dir,
     library_fingerprint,
@@ -21,6 +23,7 @@ __all__ = [
     "CampaignRunner",
     "CampaignStats",
     "DEFAULT_BACKEND",
+    "GCReport",
     "ImplementedDesign",
     "TraceStore",
     "characterize",
@@ -28,5 +31,7 @@ __all__ = [
     "error_free_clocks",
     "implement",
     "library_fingerprint",
+    "read_manifest",
     "trace_key",
+    "write_manifest",
 ]

@@ -16,12 +16,14 @@ and a :class:`CampaignRunner` executes a batch of jobs:
   (:func:`repro.sim.engine.get_backend`); the default is the
   bit-packed engine, which is delay-identical to ``levelized``.
 
-:func:`characterize` remains as a thin single-job compatibility shim —
-every pre-existing call site keeps working unchanged.
+:func:`characterize` remains as a thin single-job compatibility shim;
+it now emits a :class:`DeprecationWarning` — new code should talk to
+:class:`CampaignRunner` directly.
 """
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -185,10 +187,15 @@ def characterize(fu: FunctionalUnit, stream: OperandStream,
                  backend: str = DEFAULT_BACKEND) -> DelayTrace:
     """Dynamic-delay characterization of one FU under one workload.
 
-    Compatibility shim over :class:`CampaignRunner` — returns a
-    :class:`DelayTrace` with shape ``(n_conditions, n_cycles)``,
-    transparently cached in the trace store under ``cache_dir``.
+    Deprecated compatibility shim over :class:`CampaignRunner` —
+    returns a :class:`DelayTrace` with shape ``(n_conditions,
+    n_cycles)``, transparently cached in the trace store under
+    ``cache_dir``.
     """
+    warnings.warn(
+        "repro.flow.characterize() is deprecated; use "
+        "CampaignRunner(...).characterize(...) or CampaignRunner.run()",
+        DeprecationWarning, stacklevel=2)
     runner = CampaignRunner(backend=backend, store=cache_dir,
                             use_cache=use_cache)
     return runner.characterize(fu, stream, conditions, library)

@@ -1,0 +1,51 @@
+"""Shared JSON-manifest helpers for on-disk stores.
+
+Both the characterization :class:`~repro.flow.tracestore.TraceStore`
+and the :class:`~repro.serve.registry.ModelRegistry` follow the same
+layout: a directory of blob files described by one ``manifest.json``
+carrying a schema version.  These helpers centralize the two fiddly
+parts — tolerating missing/corrupt/old manifests on read, and writing
+atomically so concurrent writers can never interleave bytes into a
+corrupt file (last rename wins; a lost entry only costs a re-derivable
+blob lookup).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict
+
+
+def read_manifest(path: Path, *, version_key: str, version: int,
+                  entries_key: str) -> Dict:
+    """Load a versioned manifest, or a fresh empty one.
+
+    A missing file, unparsable JSON, or a schema-version mismatch all
+    yield ``{version_key: version, entries_key: {}}`` — incompatible
+    layouts are ignored rather than misread.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return {version_key: version, entries_key: {}}
+    if (not isinstance(manifest, dict)
+            or manifest.get(version_key) != version
+            or not isinstance(manifest.get(entries_key), dict)):
+        return {version_key: version, entries_key: {}}
+    return manifest
+
+
+def write_manifest(path: Path, manifest: Dict) -> None:
+    """Atomically replace ``path`` with ``manifest`` as indented JSON.
+
+    The temp name embeds the writer's pid: concurrent writers may still
+    lose one another's newest entry (last rename wins) but can never
+    corrupt the manifest itself.
+    """
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+    tmp.replace(path)

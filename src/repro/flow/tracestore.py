@@ -23,11 +23,11 @@ layout changes can migrate or ignore old stores safely.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from ..sim.dta import DelayTrace
 from ..timing.cells import CellLibrary
 from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
+from .manifest import read_manifest, write_manifest
 
 #: Bump when the on-disk layout or key derivation changes.
 STORE_VERSION = 1
@@ -81,6 +82,22 @@ def trace_key(fu: FunctionalUnit, stream: OperandStream,
     return h.hexdigest()[:24]
 
 
+@dataclass
+class GCReport:
+    """What a :meth:`TraceStore.gc` pass did (or would do)."""
+
+    removed_blobs: List[str] = field(default_factory=list)
+    dropped_entries: List[str] = field(default_factory=list)
+    freed_bytes: int = 0
+    kept_bytes: int = 0
+
+    def summary(self) -> str:
+        return (f"removed {len(self.removed_blobs)} blob(s) "
+                f"({self.freed_bytes / 1e6:.2f} MB), dropped "
+                f"{len(self.dropped_entries)} entr(y/ies), "
+                f"{self.kept_bytes / 1e6:.2f} MB kept")
+
+
 class TraceStore:
     """Manifest-backed store of delay traces under one root directory."""
 
@@ -94,25 +111,11 @@ class TraceStore:
     # -- manifest -------------------------------------------------------------
 
     def _read_manifest(self) -> Dict:
-        try:
-            with open(self.manifest_path, "r", encoding="utf-8") as fh:
-                manifest = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
-            return {"store_version": STORE_VERSION, "entries": {}}
-        if manifest.get("store_version") != STORE_VERSION:
-            # incompatible layout: ignore rather than misread
-            return {"store_version": STORE_VERSION, "entries": {}}
-        return manifest
+        return read_manifest(self.manifest_path, version_key="store_version",
+                             version=STORE_VERSION, entries_key="entries")
 
     def _write_manifest(self, manifest: Dict) -> None:
-        # per-writer tmp name: concurrent writers may still lose one
-        # another's newest entry (last rename wins) but can never
-        # interleave bytes into a corrupt manifest, and a lost entry
-        # only degrades to the blob-glob fallback in get()
-        tmp = self.root / f".manifest.{os.getpid()}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh, indent=1, sort_keys=True)
-        tmp.replace(self.manifest_path)
+        write_manifest(self.manifest_path, manifest)
 
     def entries(self) -> Dict[str, Dict]:
         """Key -> metadata for everything in the store."""
@@ -162,3 +165,71 @@ class TraceStore:
         }
         self._write_manifest(manifest)
         return self.root / fname
+
+    # -- eviction / garbage collection ----------------------------------------
+
+    def size_bytes(self) -> int:
+        """Total size of the trace blobs currently on disk."""
+        return sum(p.stat().st_size for p in self.root.glob("dta_*.npz"))
+
+    def gc(self, max_bytes: Optional[int] = None,
+           dry_run: bool = False) -> GCReport:
+        """Collect garbage and optionally enforce a size budget.
+
+        Three passes, mirroring the long-lived-cache needs from the
+        ROADMAP:
+
+        1. blobs on disk that no manifest entry references are removed
+           (orphans from crashed writers or manifest races);
+        2. manifest entries whose blob has vanished are dropped;
+        3. with ``max_bytes``, the oldest entries (by creation stamp)
+           are evicted until the remaining blobs fit the budget.
+
+        ``dry_run`` reports what would happen without touching disk.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        report = GCReport()
+        if not self.root.is_dir():
+            return report
+        manifest = self._read_manifest()
+        entries = manifest["entries"]
+        referenced = {entry["file"] for entry in entries.values()}
+
+        for blob in sorted(self.root.glob("dta_*.npz")):
+            if blob.name not in referenced:
+                report.removed_blobs.append(blob.name)
+                report.freed_bytes += blob.stat().st_size
+                if not dry_run:
+                    blob.unlink()
+
+        live: Dict[str, int] = {}  # key -> blob size
+        for key, entry in list(entries.items()):
+            blob = self.root / entry["file"]
+            if not blob.is_file():
+                report.dropped_entries.append(key)
+                if not dry_run:
+                    del entries[key]
+                continue
+            live[key] = blob.stat().st_size
+
+        if max_bytes is not None:
+            total = sum(live.values())
+            oldest_first = sorted(
+                live, key=lambda k: (entries[k].get("created", ""), k))
+            for key in oldest_first:
+                if total <= max_bytes:
+                    break
+                blob = self.root / entries[key]["file"]
+                report.removed_blobs.append(blob.name)
+                report.dropped_entries.append(key)
+                report.freed_bytes += live[key]
+                total -= live.pop(key)
+                if not dry_run:
+                    blob.unlink()
+                    del entries[key]
+
+        report.kept_bytes = sum(live.values())
+        if not dry_run and (report.removed_blobs or report.dropped_entries):
+            self._write_manifest(manifest)
+        return report

@@ -86,8 +86,16 @@ class RandomForestRegressor(_BaseForest):
     def predict(self, X) -> np.ndarray:
         self._require_fitted()
         X = check_X(X, self.n_features_)
-        preds = np.stack([t.predict(X) for t in self.estimators_])
-        return preds.mean(axis=0)
+        # accumulate tree by tree instead of np.mean(axis=0): numpy
+        # picks pairwise vs sequential summation by memory layout, so
+        # the mean of a 1-row batch could differ in the last ulp from
+        # the same row inside a larger batch.  Sequential accumulation
+        # makes predictions independent of batch composition — the
+        # serving layer relies on that for bit-exact parity.
+        total = self.estimators_[0].predict(X).astype(np.float64, copy=True)
+        for tree in self.estimators_[1:]:
+            total += tree.predict(X)
+        return total / len(self.estimators_)
 
 
 class RandomForestClassifier(_BaseForest):

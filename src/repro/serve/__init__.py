@@ -1,0 +1,53 @@
+"""Online inference: model registry + micro-batching prediction serving.
+
+The offline pipeline trains delay regressors; this package serves them:
+
+* :mod:`repro.serve.registry` — versioned on-disk
+  :class:`ModelRegistry` (``publish`` / ``resolve`` / ``list`` /
+  ``gc``), keyed by FU, corner grid, training-stream fingerprint, and
+  feature-spec version;
+* :mod:`repro.serve.engine` — long-lived :class:`PredictionEngine`
+  keeping models hot, chaining per-stream history, micro-batching
+  mixed-corner requests into single forest passes, and falling back to
+  gate-level simulation for unpublished FUs;
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — stdlib
+  HTTP/JSON server (``repro serve``) and client.
+"""
+
+from .client import ServeClient, ServeError
+from .engine import (
+    EngineStats,
+    Prediction,
+    PredictionEngine,
+    PredictRequest,
+)
+from .registry import (
+    MODEL_KINDS,
+    ModelRecord,
+    ModelRegistry,
+    RegistryGCReport,
+    corner_fingerprint,
+    fu_fingerprint,
+    model_key,
+    stream_fingerprint,
+)
+from .server import MicroBatcher, PredictionServer
+
+__all__ = [
+    "EngineStats",
+    "MODEL_KINDS",
+    "MicroBatcher",
+    "ModelRecord",
+    "ModelRegistry",
+    "Prediction",
+    "PredictionEngine",
+    "PredictionServer",
+    "PredictRequest",
+    "RegistryGCReport",
+    "ServeClient",
+    "ServeError",
+    "corner_fingerprint",
+    "fu_fingerprint",
+    "model_key",
+    "stream_fingerprint",
+]

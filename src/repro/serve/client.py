@@ -1,0 +1,101 @@
+"""Stdlib client for a running ``repro serve`` instance.
+
+Thin ``urllib``-based wrapper so scripts (and the CI smoke job) can
+query the server without any third-party HTTP dependency:
+
+>>> client = ServeClient("127.0.0.1", 8000)
+>>> client.health()["status"]
+'ok'
+>>> client.predict(fu="int_add", a=3, b=4, voltage=0.9, temperature=25.0)
+{'ok': True, 'delay_ps': ..., ...}
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+
+class ServeError(RuntimeError):
+    """Server-side failure (HTTP error status or per-request failure)."""
+
+    def __init__(self, message: str, status: int = 0,
+                 payload: Optional[Dict] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServeClient:
+    """JSON client bound to one server address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000,
+                 timeout: float = 30.0) -> None:
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+
+    def _call(self, path: str, payload: Optional[Dict] = None) -> Dict:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                body = json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read())
+            except (json.JSONDecodeError, ValueError):
+                body = {}
+            # 422 carries per-request results; surface them to the caller
+            if exc.code == 422 and "predictions" in body:
+                return body
+            raise ServeError(body.get("error", str(exc)), status=exc.code,
+                             payload=body) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(f"cannot reach {url}: {exc.reason}") from None
+        return body
+
+    # -- endpoints ------------------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._call("/health")
+
+    def stats(self) -> Dict:
+        return self._call("/stats")
+
+    def models(self) -> List[Dict]:
+        return self._call("/models")["models"]
+
+    def configure(self, batch_window_ms: Optional[float] = None,
+                  max_batch: Optional[int] = None,
+                  refresh_models: bool = False) -> Dict:
+        payload: Dict = {}
+        if batch_window_ms is not None:
+            payload["batch_window_ms"] = batch_window_ms
+        if max_batch is not None:
+            payload["max_batch"] = max_batch
+        if refresh_models:
+            payload["refresh_models"] = True
+        return self._call("/config", payload)
+
+    def predict_many(self, requests: Sequence[Dict]) -> List[Dict]:
+        """Batch predict; returns per-request dicts aligned with input."""
+        body = self._call("/predict", {"requests": list(requests)})
+        return body["predictions"]
+
+    def predict(self, **request) -> Dict:
+        """Single predict; raises :class:`ServeError` on failure."""
+        result = self.predict_many([request])[0]
+        if not result.get("ok"):
+            raise ServeError(result.get("message", "prediction failed"),
+                             payload=result)
+        return result

@@ -1,0 +1,279 @@
+"""Stdlib HTTP/JSON front end over the prediction engine.
+
+``repro serve`` starts a :class:`PredictionServer`: a threading HTTP
+server whose handler threads do **not** call the engine directly —
+they enqueue onto a :class:`MicroBatcher`, a single consumer thread
+that waits ``batch_window_ms`` after the first request lands (or until
+``max_batch`` accumulate) and pushes the whole slab through one
+vectorized :meth:`~repro.serve.engine.PredictionEngine.predict_batch`.
+Concurrent connections therefore share forest passes instead of
+serializing on per-request model calls.
+
+Endpoints (all JSON):
+
+* ``POST /predict`` — body ``{"requests": [...]}`` or a single request
+  object; returns per-request predictions in order.
+* ``GET  /models``  — published registry records.
+* ``GET  /health``  — liveness + registry/model counts.
+* ``GET  /stats``   — engine + batching counters and current config.
+* ``POST /config``  — adjust ``batch_window_ms`` / ``max_batch`` at
+  runtime (the dynamic-serving-parameter idea from PAPERS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .engine import Prediction, PredictionEngine, PredictRequest
+
+
+class _Pending:
+    """One queued request awaiting its batch result."""
+
+    __slots__ = ("request", "done", "result")
+
+    def __init__(self, request: PredictRequest) -> None:
+        self.request = request
+        self.done = threading.Event()
+        self.result: Optional[Prediction] = None
+
+
+class MicroBatcher:
+    """Collects requests across threads into engine-sized batches."""
+
+    def __init__(self, engine: PredictionEngine,
+                 batch_window_ms: float = 2.0, max_batch: int = 64) -> None:
+        self.engine = engine
+        self.configure(batch_window_ms=batch_window_ms, max_batch=max_batch)
+        self._cond = threading.Condition()
+        self._queue: List[_Pending] = []
+        self._stopped = False
+        self.n_batches = 0
+        self.n_requests = 0
+        self.largest_batch = 0
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-serve-batcher")
+        self._thread.start()
+
+    def configure(self, batch_window_ms: Optional[float] = None,
+                  max_batch: Optional[int] = None) -> None:
+        """Runtime-adjustable batching knobs.
+
+        Validates everything before applying anything, so a rejected
+        call never half-applies.
+        """
+        if batch_window_ms is not None and float(batch_window_ms) < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if max_batch is not None and int(max_batch) < 1:
+            raise ValueError("max_batch must be >= 1")
+        if batch_window_ms is not None:
+            self.batch_window_ms = float(batch_window_ms)
+        if max_batch is not None:
+            self.max_batch = int(max_batch)
+
+    def submit_many(self, requests: Sequence[PredictRequest]
+                    ) -> List[Prediction]:
+        """Enqueue and block until every request's batch has run."""
+        pending = [_Pending(r) for r in requests]
+        with self._cond:
+            if self._stopped:
+                raise RuntimeError("batcher is stopped")
+            self._queue.extend(pending)
+            self._cond.notify()
+        for p in pending:
+            p.done.wait()
+        return [p.result for p in pending]  # type: ignore[misc]
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopped = True
+            self._cond.notify()
+        self._thread.join(timeout=5.0)
+
+    def _drain(self) -> List[_Pending]:
+        batch = self._queue[:self.max_batch]
+        del self._queue[:len(batch)]
+        return batch
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopped:
+                    self._cond.wait()
+                if self._stopped and not self._queue:
+                    return
+                # first arrival: hold the window open for stragglers
+                deadline = time.monotonic() + self.batch_window_ms / 1e3
+                while (len(self._queue) < self.max_batch
+                       and not self._stopped):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                batch = self._drain()
+            try:
+                results = self.engine.predict_batch(
+                    [p.request for p in batch])
+            except Exception as exc:  # engine bug: fail the batch, live on
+                results = [Prediction(ok=False, message=f"engine error: {exc}")
+                           for _ in batch]
+            self.n_batches += 1
+            self.n_requests += len(batch)
+            self.largest_batch = max(self.largest_batch, len(batch))
+            for pending, result in zip(batch, results):
+                pending.result = result
+                pending.done.set()
+
+    def stats_dict(self) -> Dict:
+        return {"batches": self.n_batches, "requests": self.n_requests,
+                "largest_batch": self.largest_batch,
+                "mean_batch": (self.n_requests / self.n_batches
+                               if self.n_batches else 0.0),
+                "batch_window_ms": self.batch_window_ms,
+                "max_batch": self.max_batch}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "PredictionServer"
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON body: {exc}") from None
+        if not isinstance(data, dict):
+            raise ValueError("JSON body must be an object")
+        return data
+
+    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    # -- routes ---------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        path = self.path.split("?", 1)[0]
+        if path == "/health":
+            self._send_json(self.server.health())
+        elif path == "/models":
+            self._send_json({"models": self.server.model_records()})
+        elif path == "/stats":
+            self._send_json(self.server.stats())
+        else:
+            self._send_json({"error": f"unknown path {path!r}"}, 404)
+
+    def do_POST(self) -> None:
+        path = self.path.split("?", 1)[0]
+        try:
+            data = self._read_json()
+        except ValueError as exc:
+            self._send_json({"error": str(exc)}, 400)
+            return
+        if path == "/predict":
+            self._predict(data)
+        elif path == "/config":
+            self._config(data)
+        else:
+            self._send_json({"error": f"unknown path {path!r}"}, 404)
+
+    def _predict(self, data: Dict) -> None:
+        try:
+            raw = data["requests"] if "requests" in data else [data]
+            if not isinstance(raw, list) or not raw:
+                raise ValueError("'requests' must be a non-empty list")
+            requests = [PredictRequest.from_dict(item) for item in raw]
+        except (TypeError, ValueError) as exc:
+            self._send_json({"error": str(exc)}, 400)
+            return
+        results = self.server.batcher.submit_many(requests)
+        status = 200 if all(r.ok for r in results) else 422
+        self._send_json(
+            {"predictions": [r.as_dict() for r in results]}, status)
+
+    def _config(self, data: Dict) -> None:
+        try:
+            self.server.batcher.configure(
+                batch_window_ms=data.get("batch_window_ms"),
+                max_batch=data.get("max_batch"))
+        except (TypeError, ValueError) as exc:
+            self._send_json({"error": str(exc)}, 400)
+            return
+        if data.get("refresh_models"):
+            self.server.engine.refresh()
+        self._send_json({"ok": True,
+                         "config": self.server.batcher.stats_dict()})
+
+
+class PredictionServer(ThreadingHTTPServer):
+    """HTTP server owning one engine + one micro-batcher.
+
+    ``port=0`` binds an ephemeral port (see :attr:`address`); call
+    :meth:`serve_forever` (blocking) or :meth:`start_background`.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, engine: PredictionEngine, host: str = "127.0.0.1",
+                 port: int = 8000, batch_window_ms: float = 2.0,
+                 max_batch: int = 64, verbose: bool = False) -> None:
+        self.engine = engine
+        self.batcher = MicroBatcher(engine, batch_window_ms=batch_window_ms,
+                                    max_batch=max_batch)
+        self.verbose = verbose
+        self._started = time.monotonic()
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def start_background(self) -> threading.Thread:
+        thread = threading.Thread(target=self.serve_forever, daemon=True,
+                                  name="repro-serve-http")
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self.batcher.stop()
+
+    # -- endpoint payloads ----------------------------------------------------
+
+    def health(self) -> Dict:
+        registry = self.engine.registry
+        return {"status": "ok",
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "models_published": 0 if registry is None else len(registry),
+                "sim_fallback": self.engine.sim_fallback,
+                "kind": self.engine.kind}
+
+    def model_records(self) -> List[Dict]:
+        registry = self.engine.registry
+        if registry is None:
+            return []
+        return [{"model_id": r.model_id, "fu": r.fu, "kind": r.kind,
+                 "version": r.version, "key": r.key,
+                 "feature_spec": r.feature_spec, "corners": r.corners,
+                 "train_stream": r.train_stream, "created": r.created,
+                 "size_bytes": r.size_bytes}
+                for r in registry.list_models()]
+
+    def stats(self) -> Dict:
+        return {"engine": self.engine.stats_dict(),
+                "batching": self.batcher.stats_dict()}

@@ -1,0 +1,143 @@
+"""Model persistence: the registry's artifact format must round-trip
+every model kind with bit-identical predictions.
+
+Guards the serving registry against silent drift in the pickle layout:
+TEVoT, TEVoT-NH, and both baselines go through ``save_model`` /
+``load_model`` (and the legacy ``TEVoT.save``/``load`` front end) and
+must predict exactly what the in-memory model predicts.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_functional_unit
+from repro.core import (
+    DelayBasedModel,
+    TERBasedModel,
+    TEVoT,
+    build_training_set,
+    load_model,
+    make_tevot_nh,
+    save_model,
+)
+from repro.flow import CampaignRunner, error_free_clocks
+from repro.timing import OperatingCondition, sped_up_clock
+from repro.workloads import random_stream
+
+CONDS = [OperatingCondition(0.81, 0.0), OperatingCondition(1.00, 100.0)]
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """All four paper models fitted on one tiny characterization."""
+    fu = build_functional_unit("int_add", width=8)
+    stream = random_stream(60, operand_width=8, seed=0)
+    stream.name = "persist_train"
+    trace = CampaignRunner(use_cache=False).characterize(fu, stream, CONDS)
+
+    tevot = TEVoT(operand_width=8)
+    X, y = build_training_set(stream, CONDS, trace.delays, spec=tevot.spec)
+    tevot.fit(X, y)
+    nh = make_tevot_nh(operand_width=8)
+    X_nh, y_nh = build_training_set(stream, CONDS, trace.delays,
+                                    spec=nh.spec)
+    nh.fit(X_nh, y_nh)
+    delay_based = DelayBasedModel().fit(CONDS, trace.delays)
+    clocks = error_free_clocks(trace)
+    clock_table = {c: [sped_up_clock(clocks[c], s)
+                       for s in (0.05, 0.10, 0.15)] for c in CONDS}
+    ter_based = TERBasedModel(seed=0).fit(CONDS, trace.delays, clock_table)
+    probe = random_stream(25, operand_width=8, seed=1)
+    return tevot, nh, delay_based, ter_based, clock_table, probe
+
+
+class TestRoundTrips:
+    def test_tevot_roundtrip_bit_identical(self, fitted, tmp_path):
+        tevot, _, _, _, _, probe = fitted
+        path = tmp_path / "tevot.pkl"
+        tevot.save(path, metadata={"fu": "int_add"})
+        loaded, metadata = TEVoT.load_with_metadata(path)
+        assert metadata["fu"] == "int_add"
+        assert loaded.include_history is True
+        for cond in CONDS:
+            np.testing.assert_array_equal(
+                loaded.predict_stream_delays(probe, cond),
+                tevot.predict_stream_delays(probe, cond))
+
+    def test_tevot_nh_roundtrip_bit_identical(self, fitted, tmp_path):
+        _, nh, _, _, _, probe = fitted
+        path = tmp_path / "nh.pkl"
+        nh.save(path)
+        loaded = TEVoT.load(path)
+        assert loaded.include_history is False
+        for cond in CONDS:
+            np.testing.assert_array_equal(
+                loaded.predict_stream_delays(probe, cond),
+                nh.predict_stream_delays(probe, cond))
+
+    def test_delay_based_roundtrip_bit_identical(self, fitted, tmp_path):
+        _, _, delay_based, _, clock_table, _ = fitted
+        path = tmp_path / "delay_based.pkl"
+        save_model(delay_based, path)
+        loaded, _ = load_model(path)
+        for cond in CONDS:
+            assert loaded.max_delay(cond) == delay_based.max_delay(cond)
+            for tclk in clock_table[cond]:
+                np.testing.assert_array_equal(
+                    loaded.predict_errors(cond, tclk, 40),
+                    delay_based.predict_errors(cond, tclk, 40))
+
+    def test_ter_based_roundtrip_bit_identical(self, fitted, tmp_path):
+        _, _, _, ter_based, clock_table, _ = fitted
+        path = tmp_path / "ter_based.pkl"
+        save_model(ter_based, path)
+        loaded, _ = load_model(path)
+        for cond in CONDS:
+            for tclk in clock_table[cond]:
+                assert (loaded.timing_error_rate(cond, tclk)
+                        == ter_based.timing_error_rate(cond, tclk))
+                np.testing.assert_array_equal(
+                    loaded.predict_errors(cond, tclk, 40),
+                    ter_based.predict_errors(cond, tclk, 40))
+
+
+class TestFormatCompatibility:
+    def test_v1_bare_pickle_still_loads(self, fitted, tmp_path):
+        """Pre-registry artifacts were a bare pickled model object."""
+        tevot, _, _, _, _, probe = fitted
+        path = tmp_path / "legacy.pkl"
+        with path.open("wb") as fh:
+            pickle.dump(tevot, fh)
+        loaded, metadata = TEVoT.load_with_metadata(path)
+        assert metadata == {}
+        np.testing.assert_array_equal(
+            loaded.predict_stream_delays(probe, CONDS[0]),
+            tevot.predict_stream_delays(probe, CONDS[0]))
+
+    def test_wrong_class_rejected(self, fitted, tmp_path):
+        _, _, delay_based, _, _, _ = fitted
+        path = tmp_path / "wrong.pkl"
+        save_model(delay_based, path)
+        with pytest.raises(TypeError):
+            TEVoT.load(path)
+
+    def test_newer_format_version_rejected(self, tmp_path):
+        path = tmp_path / "future.pkl"
+        with path.open("wb") as fh:
+            pickle.dump({"format": "repro-model", "format_version": 99,
+                         "model": None, "metadata": {}}, fh)
+        with pytest.raises(ValueError, match="newer"):
+            load_model(path)
+
+    def test_artifact_payload_is_self_describing(self, fitted, tmp_path):
+        tevot, _, _, _, _, _ = fitted
+        path = tmp_path / "meta.pkl"
+        save_model(tevot, path, metadata={"note": "x"})
+        with path.open("rb") as fh:
+            payload = pickle.load(fh)
+        assert payload["class"] == "TEVoT"
+        assert payload["feature_spec"] == {"operand_width": 8,
+                                           "include_history": True}
+        assert payload["metadata"]["note"] == "x"

@@ -10,7 +10,6 @@ from repro.flow import (
     CampaignJob,
     CampaignRunner,
     TraceStore,
-    characterize,
     library_fingerprint,
     trace_key,
 )
@@ -57,9 +56,10 @@ class TestLibraryCacheRegression:
     def test_non_default_library_not_served_stale(self, tmp_path):
         fu = build_functional_unit("int_add", width=8)
         stream = random_stream(30, operand_width=8, seed=1)
-        base = characterize(fu, stream, CONDS, cache_dir=tmp_path)
-        slow = characterize(fu, stream, CONDS, library=_slow_library(),
-                            cache_dir=tmp_path)
+        runner = CampaignRunner(store=tmp_path)
+        base = runner.characterize(fu, stream, CONDS)
+        slow = runner.characterize(fu, stream, CONDS,
+                                   library=_slow_library())
         # doubled intrinsics must show up: strictly slower worst delay
         assert slow.delays.max() > base.delays.max()
         # and both entries coexist in the store
@@ -73,7 +73,8 @@ class TestTraceStore:
         store = TraceStore(tmp_path)
         key = trace_key(fu, stream, CONDS, DEFAULT_LIBRARY)
         assert store.get(key, CONDS) is None
-        trace = characterize(fu, stream, CONDS, use_cache=False)
+        trace = CampaignRunner(use_cache=False).characterize(
+            fu, stream, CONDS)
         store.put(key, trace, fu_name=fu.name, stream_name=stream.name,
                   library=DEFAULT_LIBRARY, backend="bitpacked")
         assert key in store
@@ -83,7 +84,7 @@ class TestTraceStore:
     def test_manifest_records_metadata(self, tmp_path):
         fu = build_functional_unit("int_add", width=8)
         stream = random_stream(25, operand_width=8, seed=3)
-        characterize(fu, stream, CONDS, cache_dir=tmp_path)
+        CampaignRunner(store=tmp_path).characterize(fu, stream, CONDS)
         manifest = json.loads((tmp_path / "manifest.json").read_text())
         (entry,) = manifest["entries"].values()
         assert entry["fu"] == "int_add"
@@ -102,7 +103,8 @@ class TestTraceStore:
         # concurrent writer clobbers the manifest
         fu = build_functional_unit("int_add", width=8)
         stream = random_stream(25, operand_width=8, seed=12)
-        first = characterize(fu, stream, CONDS, cache_dir=tmp_path)
+        first = CampaignRunner(store=tmp_path).characterize(fu, stream,
+                                                            CONDS)
         (tmp_path / "manifest.json").unlink()
         key = trace_key(fu, stream, CONDS, DEFAULT_LIBRARY)
         recovered = TraceStore(tmp_path).get(key, CONDS)
@@ -111,7 +113,7 @@ class TestTraceStore:
     def test_missing_blob_is_a_miss(self, tmp_path):
         fu = build_functional_unit("int_add", width=8)
         stream = random_stream(25, operand_width=8, seed=4)
-        characterize(fu, stream, CONDS, cache_dir=tmp_path)
+        CampaignRunner(store=tmp_path).characterize(fu, stream, CONDS)
         for blob in tmp_path.glob("dta_*.npz"):
             blob.unlink()
         key = trace_key(fu, stream, CONDS, DEFAULT_LIBRARY)
@@ -181,3 +183,73 @@ class TestCampaignRunner:
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError):
             CampaignRunner(n_workers=0)
+
+
+class TestTraceStoreGC:
+    def _populate(self, tmp_path, seeds=(20, 21, 22)):
+        fu = build_functional_unit("int_add", width=8)
+        runner = CampaignRunner(store=tmp_path)
+        for seed in seeds:
+            stream = random_stream(30, operand_width=8, seed=seed)
+            stream.name = f"gc_{seed}"
+            runner.characterize(fu, stream, CONDS)
+        return TraceStore(tmp_path)
+
+    def test_gc_removes_orphan_blobs(self, tmp_path):
+        store = self._populate(tmp_path)
+        orphan = tmp_path / "dta_int_add_stray_deadbeef.npz"
+        np.savez_compressed(orphan, delays=np.zeros((1, 2)))
+        report = store.gc()
+        assert orphan.name in report.removed_blobs
+        assert not orphan.exists()
+        assert len(store.entries()) == 3  # live entries untouched
+
+    def test_gc_drops_stale_manifest_entries(self, tmp_path):
+        store = self._populate(tmp_path)
+        key, entry = next(iter(store.entries().items()))
+        (tmp_path / entry["file"]).unlink()
+        report = store.gc()
+        assert key in report.dropped_entries
+        assert key not in store.entries()
+
+    def test_gc_size_budget_evicts_oldest_first(self, tmp_path):
+        store = self._populate(tmp_path)
+        entries = store.entries()
+        # stamp distinct ages so eviction order is deterministic
+        manifest = store._read_manifest()
+        for i, key in enumerate(sorted(entries)):
+            manifest["entries"][key]["created"] = f"2026-01-0{i + 1}T00:00:00"
+        store._write_manifest(manifest)
+        sizes = {key: (tmp_path / e["file"]).stat().st_size
+                 for key, e in entries.items()}
+        ordered = sorted(entries, key=lambda k: store.entries()[k]["created"])
+        budget = sizes[ordered[-1]]  # room for exactly the newest blob
+        report = store.gc(max_bytes=budget)
+        remaining = store.entries()
+        assert list(remaining) == [ordered[-1]]
+        assert report.kept_bytes <= budget
+        # evicted blobs really left the disk
+        assert len(list(tmp_path.glob("dta_*.npz"))) == 1
+
+    def test_gc_zero_budget_empties_store(self, tmp_path):
+        store = self._populate(tmp_path)
+        store.gc(max_bytes=0)
+        assert store.entries() == {}
+        assert list(tmp_path.glob("dta_*.npz")) == []
+
+    def test_gc_dry_run_touches_nothing(self, tmp_path):
+        store = self._populate(tmp_path)
+        before = set(p.name for p in tmp_path.glob("dta_*.npz"))
+        report = store.gc(max_bytes=0, dry_run=True)
+        assert len(report.removed_blobs) == 3
+        assert set(p.name for p in tmp_path.glob("dta_*.npz")) == before
+        assert len(store.entries()) == 3
+
+    def test_gc_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceStore(tmp_path).gc(max_bytes=-1)
+
+    def test_gc_on_missing_store_is_noop(self, tmp_path):
+        report = TraceStore(tmp_path / "nope").gc()
+        assert report.removed_blobs == []
+        assert report.dropped_entries == []

@@ -42,7 +42,16 @@ class TestImplement:
         assert "cla" in design.netlist.name
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestCharacterize:
+    """The deprecated shim must keep behaving like CampaignRunner."""
+
+    def test_shim_emits_deprecation_warning(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(10, operand_width=8, seed=9)
+        with pytest.warns(DeprecationWarning, match="CampaignRunner"):
+            characterize(fu, stream, CONDS, cache_dir=tmp_path)
+
     def test_delay_trace_shape(self, tmp_path):
         fu = build_functional_unit("int_add", width=8)
         stream = random_stream(30, operand_width=8, seed=0)

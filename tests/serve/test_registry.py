@@ -1,0 +1,166 @@
+"""Tests for the serving model registry."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_functional_unit
+from repro.core import TEVoT, build_training_set
+from repro.flow import CampaignRunner
+from repro.serve import ModelRegistry, model_key, stream_fingerprint
+from repro.timing import OperatingCondition
+from repro.workloads import random_stream
+
+CONDS = [OperatingCondition(0.81, 0.0), OperatingCondition(1.00, 100.0)]
+
+
+@pytest.fixture(scope="module")
+def trained():
+    fu = build_functional_unit("int_add", width=8)
+    stream = random_stream(60, operand_width=8, seed=0)
+    stream.name = "reg_train"
+    trace = CampaignRunner(use_cache=False).characterize(fu, stream, CONDS)
+    model = TEVoT(operand_width=8)
+    X, y = build_training_set(stream, CONDS, trace.delays, spec=model.spec)
+    model.fit(X, y)
+    return fu, stream, model
+
+
+class TestPublishResolve:
+    def test_roundtrip_preserves_predictions(self, tmp_path, trained):
+        fu, stream, model = trained
+        registry = ModelRegistry(tmp_path)
+        record = registry.publish(model, fu=fu, conditions=CONDS,
+                                  train_stream=stream)
+        assert record.model_id == "int_add/tevot/v1"
+        loaded, found = registry.resolve("int_add")
+        assert found.model_id == record.model_id
+        ref = model.predict_stream_delays(stream, CONDS[0])
+        np.testing.assert_array_equal(
+            loaded.predict_stream_delays(stream, CONDS[0]), ref)
+
+    def test_versions_increment_and_resolve_newest(self, tmp_path, trained):
+        fu, stream, model = trained
+        registry = ModelRegistry(tmp_path)
+        r1 = registry.publish(model, fu=fu)
+        r2 = registry.publish(model, fu=fu)
+        assert (r1.version, r2.version) == (1, 2)
+        _, found = registry.resolve("int_add")
+        assert found.version == 2
+        _, pinned = registry.resolve("int_add", version=1)
+        assert pinned.version == 1
+
+    def test_missing_model_raises_lookup_error(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(LookupError):
+            registry.resolve("int_mul")
+
+    def test_unknown_kind_rejected(self, tmp_path, trained):
+        _, _, model = trained
+        with pytest.raises(ValueError, match="kind"):
+            ModelRegistry(tmp_path).publish(model, fu="int_add",
+                                            kind="nonsense")
+
+    def test_record_carries_fingerprints(self, tmp_path, trained):
+        fu, stream, model = trained
+        registry = ModelRegistry(tmp_path)
+        record = registry.publish(model, fu=fu, conditions=CONDS,
+                                  train_stream=stream)
+        assert record.train_stream == stream_fingerprint(stream)
+        assert record.feature_spec["operand_width"] == 8
+        assert record.feature_spec["include_history"] is True
+        assert record.key == model_key(fu, "tevot", CONDS, stream,
+                                       model.spec.version_tag())
+
+    def test_key_sensitive_to_stream_and_corners(self, trained):
+        fu, stream, model = trained
+        tag = model.spec.version_tag()
+        base = model_key(fu, "tevot", CONDS, stream, tag)
+        other_stream = random_stream(60, operand_width=8, seed=9)
+        assert base != model_key(fu, "tevot", CONDS, other_stream, tag)
+        assert base != model_key(fu, "tevot", CONDS[:1], stream, tag)
+        assert base != model_key(fu, "tevot", CONDS, stream, "fs2:w8:h1")
+
+    def test_list_models_filters(self, tmp_path, trained):
+        fu, _, model = trained
+        registry = ModelRegistry(tmp_path)
+        registry.publish(model, fu=fu, kind="tevot")
+        registry.publish(model, fu=fu, kind="tevot_nh")
+        assert len(registry.list_models()) == 2
+        assert len(registry.list_models(kind="tevot")) == 1
+        assert len(registry.list_models(fu="fp_add")) == 0
+        assert len(registry) == 2
+
+
+class TestGC:
+    def test_gc_keeps_latest_versions(self, tmp_path, trained):
+        fu, _, model = trained
+        registry = ModelRegistry(tmp_path)
+        for _ in range(3):
+            registry.publish(model, fu=fu)
+        report = registry.gc(keep=1)
+        assert len(report.dropped_entries) == 2
+        (record,) = registry.list_models()
+        assert record.version == 3
+        # artifact files for old versions are gone
+        assert len(list(tmp_path.glob("*.pkl"))) == 1
+
+    def test_gc_removes_orphan_artifacts(self, tmp_path, trained):
+        fu, _, model = trained
+        registry = ModelRegistry(tmp_path)
+        registry.publish(model, fu=fu)
+        orphan = tmp_path / "stray_artifact.pkl"
+        with orphan.open("wb") as fh:
+            pickle.dump({"junk": 1}, fh)
+        report = registry.gc()
+        assert "stray_artifact.pkl" in report.removed_files
+        assert not orphan.exists()
+
+    def test_gc_drops_entries_with_missing_files(self, tmp_path, trained):
+        fu, _, model = trained
+        registry = ModelRegistry(tmp_path)
+        record = registry.publish(model, fu=fu)
+        (tmp_path / record.file).unlink()
+        report = registry.gc()
+        assert record.model_id in report.dropped_entries
+        assert registry.list_models() == []
+
+    def test_gc_dry_run_touches_nothing(self, tmp_path, trained):
+        fu, _, model = trained
+        registry = ModelRegistry(tmp_path)
+        for _ in range(2):
+            registry.publish(model, fu=fu)
+        report = registry.gc(keep=1, dry_run=True)
+        assert report.dropped_entries
+        assert len(registry.list_models()) == 2
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+
+    def test_gc_keep_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ModelRegistry(tmp_path).gc(keep=0)
+
+
+class TestPipelinePublish:
+    def test_run_experiment_publishes_all_kinds(self, tmp_path, monkeypatch):
+        from repro.core import run_experiment
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        registry = ModelRegistry(tmp_path / "registry")
+        result = run_experiment("int_add", conditions=CONDS,
+                                n_train_cycles=100, n_test_cycles=60,
+                                width=8, registry=registry)
+        records = registry.list_models(fu="int_add")
+        assert {r.kind for r in records} == {"tevot", "tevot_nh",
+                                             "delay_based", "ter_based"}
+        # the registry's resolved TEVoT predicts exactly like the
+        # in-memory result of the experiment
+        loaded, _ = registry.resolve("int_add")
+        probe = random_stream(20, operand_width=8, seed=2)
+        np.testing.assert_array_equal(
+            loaded.predict_stream_delays(probe, CONDS[0]),
+            result.tevot.predict_stream_delays(probe, CONDS[0]))
+        # train-stream fingerprint recorded from the train trace inputs
+        (tevot_rec,) = [r for r in records if r.kind == "tevot"]
+        assert tevot_rec.train_stream != "-"
+        assert tevot_rec.corners != "-"

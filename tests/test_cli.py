@@ -49,3 +49,85 @@ class TestCommands:
                    "--voltages", "0.85", "--temperatures", "25"])
         assert rc == 0
         assert "TER" in capsys.readouterr().out
+
+
+class TestValidation:
+    @pytest.mark.parametrize("argv", [
+        ["characterize", "--fu", "int_add", "--cycles", "0"],
+        ["campaign", "--fu", "int_add", "--cycles", "-5"],
+        ["train", "--fu", "int_add", "--cycles", "0", "-o", "m.pkl"],
+        ["train", "--fu", "int_add", "--max-rows", "0", "-o", "m.pkl"],
+        ["predict", "-m", "m.pkl", "--fu", "int_add", "--cycles", "-1"],
+        ["predict", "-m", "m.pkl", "--fu", "int_add", "--speedup", "-0.1"],
+        ["campaign", "--workers", "0"],
+        ["serve", "--max-batch", "0"],
+        ["serve", "--batch-window-ms", "-1"],
+    ])
+    def test_nonpositive_values_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    def test_backend_error_lists_available_names(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "--fu", "int_add",
+                                       "--backend", "quantum"])
+        err = capsys.readouterr().err
+        for name in ("bitpacked", "levelized", "event"):
+            assert name in err
+
+
+class TestStoreCommands:
+    def test_store_gc_and_list(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["characterize", "--fu", "int_add", "--cycles", "30",
+                     "--voltages", "0.9", "--temperatures", "25"]) == 0
+        assert main(["store", "list"]) == 0
+        assert "1 entr" in capsys.readouterr().out
+        # zero budget evicts everything
+        assert main(["store", "gc", "--max-mb", "0"]) == 0
+        assert "removed 1 blob" in capsys.readouterr().out
+        assert list(tmp_path.glob("dta_*.npz")) == []
+
+    def test_store_gc_dry_run(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        main(["characterize", "--fu", "int_add", "--cycles", "30",
+              "--voltages", "0.9", "--temperatures", "25"])
+        capsys.readouterr()
+        assert main(["store", "gc", "--max-mb", "0", "--dry-run"]) == 0
+        assert "would have" in capsys.readouterr().out
+        assert len(list(tmp_path.glob("dta_*.npz"))) == 1
+
+
+class TestModelRegistryCommands:
+    def test_train_publish_list_gc(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        model_path = tmp_path / "m.pkl"
+        registry = tmp_path / "registry"
+        rc = main(["train", "--fu", "int_add", "--cycles", "60",
+                   "--voltages", "0.9", "--temperatures", "25",
+                   "-o", str(model_path), "--publish", str(registry)])
+        assert rc == 0
+        assert "published int_add/tevot/v1" in capsys.readouterr().out
+
+        # publish the saved artifact again -> v2
+        rc = main(["models", "publish", "--registry", str(registry),
+                   "-m", str(model_path), "--fu", "int_add"])
+        assert rc == 0
+        assert "int_add/tevot/v2" in capsys.readouterr().out
+
+        assert main(["models", "list", "--registry", str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert "int_add/tevot/v1" in out and "int_add/tevot/v2" in out
+
+        assert main(["models", "gc", "--registry", str(registry),
+                     "--keep", "1"]) == 0
+        capsys.readouterr()
+        main(["models", "list", "--registry", str(registry)])
+        out = capsys.readouterr().out
+        assert "int_add/tevot/v2" in out and "v1" not in out
+
+    def test_models_publish_requires_model_and_fu(self, tmp_path, capsys):
+        assert main(["models", "publish", "--registry",
+                     str(tmp_path)]) == 2
+        assert main(["models", "publish", "--registry", str(tmp_path),
+                     "-m", "x.pkl"]) == 2

@@ -6,7 +6,7 @@ import pytest
 
 from repro.circuits import PAPER_UNITS, build_functional_unit
 from repro.core import run_experiment
-from repro.flow import characterize, error_free_clocks
+from repro.flow import CampaignRunner
 from repro.timing import OperatingCondition, run_sta
 from repro.workloads import stream_for_unit
 
@@ -34,7 +34,7 @@ def test_dynamic_delay_never_exceeds_static(fu_name, tmp_path):
     fu = build_functional_unit(fu_name)
     stream = stream_for_unit(fu_name, 60, seed=5)
     stream.name = f"integ_{fu_name}"
-    trace = characterize(fu, stream, CONDS, cache_dir=tmp_path)
+    trace = CampaignRunner(store=tmp_path).characterize(fu, stream, CONDS)
     for k, cond in enumerate(CONDS):
         static = run_sta(fu.netlist, cond).critical_delay
         assert np.all(trace.delays[k] <= static + 1e-2), (fu_name, cond)
