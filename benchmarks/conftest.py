@@ -9,8 +9,12 @@ default scale (documented in EXPERIMENTS.md).  Scale knobs:
   (default 1500).
 * ``REPRO_BENCH_BACKEND`` — simulation backend for every
   characterization (default: the campaign layer's default, the
-  bit-packed engine).
+  compiled level-parallel engine).
 * ``REPRO_BENCH_WORKERS`` — campaign process-pool width (default 1).
+* ``REPRO_BENCH_SHARD_CYCLES`` — cycle-range shard size for single
+  jobs (default: auto-sized from the worker count).
+* ``REPRO_BENCH_SMOKE=1`` — shrink the simspeed bench to an
+  import/parity smoke test (skips throughput-floor assertions).
 
 Rendered tables are printed in the pytest terminal summary and written
 to ``benchmarks/results/``.
@@ -65,9 +69,11 @@ def conditions():
 @pytest.fixture(scope="session")
 def campaign_runner():
     """Shared campaign runner for every bench characterization."""
+    shard = os.environ.get("REPRO_BENCH_SHARD_CYCLES")
     return CampaignRunner(
         backend=os.environ.get("REPRO_BENCH_BACKEND", DEFAULT_BACKEND),
-        n_workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+        n_workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+        shard_cycles=int(shard) if shard else None)
 
 
 @pytest.fixture(scope="session")

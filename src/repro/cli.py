@@ -104,7 +104,8 @@ def cmd_characterize(args) -> int:
 def cmd_campaign(args) -> int:
     conditions = _conditions(args)
     runner = CampaignRunner(backend=args.backend, n_workers=args.workers,
-                            use_cache=not args.no_cache)
+                            use_cache=not args.no_cache,
+                            shard_cycles=args.shard_cycles)
     jobs = []
     for name in args.fu:
         fu = build_functional_unit(name)
@@ -112,13 +113,25 @@ def cmd_campaign(args) -> int:
         stream.name = f"cli_campaign_{name}_{args.seed}"
         jobs.append(CampaignJob(fu, stream, conditions))
     traces = runner.run(jobs)
+    stats = runner.stats
+    summary = f"[{stats.hits} cached, {stats.misses} simulated"
+    if stats.misses:
+        summary += (f" in {stats.wall_seconds:.2f}s wall / "
+                    f"{stats.sim_seconds:.2f}s sim across "
+                    f"{stats.total_shards} shard(s)")
+    summary += "]"
     print(f"campaign: {len(jobs)} job(s), {len(conditions)} corner(s), "
-          f"backend={args.backend}, workers={args.workers} "
-          f"[{runner.stats.hits} cached, {runner.stats.misses} simulated]")
-    for job, trace in zip(jobs, traces):
+          f"backend={args.backend}, workers={args.workers} {summary}")
+    for i, (job, trace) in enumerate(zip(jobs, traces)):
         d = trace.delays
-        print(f"  {job.fu.name:8s} {trace.n_cycles:6d} cycles  "
-              f"mean {d.mean():8.1f} ps  worst {d.max():8.1f} ps")
+        line = (f"  {job.fu.name:8s} {trace.n_cycles:6d} cycles  "
+                f"mean {d.mean():8.1f} ps  worst {d.max():8.1f} ps")
+        if i in stats.job_shards:
+            line += (f"  [{stats.job_shards[i]} shard(s), "
+                     f"{stats.job_seconds[i]:.2f}s sim]")
+        else:
+            line += "  [cached]"
+        print(line)
     return 0
 
 
@@ -279,6 +292,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=_positive_int, default=1000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=_positive_int, default=1)
+    p.add_argument("--shard-cycles", type=_positive_int, default=None,
+                   help="cycle-range shard size for single jobs "
+                        "(default: auto-sized from --workers)")
     _backend_arg(p)
     p.add_argument("--no-cache", action="store_true",
                    help="skip the trace store entirely")

@@ -3,11 +3,13 @@
 from .asicflow import ImplementedDesign, implement
 from .campaign import (
     DEFAULT_BACKEND,
+    MIN_SHARD_CYCLES,
     CampaignJob,
     CampaignRunner,
     CampaignStats,
     characterize,
     error_free_clocks,
+    plan_cycle_shards,
 )
 from .manifest import read_manifest, write_manifest
 from .tracestore import (
@@ -25,12 +27,14 @@ __all__ = [
     "DEFAULT_BACKEND",
     "GCReport",
     "ImplementedDesign",
+    "MIN_SHARD_CYCLES",
     "TraceStore",
     "characterize",
     "default_cache_dir",
     "error_free_clocks",
     "implement",
     "library_fingerprint",
+    "plan_cycle_shards",
     "read_manifest",
     "trace_key",
     "write_manifest",

@@ -10,11 +10,16 @@ and a :class:`CampaignRunner` executes a batch of jobs:
   :class:`~repro.flow.tracestore.TraceStore` keyed by netlist, stream,
   corners, **and library**, so reruns are cache hits;
 * cache misses fan out over a ``concurrent.futures`` process pool when
-  ``n_workers > 1`` (each worker receives only the picklable job core:
-  netlist + input bits + delay matrix + backend name);
+  ``n_workers > 1`` — across jobs *and*, for backends that support it,
+  across **cycle-range shards within a job**: cycle ``t`` of the DTA
+  arrival pass depends only on input rows ``t`` and ``t+1``, so a huge
+  stream splits into shards (each receiving rows ``[start, stop + 1]``)
+  whose delay matrices are stitched back in submission order — results
+  are bit-identical for every ``n_workers``/shard-size configuration;
 * the simulation backend is pluggable
-  (:func:`repro.sim.engine.get_backend`); the default is the
-  bit-packed engine, which is delay-identical to ``levelized``.
+  (:func:`repro.sim.engine.get_backend`); the default is the compiled
+  level-parallel engine, which is delay-identical to ``levelized`` and
+  ``bitpacked``.
 
 :func:`characterize` remains as a thin single-job compatibility shim;
 it now emits a :class:`DeprecationWarning` — new code should talk to
@@ -23,6 +28,7 @@ it now emits a :class:`DeprecationWarning` — new code should talk to
 
 from __future__ import annotations
 
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -34,16 +40,55 @@ import numpy as np
 from ..circuits.functional_units import FunctionalUnit
 from ..circuits.netlist import Netlist
 from ..sim.dta import DelayTrace
-from ..sim.engine import get_backend
+from ..sim.engine import DEFAULT_BACKEND, get_backend
 from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
 from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
-from .tracestore import TraceStore, default_cache_dir, trace_key
+from .tracestore import TraceStore, trace_key
 
-#: Backend used when callers do not ask for a specific one.  The
-#: bit-packed engine produces delays bit-identical to ``levelized``
-#: (asserted by tests/sim/test_engine.py) at lower cost.
-DEFAULT_BACKEND = "bitpacked"
+__all__ = [
+    "DEFAULT_BACKEND",
+    "CampaignJob",
+    "CampaignRunner",
+    "CampaignStats",
+    "MIN_SHARD_CYCLES",
+    "characterize",
+    "error_free_clocks",
+    "plan_cycle_shards",
+]
+
+#: Smallest shard the auto planner will produce; jobs below twice this
+#: never split (the per-shard overhead of pickling the netlist and
+#: re-lowering it in the worker would outweigh the parallelism).
+MIN_SHARD_CYCLES = 512
+
+
+def plan_cycle_shards(n_cycles: int, shard_cycles: Optional[int],
+                      n_workers: int = 1) -> List[Tuple[int, int]]:
+    """Split a cycle axis into contiguous ``(start, stop)`` ranges.
+
+    Shard ``(start, stop)`` covers cycles ``start .. stop-1`` and must
+    be simulated from input rows ``[start, stop + 1)`` — one leading
+    state row, exactly like the engines' internal chunking, which is
+    why stitching shard delay matrices back in order is bit-identical
+    to the unsharded run.
+
+    ``shard_cycles`` is the explicit shard size (``>= 1``); ``None``
+    picks one automatically: no splitting for a single worker, else
+    roughly two shards per worker, never smaller than
+    :data:`MIN_SHARD_CYCLES`.
+    """
+    if n_cycles < 1:
+        raise ValueError("n_cycles must be >= 1")
+    if shard_cycles is None:
+        if n_workers <= 1 or n_cycles < 2 * MIN_SHARD_CYCLES:
+            return [(0, n_cycles)]
+        shard_cycles = max(MIN_SHARD_CYCLES,
+                           -(-n_cycles // (2 * n_workers)))
+    elif shard_cycles < 1:
+        raise ValueError("shard_cycles must be >= 1")
+    return [(start, min(start + shard_cycles, n_cycles))
+            for start in range(0, n_cycles, shard_cycles)]
 
 
 @dataclass
@@ -62,26 +107,47 @@ class CampaignJob:
 
 @dataclass
 class CampaignStats:
-    """Bookkeeping from the latest :meth:`CampaignRunner.run`."""
+    """Bookkeeping from the latest :meth:`CampaignRunner.run`.
+
+    ``job_seconds``/``job_shards`` are keyed by the job's index in the
+    ``run()`` batch and only cover cache misses (cached jobs never
+    simulate).  ``sim_seconds`` is worker-side simulation time summed
+    over shards — with sharding across a pool it exceeds
+    ``wall_seconds``, and the ratio is the effective parallel speedup.
+    """
 
     hits: int = 0
     misses: int = 0
+    #: wall-clock seconds spent executing the cache-miss batch.
+    wall_seconds: float = 0.0
+    #: worker-side simulation seconds summed over all shards.
+    sim_seconds: float = 0.0
+    #: job index -> worker-side simulation seconds for that job.
+    job_seconds: Dict[int, float] = field(default_factory=dict)
+    #: job index -> number of cycle-range shards it was split into.
+    job_shards: Dict[int, int] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
         return self.hits + self.misses
 
+    @property
+    def total_shards(self) -> int:
+        return sum(self.job_shards.values())
+
 
 def _run_payload(payload: Tuple[Netlist, np.ndarray, np.ndarray, str]
-                 ) -> np.ndarray:
-    """Worker body: simulate one job core and return its delay matrix.
+                 ) -> Tuple[np.ndarray, float]:
+    """Worker body: simulate one shard and return (delays, seconds).
 
     Module-level (and free of FU reference models, which close over
     lambdas) so it pickles across process boundaries.
     """
     netlist, inputs, delay_matrix, backend_name = payload
+    start = time.perf_counter()
     backend = get_backend(backend_name)
-    return backend.run_delays(netlist, inputs, delay_matrix).delays
+    delays = backend.run_delays(netlist, inputs, delay_matrix).delays
+    return delays, time.perf_counter() - start
 
 
 class CampaignRunner:
@@ -100,13 +166,23 @@ class CampaignRunner:
         Process-pool width for cache misses; 1 runs inline.
     use_cache:
         Disable all persistence when False.
+    shard_cycles:
+        Cycle-range shard size for single jobs on backends that
+        support it (see
+        :attr:`~repro.sim.engine.SimBackend.supports_cycle_sharding`).
+        None (default) auto-sizes shards from ``n_workers`` so one
+        huge stream saturates the pool; results are bit-identical for
+        every shard size and worker count.
     """
 
     def __init__(self, backend: str = DEFAULT_BACKEND,
                  store: Union[TraceStore, str, Path, None] = None,
-                 n_workers: int = 1, use_cache: bool = True) -> None:
+                 n_workers: int = 1, use_cache: bool = True,
+                 shard_cycles: Optional[int] = None) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if shard_cycles is not None and shard_cycles < 1:
+            raise ValueError("shard_cycles must be >= 1")
         self.backend_name = backend
         self.backend = get_backend(backend)
         if not use_cache:
@@ -116,6 +192,7 @@ class CampaignRunner:
         else:
             self.store = TraceStore(store)
         self.n_workers = n_workers
+        self.shard_cycles = shard_cycles
         self.stats = CampaignStats()
 
     def run(self, jobs: Sequence[CampaignJob]) -> List[DelayTrace]:
@@ -123,8 +200,9 @@ class CampaignRunner:
 
         Cached jobs load from the store; the rest are simulated (in
         parallel when ``n_workers > 1``) and persisted.  The result
-        list is aligned with ``jobs`` and is identical whatever the
-        worker count — workers only ever compute independent jobs.
+        list is aligned with ``jobs`` and is bit-identical whatever
+        the worker count or shard size — workers only ever compute
+        independent jobs or independent cycle ranges of one job.
         """
         jobs = list(jobs)
         delay_model = self.backend.delay_model
@@ -145,20 +223,43 @@ class CampaignRunner:
             pending.append((i, job, key, inputs))
 
         if pending:
-            payloads = [
-                (job.fu.netlist, inputs,
-                 job.library.delay_matrix(job.fu.netlist,
-                                          list(job.conditions)),
-                 self.backend_name)
-                for _, job, _, inputs in pending
-            ]
-            if self.n_workers > 1 and len(pending) > 1:
-                workers = min(self.n_workers, len(pending))
+            batch_start = time.perf_counter()
+            shardable = getattr(self.backend, "supports_cycle_sharding",
+                                False)
+            # one task per (job, cycle shard); results regrouped below
+            tasks: List[Tuple[int, Tuple[Netlist, np.ndarray,
+                                         np.ndarray, str]]] = []
+            shard_counts: List[int] = []
+            for pos, (i, job, key, inputs) in enumerate(pending):
+                delay_matrix = job.library.delay_matrix(
+                    job.fu.netlist, list(job.conditions))
+                n_cycles = inputs.shape[0] - 1
+                bounds = (plan_cycle_shards(n_cycles, self.shard_cycles,
+                                            self.n_workers)
+                          if shardable else [(0, n_cycles)])
+                shard_counts.append(len(bounds))
+                for start, stop in bounds:
+                    tasks.append((pos, (job.fu.netlist,
+                                        inputs[start:stop + 1],
+                                        delay_matrix, self.backend_name)))
+
+            payloads = [payload for _, payload in tasks]
+            if self.n_workers > 1 and len(payloads) > 1:
+                workers = min(self.n_workers, len(payloads))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    delay_mats = list(pool.map(_run_payload, payloads))
+                    outcomes = list(pool.map(_run_payload, payloads))
             else:
-                delay_mats = [_run_payload(p) for p in payloads]
-            for (i, job, key, inputs), delays in zip(pending, delay_mats):
+                outcomes = [_run_payload(p) for p in payloads]
+
+            parts: List[List[np.ndarray]] = [[] for _ in pending]
+            seconds = [0.0] * len(pending)
+            for (pos, _), (delays, secs) in zip(tasks, outcomes):
+                parts[pos].append(delays)  # tasks are in shard order
+                seconds[pos] += secs
+            for pos, (i, job, key, inputs) in enumerate(pending):
+                shards = parts[pos]
+                delays = (shards[0] if len(shards) == 1
+                          else np.concatenate(shards, axis=1))
                 trace = DelayTrace(delays, list(job.conditions),
                                    inputs=inputs)
                 if self.store is not None:
@@ -169,6 +270,10 @@ class CampaignRunner:
                                    backend=self.backend_name)
                 results[i] = trace
                 self.stats.misses += 1
+                self.stats.job_seconds[i] = seconds[pos]
+                self.stats.job_shards[i] = shard_counts[pos]
+            self.stats.sim_seconds = sum(seconds)
+            self.stats.wall_seconds = time.perf_counter() - batch_start
         return results  # type: ignore[return-value]
 
     def characterize(self, fu: FunctionalUnit, stream: OperandStream,

@@ -1,7 +1,13 @@
-"""Simulation substrate: pluggable engine layer over the levelized,
-event-driven, and bit-packed timing simulators, plus VCD and DTA."""
+"""Simulation substrate: pluggable engine layer over the compiled,
+levelized, event-driven, and bit-packed timing simulators, plus VCD
+and DTA."""
 
 from .bitpacked import BitPackedBackend, BitPackedSimulator
+from .compile import (
+    CompiledBackend,
+    CompiledNetlist,
+    compile_netlist,
+)
 from .dta import (
     DelayTrace,
     delays_via_vcd,
@@ -10,6 +16,7 @@ from .dta import (
     timing_error_rate,
 )
 from .engine import (
+    DEFAULT_BACKEND,
     DelayTraceResult,
     SimBackend,
     available_backends,
@@ -23,6 +30,9 @@ from .vcd import VCDData, VCDWriter, delays_from_vcd, read_vcd
 __all__ = [
     "BitPackedBackend",
     "BitPackedSimulator",
+    "CompiledBackend",
+    "CompiledNetlist",
+    "DEFAULT_BACKEND",
     "DelayTrace",
     "DelayTraceResult",
     "EventBackend",
@@ -34,6 +44,7 @@ __all__ = [
     "VCDData",
     "VCDWriter",
     "available_backends",
+    "compile_netlist",
     "delays_from_vcd",
     "delays_via_vcd",
     "dynamic_delay_trace",

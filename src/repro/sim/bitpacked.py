@@ -8,13 +8,19 @@ deriving toggle masks.  This backend packs the cycle axis into
 gate, cutting the memory traffic of value/toggle computation by 8x
 versus one-byte-per-cycle arrays.
 
-Delay propagation cannot be bit-packed (arrival times are floats), so
-:meth:`BitPackedSimulator.run` falls back to the exact arrival pass of
-:class:`repro.sim.levelized.LevelizedSimulator` — same masking, same
-operation order, same float32 arithmetic — which makes its delays
-**bit-identical** to the levelized engine's (asserted by the backend
-parity tests).  ``run_values`` stays packed end to end and only unpacks
-the primary outputs.
+Execution runs on the level-parallel compiled kernels of
+:mod:`repro.sim.compile` with the packed value substrate: the netlist
+is lowered once (cached per netlist) and the value, toggle, and float
+arrival passes are loops over logic levels, not gates.  Delay
+propagation cannot be bit-packed (arrival times are floats); the shared
+arrival kernel reproduces the levelized engine's float32 pipeline
+operation for operation, which keeps delays **bit-identical** to the
+levelized engine's (asserted by the backend parity tests).
+``run_values`` stays packed end to end and only unpacks the primary
+outputs.
+
+The original per-gate loop is retained behind ``compiled=False`` as
+the reference semantics for the parity tests and the simspeed bench.
 
 Word layout invariants:
 
@@ -33,66 +39,43 @@ from typing import List, Optional
 import numpy as np
 
 from ..circuits.netlist import Netlist
+from .compile import (
+    compile_netlist,
+    pack_columns,
+    toggle_words,
+    unpack_words,
+)
 from .engine import DelayTraceResult, SimBackend
 from .levelized import LevelizedSimulator
 from .logic import eval_gate_words
 
+__all__ = [
+    "BitPackedBackend",
+    "BitPackedSimulator",
+    "pack_columns",
+    "toggle_words",
+    "unpack_words",
+]
+
 NEG_INF = np.float32(-np.inf)
-_ONE = np.uint64(1)
-_SIXTY_THREE = np.uint64(63)
-
-
-def pack_columns(matrix: np.ndarray) -> np.ndarray:
-    """Pack a ``(n_rows, n_cols)`` 0/1 matrix into per-column words.
-
-    Returns ``(n_cols, ceil(n_rows / 64))`` uint64 with row ``t`` of
-    column ``c`` at bit ``t % 64`` of ``out[c, t // 64]``.
-    """
-    cols = np.ascontiguousarray(np.asarray(matrix, dtype=np.uint8).T)
-    packed = np.packbits(cols, axis=1, bitorder="little")
-    pad = (-packed.shape[1]) % 8
-    if pad:
-        packed = np.pad(packed, ((0, 0), (0, pad)))
-    return packed.view(np.uint64)
-
-
-def unpack_words(words: np.ndarray, n: int) -> np.ndarray:
-    """First ``n`` bits of a packed word vector as a uint8 0/1 array."""
-    return np.unpackbits(np.ascontiguousarray(words).view(np.uint8),
-                         count=n, bitorder="little")
-
-
-def toggle_words(value_words: np.ndarray, n_cycles: int) -> np.ndarray:
-    """Packed toggle mask: bit ``t`` set iff rows ``t`` and ``t+1`` differ.
-
-    Only the first ``n_cycles`` bits are meaningful; the rest are
-    zeroed so ``any()`` tests and unpacks are exact.
-    """
-    shifted = value_words >> _ONE
-    if value_words.shape[0] > 1:
-        shifted[:-1] |= value_words[1:] << _SIXTY_THREE
-    tog = value_words ^ shifted
-    n_full, rem = divmod(n_cycles, 64)
-    if rem:
-        tog[n_full] &= np.uint64((1 << rem) - 1)
-        tog[n_full + 1:] = 0
-    else:
-        tog[n_full:] = 0
-    return tog
 
 
 class BitPackedSimulator:
     """Bit-parallel simulator for one netlist.
 
-    Same public contract as :class:`LevelizedSimulator` (and the same
-    eager net-freeing discipline); only the boolean substrate differs.
+    Same public contract as :class:`LevelizedSimulator` (including the
+    ``compiled`` switch); only the boolean substrate differs.
     """
 
-    def __init__(self, netlist: Netlist) -> None:
-        netlist.validate()
+    def __init__(self, netlist: Netlist, compiled: bool = True) -> None:
         self.netlist = netlist
-        self._last_use = LevelizedSimulator._compute_last_use(netlist)
-        self._po_set = frozenset(netlist.primary_outputs)
+        self.compiled = compiled
+        if compiled:
+            self._program = compile_netlist(netlist)  # validates, cached
+        else:  # pre-compilation reference path: no lowering, no cache pin
+            netlist.validate()
+            self._last_use = LevelizedSimulator._compute_last_use(netlist)
+            self._po_set = frozenset(netlist.primary_outputs)
 
     # -- public API -----------------------------------------------------------
 
@@ -106,6 +89,11 @@ class BitPackedSimulator:
         Chunk boundaries never affect results because each cycle's
         arrival computation only reads input rows ``t`` and ``t+1``.
         """
+        if self.compiled:
+            return self._program.run(input_matrix, gate_delays,
+                                     collect_outputs=collect_outputs,
+                                     chunk_cycles=chunk_cycles,
+                                     packed=True)
         inputs = np.asarray(input_matrix, dtype=np.uint8)
         if inputs.ndim != 2 or inputs.shape[1] != len(self.netlist.primary_inputs):
             raise ValueError(
@@ -156,6 +144,8 @@ class BitPackedSimulator:
         Fully bit-parallel — values stay packed through every gate and
         only the primary outputs are unpacked.
         """
+        if self.compiled:
+            return self._program.run_values(input_matrix, packed=True)
         inputs = np.asarray(input_matrix, dtype=np.uint8)
         if inputs.ndim != 2 or inputs.shape[1] != len(self.netlist.primary_inputs):
             raise ValueError("bad input matrix shape")
@@ -177,14 +167,14 @@ class BitPackedSimulator:
         return np.stack(
             [unpack_words(values[o], n) for o in nl.primary_outputs], axis=1)
 
-    # -- internals ---------------------------------------------------------------
+    # -- per-gate reference internals ------------------------------------------
 
     def _live_width_estimate(self) -> int:
         return LevelizedSimulator._live_width_estimate(self)  # type: ignore[arg-type]
 
     def _run_chunk(self, inputs: np.ndarray, delays: np.ndarray,
                    collect_outputs: bool):
-        """Simulate one chunk: ``inputs`` has n_cycles+1 rows.
+        """Per-gate reference chunk: ``inputs`` has n_cycles+1 rows.
 
         Values and toggle masks are computed on packed words; the
         arrival pass reproduces the levelized engine's float pipeline
@@ -257,19 +247,26 @@ class BitPackedSimulator:
 
 
 class BitPackedBackend(SimBackend):
-    """:class:`BitPackedSimulator` behind the engine protocol."""
+    """:class:`BitPackedSimulator` behind the engine protocol.
+
+    Runs the compiled level-parallel kernels on the packed uint64
+    value substrate; the per-netlist program cache makes repeated
+    calls cheap (no re-validation or re-lowering).
+    """
 
     name = "bitpacked"
     supports_multi_corner = True
+    supports_cycle_sharding = True
     models_glitches = False
 
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
                    gate_delays: np.ndarray,
                    collect_outputs: bool = False) -> DelayTraceResult:
-        sim = BitPackedSimulator(netlist)
-        return sim.run(input_matrix, gate_delays,
-                       collect_outputs=collect_outputs)
+        return compile_netlist(netlist).run(
+            input_matrix, gate_delays, collect_outputs=collect_outputs,
+            packed=True)
 
     def run_values(self, netlist: Netlist,
                    input_matrix: np.ndarray) -> np.ndarray:
-        return BitPackedSimulator(netlist).run_values(input_matrix)
+        return compile_netlist(netlist).run_values(input_matrix,
+                                                   packed=True)

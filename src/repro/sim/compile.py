@@ -1,0 +1,604 @@
+"""Compiled netlist programs: level-parallel simulation kernels.
+
+The levelized and bit-packed engines walk the netlist one gate at a
+time in Python — a 32-bit array multiplier is ~5.6k numpy dispatches
+per chunk, so characterization throughput is bounded by interpreter
+overhead, not by array work.  This module removes that bound with a
+one-time *lowering pass*: :func:`compile_netlist` turns a
+:class:`~repro.circuits.netlist.Netlist` into a
+:class:`CompiledNetlist` — flat structure-of-arrays form where gates
+are bucketed by ``(logic level, gate type)`` with fanin/output/delay
+index matrices per bucket.  Because a gate's inputs always sit at
+strictly lower levels, every bucket can be evaluated with whole-bucket
+fancy-indexed numpy ops, so the settled-value pass, the toggle pass,
+and the float arrival pass each become a short loop over *levels*
+instead of a Python loop over *gates*.
+
+Two value substrates share the same lowered program and the same
+arrival kernel:
+
+``packed=False``
+    per-cycle ``uint8`` values (the levelized engine's substrate);
+``packed=True``
+    cycle axis packed into ``uint64`` words, one bitwise op per 64
+    cycles (the bit-packed engine's substrate).
+
+Delays are **bit-identical** to the original per-gate engines: every
+per-gate float32 operation (mask with ``-inf``, running ``maximum``
+over fanins in pin order, add the gate delay, mask by output toggles)
+is reproduced elementwise on the grouped arrays, and ``max``/``where``
+/float32 ``+`` are exact elementwise ops whose values do not depend on
+how gates are batched.  The backend parity tests assert this against
+the retained per-gate reference paths.
+
+Programs are cached per netlist identity (a ``weakref``-evicted map),
+so repeated ``run_delays`` calls — e.g. one per campaign shard — pay
+for validation, levelization, and lowering exactly once per process.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import GATE_ARITY, GateType, Netlist
+from .engine import DelayTraceResult, SimBackend
+
+NEG_INF = np.float32(-np.inf)
+_ZERO = np.float32(0.0)
+_ONE = np.uint64(1)
+_SIXTY_THREE = np.uint64(63)
+_U8_ONE = np.uint8(1)
+_U64_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+#: Magnitude of the quiet-cycle arrival sentinel (an exact power of
+#: two, ~1.27e30).  Quiet arrivals only need to (a) lose every ``max``
+#: against a real arrival (reals are >= 0) and (b) stay negative under
+#: any accumulation of gate delays along a quiet chain — circuit depth
+#: times the largest gate delay is bounded far below this, and even
+#: pathological overflow saturates to -inf, which also satisfies both.
+_QUIET_SENTINEL = np.float32(2.0 ** 100)
+
+#: float32 elements of the arrival scratch (~12 MB): sized to keep the
+#: chunk state resident in last-level cache, where the level-parallel
+#: arrival pass is ~2x faster than streaming from DRAM (empirically
+#: flat across 4-20 MB on the paper FUs).
+_CHUNK_BUDGET_ELEMS = 3 * 1024 * 1024
+
+
+# -- bit packing primitives (canonical home; re-exported by bitpacked) --------
+
+
+def pack_columns(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(n_rows, n_cols)`` 0/1 matrix into per-column words.
+
+    Returns ``(n_cols, ceil(n_rows / 64))`` uint64 with row ``t`` of
+    column ``c`` at bit ``t % 64`` of ``out[c, t // 64]``.
+    """
+    cols = np.ascontiguousarray(np.asarray(matrix, dtype=np.uint8).T)
+    packed = np.packbits(cols, axis=1, bitorder="little")
+    pad = (-packed.shape[1]) % 8
+    if pad:
+        packed = np.pad(packed, ((0, 0), (0, pad)))
+    return packed.view(np.uint64)
+
+
+def unpack_words(words: np.ndarray, n: int) -> np.ndarray:
+    """First ``n`` bits of a packed word vector as a uint8 0/1 array."""
+    return np.unpackbits(np.ascontiguousarray(words).view(np.uint8),
+                         count=n, bitorder="little")
+
+
+def toggle_word_rows(value_words: np.ndarray, n_cycles: int) -> np.ndarray:
+    """Packed toggle masks for ``(n_nets, n_words)`` value words.
+
+    Bit ``t`` of row ``i`` is set iff rows ``t`` and ``t+1`` of net
+    ``i`` differ; bits past ``n_cycles`` are zeroed so ``any()`` tests
+    and unpacks are exact.
+    """
+    shifted = value_words >> _ONE
+    if value_words.shape[-1] > 1:
+        shifted[..., :-1] |= value_words[..., 1:] << _SIXTY_THREE
+    tog = value_words ^ shifted
+    n_full, rem = divmod(n_cycles, 64)
+    if rem:
+        tog[..., n_full] &= np.uint64((1 << rem) - 1)
+        tog[..., n_full + 1:] = 0
+    else:
+        tog[..., n_full:] = 0
+    return tog
+
+
+def toggle_words(value_words: np.ndarray, n_cycles: int) -> np.ndarray:
+    """Packed toggle mask of a single net's word vector."""
+    return toggle_word_rows(value_words[None, :], n_cycles)[0]
+
+
+# -- lowering -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateGroup:
+    """All gates of one type at one logic level, in index-array form.
+
+    Nets are renumbered during lowering so that a group's output nets
+    occupy the contiguous row range ``[start, stop)`` of every per-net
+    state array — group writes are slice views, only fanin reads
+    gather.
+    """
+
+    level: int
+    gtype: GateType
+    arity: int
+    #: ``(n,)`` original gate indices — columns of the delay matrix.
+    gate_idx: np.ndarray
+    #: output rows ``start .. stop-1``, aligned with ``gate_idx``.
+    start: int
+    stop: int
+    #: ``(arity, n)`` fanin *rows* (renumbered), pin-major.
+    fanin: np.ndarray
+
+
+@dataclass(frozen=True)
+class ArrivalBlock:
+    """One level's worth of gates for the float arrival pass.
+
+    The arrival recurrence ``max(fanin arrivals) + delay`` does not
+    depend on the gate function, so the pass merges value groups
+    level-wise into wider blocks: all 1- and 2-input gates of a level
+    form one block with a ``(2, n)`` fanin matrix (single-input gates
+    duplicate their pin — ``max(x, x) == x`` exactly), 3-input muxes
+    form another.  Fewer, larger numpy ops per level.
+    """
+
+    #: number of fanin rows carried per gate (2 or 3).
+    width: int
+    #: ``(n,)`` original gate indices — columns of the delay matrix.
+    gate_idx: np.ndarray
+    #: output rows ``start .. stop-1``, aligned with ``gate_idx``.
+    start: int
+    stop: int
+    #: ``(width, n)`` fanin rows, pin-major.
+    fanin: np.ndarray
+
+
+def _eval_group(gtype: GateType, ins: np.ndarray, shape, dtype,
+                ones) -> np.ndarray:
+    """Evaluate one gate type on stacked per-gate value rows.
+
+    ``ins`` is ``(arity, n_gates, width)``; works identically for the
+    uint8 substrate (``ones = 1``) and the packed uint64 substrate
+    (``ones = 0xFF..F``).
+    """
+    if gtype is GateType.CONST0:
+        return np.zeros(shape, dtype)
+    if gtype is GateType.CONST1:
+        return np.full(shape, ones, dtype)
+    if gtype is GateType.BUF:
+        return ins[0]
+    if gtype is GateType.NOT:
+        return ins[0] ^ ones
+    if gtype is GateType.AND2:
+        return ins[0] & ins[1]
+    if gtype is GateType.OR2:
+        return ins[0] | ins[1]
+    if gtype is GateType.NAND2:
+        return (ins[0] & ins[1]) ^ ones
+    if gtype is GateType.NOR2:
+        return (ins[0] | ins[1]) ^ ones
+    if gtype is GateType.XOR2:
+        return ins[0] ^ ins[1]
+    if gtype is GateType.XNOR2:
+        return (ins[0] ^ ins[1]) ^ ones
+    if gtype is GateType.MUX2:
+        sel, d0, d1 = ins
+        return (d0 & (sel ^ ones)) | (d1 & sel)
+    raise ValueError(f"unknown gate type {gtype!r}")
+
+
+class CompiledNetlist:
+    """One netlist lowered to level-parallel structure-of-arrays form.
+
+    Construction validates and levelizes the netlist once; use
+    :func:`compile_netlist` to get the per-netlist cached instance.
+    The program holds only flat arrays (no reference to the source
+    :class:`Netlist`), so cache eviction is driven purely by the
+    netlist's lifetime.
+
+    Nets are renumbered into *program row order*: primary inputs first
+    (rows ``0 .. n_inputs-1`` in declaration order), then each group's
+    outputs as one contiguous block.  ``net_row`` maps original net ids
+    to rows.  All kernel arrays (values, toggles, arrivals) use row
+    order, which turns every group write into a slice view; only fanin
+    reads gather.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        netlist.validate()
+        self.name = netlist.name
+        self.n_nets = netlist.n_nets
+        self.n_gates = len(netlist.gates)
+        self.n_inputs = len(netlist.primary_inputs)
+        self.n_outputs = len(netlist.primary_outputs)
+
+        level = netlist.levelize()
+        buckets: Dict[Tuple[int, GateType], List[int]] = {}
+        for idx, gate in enumerate(netlist.gates):
+            buckets.setdefault((level[gate.output], gate.gtype),
+                               []).append(idx)
+        gates = netlist.gates
+
+        # Group order: by level, then fanin-width class (constants /
+        # 1-2 pins / 3 pins), then type — so the gates of each arrival
+        # block (see below) are contiguous rows.
+        def width_class(arity: int) -> int:
+            return 0 if arity == 0 else (1 if arity <= 2 else 2)
+
+        ordered = sorted(
+            buckets,
+            key=lambda k: (k[0], width_class(GATE_ARITY[k[1]]), k[1].value))
+
+        #: original net id -> program row
+        self.net_row = np.empty(self.n_nets, dtype=np.int64)
+        for row, net in enumerate(netlist.primary_inputs):
+            self.net_row[net] = row
+        cursor = self.n_inputs
+        for key in ordered:
+            for idx in buckets[key]:
+                self.net_row[gates[idx].output] = cursor
+                cursor += 1
+
+        self.groups: List[GateGroup] = []
+        cursor = self.n_inputs
+        for lvl, gtype in ordered:
+            idxs = buckets[(lvl, gtype)]
+            arity = GATE_ARITY[gtype]
+            self.groups.append(GateGroup(
+                level=lvl, gtype=gtype, arity=arity,
+                gate_idx=np.asarray(idxs, dtype=np.int64),
+                start=cursor, stop=cursor + len(idxs),
+                fanin=np.asarray(
+                    [[self.net_row[gates[i].inputs[k]] for i in idxs]
+                     for k in range(arity)],
+                    dtype=np.int64).reshape(arity, len(idxs)),
+            ))
+            cursor += len(idxs)
+        self.n_levels = 1 + max((g.level for g in self.groups), default=0)
+        #: primary-output rows, in declaration order.
+        self.po_rows = self.net_row[
+            np.asarray(netlist.primary_outputs, dtype=np.int64)
+        ] if self.n_outputs else np.empty(0, dtype=np.int64)
+
+        # Arrival blocks: merge each level's 1-2 pin groups into one
+        # (2, n) block — single-pin gates duplicate their fanin, which
+        # is exact under max — and its muxes into one (3, n) block.
+        # Constant rows are collected for -inf initialization.
+        self.const_rows: List[Tuple[int, int]] = []
+        self.arrival_blocks: List[ArrivalBlock] = []
+        pending: Dict[Tuple[int, int], List[GateGroup]] = {}
+        for g in self.groups:
+            if g.arity == 0:
+                self.const_rows.append((g.start, g.stop))
+            else:
+                pending.setdefault((g.level, width_class(g.arity)),
+                                   []).append(g)
+        for (lvl, wclass), members in sorted(pending.items()):
+            width = 2 if wclass == 1 else 3
+            fanin_rows = []
+            for g in members:
+                fan = g.fanin
+                if g.arity == 1:
+                    fan = np.vstack([fan[0], fan[0]])
+                fanin_rows.append(fan)
+            self.arrival_blocks.append(ArrivalBlock(
+                width=width,
+                gate_idx=np.concatenate([g.gate_idx for g in members]),
+                start=members[0].start, stop=members[-1].stop,
+                fanin=np.concatenate(fanin_rows, axis=1),
+            ))
+
+    # -- kernels -----------------------------------------------------------
+
+    def settled_net_values(self, inputs: np.ndarray, packed: bool,
+                           out: Optional[np.ndarray] = None,
+                           pi_values: Optional[np.ndarray] = None
+                           ) -> np.ndarray:
+        """Settle every net for a stream of input rows.
+
+        Returns per-net rows in program row order (see class docs):
+        ``(n_nets, n_rows)`` uint8 or, with ``packed``, ``(n_nets,
+        ceil(n_rows / 64))`` uint64 words (tail bits past the last row
+        are unspecified, as in the per-gate engine).  ``out`` reuses a
+        previous result buffer; ``pi_values`` supplies pre-substrated
+        primary-input rows (chunked runs pack the stream once).
+        """
+        n_rows = inputs.shape[0]
+        if packed:
+            dtype, ones = np.uint64, _U64_ONES
+            width = (n_rows + 63) // 64
+            pi_vals = pack_columns(inputs) if pi_values is None else pi_values
+        else:
+            dtype, ones = np.uint8, _U8_ONE
+            width = n_rows
+            pi_vals = (np.ascontiguousarray(inputs.T)
+                       if pi_values is None else pi_values)
+        if out is not None and out.shape == (self.n_nets, width) \
+                and out.dtype == dtype:
+            values = out
+        else:
+            values = np.empty((self.n_nets, width), dtype=dtype)
+        values[:self.n_inputs] = pi_vals
+        for g in self.groups:
+            values[g.start:g.stop] = _eval_group(
+                g.gtype, values[g.fanin], (g.stop - g.start, width),
+                dtype, ones)
+        return values
+
+    def toggle_masks(self, values: np.ndarray, n_cycles: int,
+                     packed: bool) -> np.ndarray:
+        """Per-net toggle masks as a ``(n_nets, n_cycles)`` bool array."""
+        if packed:
+            tog = toggle_word_rows(values, n_cycles)
+            return np.unpackbits(tog.view(np.uint8), axis=1,
+                                 count=n_cycles,
+                                 bitorder="little").astype(bool)
+        return values[:, 1:] != values[:, :-1]
+
+    def quiet_masks(self, values: np.ndarray, n_cycles: int,
+                    packed: bool) -> np.ndarray:
+        """Per-net float arrival masks: ``0.0`` where toggling, a huge
+        negative sentinel where quiet, as a ``(n_nets, n_cycles)``
+        float32 array.
+
+        This is both the primary-input arrival initialization and the
+        output mask of the arrival pass.  Built with two vectorized
+        arithmetic ops — ``np.where``/table gathers over the same data
+        are several times slower.
+        """
+        if packed:
+            tog = toggle_word_rows(values, n_cycles)
+            bits = np.unpackbits(tog.view(np.uint8), axis=1,
+                                 count=n_cycles, bitorder="little")
+        else:
+            bits = (values[:, 1:] != values[:, :-1]).view(np.uint8)
+        # cast-and-subtract in one ufunc pass: toggling -> 0.0, quiet -> -1.0
+        mask = np.subtract(bits, np.uint8(1), dtype=np.float32)
+        mask *= _QUIET_SENTINEL
+        return mask
+
+    def block_delay_tiles(self, delays: np.ndarray,
+                          n_cycles: int) -> List[np.ndarray]:
+        """Per-arrival-block ``(n, n_corners, n_cycles)`` delay tiles.
+
+        The gate-delay column is materialized across the cycle axis so
+        the arrival add runs contiguous-over-contiguous (a zero-stride
+        broadcast operand defeats SIMD and is ~2x slower).  Hoisted out
+        of the chunk loop by :meth:`run` — the delay matrix is constant
+        across chunks, and the ragged final chunk slices the tiles.
+        """
+        delays_t = np.ascontiguousarray(delays.T)  # (n_gates, n_corners)
+        return [np.ascontiguousarray(np.broadcast_to(
+                    delays_t[b.gate_idx][:, :, None],
+                    (len(b.gate_idx), delays.shape[0], n_cycles)))
+                for b in self.arrival_blocks]
+
+    def arrival_delays(self, quiet_mask: np.ndarray, delays: np.ndarray,
+                       scratch: Optional[np.ndarray] = None,
+                       block_delays: Optional[List[np.ndarray]] = None
+                       ) -> np.ndarray:
+        """Float arrival pass: worst toggling PO arrival per cycle.
+
+        ``quiet_mask`` is the :meth:`quiet_masks` float mask in program
+        row order; ``delays`` is ``(n_corners, n_gates)`` float32.
+        Returns ``(n_corners, n_cycles)`` float32, clamped at 0 where
+        nothing toggled — elementwise identical to the per-gate
+        arrival pass, which masks quiet arrivals to ``-inf`` at every
+        fanin read.  Here quiet arrivals are huge negative sentinels
+        maintained at gate outputs instead, which is exact because:
+
+        * a settled value cannot change unless an input changed, so
+          every *toggling* gate has at least one toggling fanin whose
+          arrival is real (``>= 0``); the fanin ``max`` therefore picks
+          the same real arrival either way, and quiet-cycle sentinel
+          values never leak into a toggling cycle's delay;
+        * quiet arrivals stay far below 0 under any delay accumulation
+          (see :data:`_QUIET_SENTINEL`) and are clamped to 0 by the
+          final ``max(worst, 0)`` exactly as ``-inf`` is;
+        * the output mask is applied by *adding* the quiet mask:
+          toggling cycles add ``+0.0``, which preserves bits because
+          real arrivals are positive, never ``-0.0``.
+
+        ``scratch`` optionally supplies the ``(n_nets, n_corners,
+        n_cycles)`` float32 working array and ``block_delays`` the
+        :meth:`block_delay_tiles` so chunked runs reuse both.
+        """
+        n_corners = delays.shape[0]
+        n_cycles = quiet_mask.shape[1]
+        shape = (self.n_nets, n_corners, n_cycles)
+        if scratch is not None and scratch.shape == shape:
+            arr = scratch
+        else:
+            arr = np.empty(shape, dtype=np.float32)
+        if block_delays is None:
+            block_delays = self.block_delay_tiles(delays, n_cycles)
+        arr[:self.n_inputs] = quiet_mask[:self.n_inputs][:, None, :]
+        for start, stop in self.const_rows:
+            arr[start:stop] = NEG_INF  # constants never toggle
+        for b, dtile in zip(self.arrival_blocks, block_delays):
+            seg = arr[b.start:b.stop]
+            fan = b.fanin
+            cand = arr[fan[0]]
+            for k in range(1, b.width):
+                np.maximum(cand, arr[fan[k]], out=cand)
+            np.add(cand, dtile[:, :, :n_cycles], out=seg)
+            seg += quiet_mask[b.start:b.stop][:, None, :]
+        if self.n_outputs == 0:
+            return np.zeros((n_corners, n_cycles), dtype=np.float32)
+        worst = arr[self.po_rows].max(axis=0)
+        return np.maximum(worst, _ZERO)
+
+    def _settled_outputs(self, values: np.ndarray, n_rows: int,
+                         packed: bool) -> np.ndarray:
+        """Primary-output values, ``(n_rows, n_outputs)`` uint8."""
+        po_vals = values[self.po_rows]
+        if packed:
+            po_vals = np.unpackbits(
+                np.ascontiguousarray(po_vals).view(np.uint8), axis=1,
+                count=n_rows, bitorder="little")
+        return np.ascontiguousarray(po_vals.T)
+
+    # -- public API --------------------------------------------------------
+
+    def default_chunk_cycles(self, n_corners: int) -> int:
+        """Cycle-axis chunk sized so the arrival scratch stays cache-hot.
+
+        The arrival pass streams the ``(n_nets, n_corners, chunk)``
+        float32 scratch several times per chunk, so chunks that fit
+        last-level cache win big; a floor keeps per-level dispatch
+        overhead amortized when ``n_corners * n_nets`` is large.
+        """
+        chunk = _CHUNK_BUDGET_ELEMS // max(1, n_corners * self.n_nets)
+        return max(128, (chunk // 64) * 64)
+
+    def run(self, input_matrix: np.ndarray, gate_delays: np.ndarray,
+            collect_outputs: bool = False,
+            chunk_cycles: Optional[int] = None,
+            packed: bool = True) -> DelayTraceResult:
+        """Simulate a stream of input vectors across corners.
+
+        Same contract (and bit-identical delays/outputs) as
+        :meth:`repro.sim.levelized.LevelizedSimulator.run`; chunk
+        boundaries never affect results because cycle ``t`` only reads
+        input rows ``t`` and ``t+1``.
+        """
+        inputs = np.asarray(input_matrix, dtype=np.uint8)
+        if inputs.ndim != 2 or inputs.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"input matrix must be (rows, {self.n_inputs}), "
+                f"got {inputs.shape}")
+        if inputs.shape[0] < 2:
+            raise ValueError(
+                "need at least 2 input rows (initial state + 1 cycle)")
+        delays = np.asarray(gate_delays, dtype=np.float32)
+        if delays.ndim == 1:
+            delays = delays[None, :]
+        if delays.shape[1] != self.n_gates:
+            raise ValueError(
+                f"gate_delays must have {self.n_gates} per-gate "
+                f"entries, got {delays.shape}")
+
+        n_cycles = inputs.shape[0] - 1
+        n_corners = delays.shape[0]
+        if chunk_cycles is None:
+            chunk_cycles = self.default_chunk_cycles(n_corners)
+        out_delays = np.zeros((n_corners, n_cycles), dtype=np.float32)
+        out_values = (np.zeros((n_cycles, self.n_outputs), dtype=np.uint8)
+                      if collect_outputs else None)
+
+        # per-run hoists: delay tiles are chunk-invariant, and the
+        # primary inputs are substrated once (chunks start at 64-cycle
+        # boundaries, so packed chunks are word slices of the stream)
+        block_delays = self.block_delay_tiles(
+            delays, min(chunk_cycles, n_cycles))
+        if packed:
+            all_pi = pack_columns(inputs)
+        else:
+            all_pi = np.ascontiguousarray(inputs.T)
+
+        # scratch reused across full-size chunks (the kernels fall back
+        # to fresh arrays for the ragged final chunk)
+        val_buf: Optional[np.ndarray] = None
+        arr_buf: Optional[np.ndarray] = None
+        start = 0
+        while start < n_cycles:
+            stop = min(start + chunk_cycles, n_cycles)
+            chunk = inputs[start:stop + 1]
+            chunk_rows = chunk.shape[0]
+            if packed:
+                if start % 64 == 0:
+                    w0 = start // 64
+                    pi_vals = all_pi[:, w0:w0 + (chunk_rows + 63) // 64]
+                else:  # explicit chunk_cycles not word-aligned
+                    pi_vals = pack_columns(chunk)
+            else:
+                pi_vals = all_pi[:, start:stop + 1]
+            values = self.settled_net_values(chunk, packed, out=val_buf,
+                                             pi_values=pi_vals)
+            val_buf = values
+            quiet = self.quiet_masks(values, chunk_rows - 1, packed)
+            if arr_buf is None:
+                arr_buf = np.empty(
+                    (self.n_nets, n_corners, chunk_rows - 1),
+                    dtype=np.float32)
+            out_delays[:, start:stop] = self.arrival_delays(
+                quiet, delays, scratch=arr_buf, block_delays=block_delays)
+            if collect_outputs:
+                out_values[start:stop] = self._settled_outputs(
+                    values, chunk_rows, packed)[1:]
+            start = stop
+        return DelayTraceResult(out_delays, out_values)
+
+    def run_values(self, input_matrix: np.ndarray,
+                   packed: bool = True) -> np.ndarray:
+        """Settled output values only: ``(n_rows, n_outputs)`` uint8."""
+        inputs = np.asarray(input_matrix, dtype=np.uint8)
+        if inputs.ndim != 2 or inputs.shape[1] != self.n_inputs:
+            raise ValueError("bad input matrix shape")
+        values = self.settled_net_values(inputs, packed)
+        return self._settled_outputs(values, inputs.shape[0], packed)
+
+
+#: id(netlist) -> (weakref to netlist, program); evicted when the
+#: netlist is garbage collected so id reuse can never alias programs.
+_PROGRAM_CACHE: Dict[int, Tuple[weakref.ref, CompiledNetlist]] = {}
+
+
+def compile_netlist(netlist: Netlist) -> CompiledNetlist:
+    """Lower ``netlist`` to a :class:`CompiledNetlist`, cached per identity.
+
+    The cache is keyed by object identity (netlists are mutable and
+    unhashable) and guarded by a weak reference: a hit is only served
+    while the original object is alive, and entries disappear with it.
+    A netlist must not be mutated after its first simulation — the
+    lowered program would go stale (the same held for the per-gate
+    simulators' cached last-use tables).
+    """
+    key = id(netlist)
+    entry = _PROGRAM_CACHE.get(key)
+    if entry is not None and entry[0]() is netlist:
+        return entry[1]
+    program = CompiledNetlist(netlist)
+    try:
+        ref = weakref.ref(netlist,
+                          lambda _, key=key: _PROGRAM_CACHE.pop(key, None))
+    except TypeError:  # pragma: no cover - netlists support weakrefs
+        return program
+    _PROGRAM_CACHE[key] = (ref, program)
+    return program
+
+
+class CompiledBackend(SimBackend):
+    """Level-parallel compiled engine behind the engine protocol.
+
+    The canonical fast DTA engine: packed uint64 value substrate plus
+    the level-parallel arrival kernel, with the compiled program cached
+    per netlist.  Delays are bit-identical to ``levelized`` and
+    ``bitpacked`` (which run on the same kernels).
+    """
+
+    name = "compiled"
+    supports_multi_corner = True
+    supports_cycle_sharding = True
+    models_glitches = False
+
+    def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
+                   gate_delays: np.ndarray,
+                   collect_outputs: bool = False) -> DelayTraceResult:
+        return compile_netlist(netlist).run(
+            input_matrix, gate_delays, collect_outputs=collect_outputs)
+
+    def run_values(self, netlist: Netlist,
+                   input_matrix: np.ndarray) -> np.ndarray:
+        return compile_netlist(netlist).run_values(input_matrix)

@@ -18,7 +18,7 @@ import numpy as np
 from ..circuits.netlist import Netlist
 from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
 from ..timing.corners import OperatingCondition
-from .engine import get_backend
+from .engine import DEFAULT_BACKEND, get_backend
 from .eventsim import EventDrivenSimulator
 from .vcd import delays_from_vcd, read_vcd
 
@@ -83,7 +83,7 @@ def dynamic_delay_trace(netlist: Netlist,
                         conditions: Union[OperatingCondition,
                                           Sequence[OperatingCondition]],
                         library: CellLibrary = DEFAULT_LIBRARY,
-                        engine: str = "levelized",
+                        engine: str = DEFAULT_BACKEND,
                         vcd_path=None) -> DelayTrace:
     """Run DTA for an input stream at one or more conditions.
 
@@ -98,8 +98,11 @@ def dynamic_delay_trace(netlist: Netlist,
         them; the event engine loops).
     engine:
         Any name registered with the simulation-engine layer
-        (``"levelized"``, ``"bitpacked"``, ``"event"``, ...); only the
-        event engine supports ``vcd_path``.
+        (``"compiled"``, ``"levelized"``, ``"bitpacked"``, ``"event"``,
+        ...); defaults to the campaign layer's
+        :data:`~repro.sim.engine.DEFAULT_BACKEND` so one-off traces and
+        campaign traces come from the same engine.  Only the event
+        engine supports ``vcd_path``.
     """
     single = isinstance(conditions, OperatingCondition)
     condition_list = [conditions] if single else list(conditions)

@@ -10,7 +10,7 @@ quantities the pipeline needs from a netlist and an input stream:
 * ``run_values`` — settled primary-output values per cycle (used for
   functional verification and toggle statistics).
 
-Backends are looked up by name through :func:`get_backend`; the three
+Backends are looked up by name through :func:`get_backend`; the four
 built-ins are
 
 ``levelized``
@@ -23,8 +23,14 @@ built-ins are
 ``bitpacked``
     Bit-parallel logic evaluation (:mod:`repro.sim.bitpacked`): the
     cycle axis is packed into ``uint64`` words so one bitwise op
-    evaluates 64 cycles; delay propagation reuses the levelized
-    arrival pass and is bit-identical to ``levelized``.
+    evaluates 64 cycles; the arrival pass is shared with ``levelized``
+    and delays are bit-identical to it.
+``compiled``
+    The canonical fast engine (:mod:`repro.sim.compile`): the netlist
+    is lowered once to level-parallel structure-of-arrays form and
+    every pass is a loop over logic levels doing whole-level numpy
+    ops.  Packed value substrate; delays bit-identical to both DTA
+    engines above (which run on the same kernels).
 
 Built-in registrations map names to ``"module:Class"`` strings
 resolved on first :func:`get_backend`: backend modules import this one
@@ -45,6 +51,14 @@ from typing import Dict, Optional, Tuple, Type, Union
 import numpy as np
 
 from ..circuits.netlist import Netlist
+
+#: Backend used when callers do not ask for a specific one.  Shared by
+#: the campaign layer (``repro.flow.campaign``) and the DTA front end
+#: (``repro.sim.dta``) so their defaults can never drift apart.  The
+#: compiled engine produces delays bit-identical to ``levelized`` and
+#: ``bitpacked`` (asserted by tests/sim/test_engine.py) at a fraction
+#: of the cost.
+DEFAULT_BACKEND = "compiled"
 
 
 @dataclass
@@ -87,6 +101,12 @@ class SimBackend(abc.ABC):
     #: ``run_delays`` vectorizes over an ``(n_corners, n_gates)`` delay
     #: matrix in one pass (as opposed to looping corner by corner).
     supports_multi_corner: bool = False
+    #: Cycle ``t`` of ``run_delays`` depends only on input rows ``t``
+    #: and ``t+1``, so a stream may be split into cycle-range shards
+    #: (each shard receiving rows ``[start, stop + 1]``) and the delay
+    #: matrices stitched back in order with bit-identical results.
+    #: The campaign runner only shards jobs on backends that set this.
+    supports_cycle_sharding: bool = False
     #: Models glitch pulses on nets whose settled value does not change.
     #: Glitch-aware delays are systematically >= DTA delays, so traces
     #: from glitch backends must never share a cache entry with DTA
@@ -140,6 +160,7 @@ _REGISTRY: Dict[str, Union[str, Type[SimBackend]]] = {
     "levelized": "repro.sim.levelized:LevelizedBackend",
     "event": "repro.sim.eventsim:EventBackend",
     "bitpacked": "repro.sim.bitpacked:BitPackedBackend",
+    "compiled": "repro.sim.compile:CompiledBackend",
 }
 _INSTANCES: Dict[str, SimBackend] = {}
 

@@ -24,8 +24,14 @@ value does not change (the event-driven simulator in
 Because toggle masks are corner-independent, arrival propagation is
 vectorized over *both* cycles and corners: gate delays enter as a
 ``(n_corners, n_gates)`` matrix and delays come out ``(n_corners,
-n_cycles)``.  Memory is bounded by freeing each net's arrays after its
-last structural use and by chunking the cycle axis.
+n_cycles)``.  Memory is bounded by chunking the cycle axis.
+
+Execution runs on the level-parallel compiled kernels of
+:mod:`repro.sim.compile` (uint8 value substrate): the netlist is
+lowered once to structure-of-arrays form and each pass is a loop over
+logic levels instead of gates.  The original per-gate loop is retained
+behind ``compiled=False`` as the reference semantics — the parity tests
+assert the compiled path is bit-identical to it.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..circuits.netlist import Netlist
+from .compile import compile_netlist
 from .engine import DelayTraceResult, SimBackend
 from .logic import eval_gate_array
 
@@ -44,15 +51,21 @@ NEG_INF = np.float32(-np.inf)
 class LevelizedSimulator:
     """Reusable levelized simulator for one netlist.
 
-    Precomputes the last structural use of every net so intermediate
+    ``compiled=True`` (the default) runs on the cached level-parallel
+    program; ``compiled=False`` keeps the original per-gate loop, which
+    precomputes the last structural use of every net so intermediate
     arrays can be freed eagerly during the forward pass.
     """
 
-    def __init__(self, netlist: Netlist) -> None:
-        netlist.validate()
+    def __init__(self, netlist: Netlist, compiled: bool = True) -> None:
         self.netlist = netlist
-        self._last_use = self._compute_last_use(netlist)
-        self._po_set = frozenset(netlist.primary_outputs)
+        self.compiled = compiled
+        if compiled:
+            self._program = compile_netlist(netlist)  # validates, cached
+        else:  # pre-compilation reference path: no lowering, no cache pin
+            netlist.validate()
+            self._last_use = self._compute_last_use(netlist)
+            self._po_set = frozenset(netlist.primary_outputs)
 
     @staticmethod
     def _compute_last_use(netlist: Netlist) -> np.ndarray:
@@ -88,8 +101,15 @@ class LevelizedSimulator:
         collect_outputs:
             Also return settled output values per cycle.
         chunk_cycles:
-            Cycle-axis chunk size (default sized to ~100 MB peak).
+            Cycle-axis chunk size.  Defaults to a cache-resident
+            chunk on the compiled path and a ~100 MB memory budget on
+            the per-gate reference path; never affects results.
         """
+        if self.compiled:
+            return self._program.run(input_matrix, gate_delays,
+                                     collect_outputs=collect_outputs,
+                                     chunk_cycles=chunk_cycles,
+                                     packed=False)
         inputs = np.asarray(input_matrix, dtype=np.uint8)
         if inputs.ndim != 2 or inputs.shape[1] != len(self.netlist.primary_inputs):
             raise ValueError(
@@ -133,6 +153,8 @@ class LevelizedSimulator:
 
     def run_values(self, input_matrix: np.ndarray) -> np.ndarray:
         """Settled output values only: ``(n_rows, n_outputs)`` uint8."""
+        if self.compiled:
+            return self._program.run_values(input_matrix, packed=False)
         inputs = np.asarray(input_matrix, dtype=np.uint8)
         if inputs.ndim != 2 or inputs.shape[1] != len(self.netlist.primary_inputs):
             raise ValueError("bad input matrix shape")
@@ -146,7 +168,7 @@ class LevelizedSimulator:
         return np.stack(
             [values[o] for o in self.netlist.primary_outputs], axis=1)
 
-    # -- internals ---------------------------------------------------------------
+    # -- per-gate reference internals ------------------------------------------
 
     def _live_width_estimate(self) -> int:
         """Upper-ish estimate of simultaneously-live nets (for chunking)."""
@@ -166,7 +188,7 @@ class LevelizedSimulator:
 
     def _run_chunk(self, inputs: np.ndarray, delays: np.ndarray,
                    collect_outputs: bool):
-        """Simulate one chunk: ``inputs`` has n_cycles+1 rows."""
+        """Per-gate reference chunk: ``inputs`` has n_cycles+1 rows."""
         nl = self.netlist
         n_rows = inputs.shape[0]
         n_cycles = n_rows - 1
@@ -232,19 +254,26 @@ class LevelizedSimulator:
 
 
 class LevelizedBackend(SimBackend):
-    """:class:`LevelizedSimulator` behind the engine protocol."""
+    """:class:`LevelizedSimulator` behind the engine protocol.
+
+    Runs the compiled level-parallel kernels on the uint8 value
+    substrate; the per-netlist program cache makes repeated calls
+    cheap (no re-validation or re-lowering).
+    """
 
     name = "levelized"
     supports_multi_corner = True
+    supports_cycle_sharding = True
     models_glitches = False
 
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
                    gate_delays: np.ndarray,
                    collect_outputs: bool = False) -> DelayTraceResult:
-        sim = LevelizedSimulator(netlist)
-        return sim.run(input_matrix, gate_delays,
-                       collect_outputs=collect_outputs)
+        return compile_netlist(netlist).run(
+            input_matrix, gate_delays, collect_outputs=collect_outputs,
+            packed=False)
 
     def run_values(self, netlist: Netlist,
                    input_matrix: np.ndarray) -> np.ndarray:
-        return LevelizedSimulator(netlist).run_values(input_matrix)
+        return compile_netlist(netlist).run_values(input_matrix,
+                                                   packed=False)

@@ -7,12 +7,15 @@ import pytest
 
 from repro.circuits import build_functional_unit
 from repro.flow import (
+    MIN_SHARD_CYCLES,
     CampaignJob,
     CampaignRunner,
     TraceStore,
     library_fingerprint,
+    plan_cycle_shards,
     trace_key,
 )
+from repro.sim import get_backend
 from repro.timing import DEFAULT_LIBRARY, OperatingCondition
 from repro.timing.cells import CellLibrary, CellTiming
 from repro.workloads import random_stream
@@ -183,6 +186,143 @@ class TestCampaignRunner:
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError):
             CampaignRunner(n_workers=0)
+
+    def test_invalid_shard_cycles(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(shard_cycles=0)
+
+
+class TestShardPlanning:
+    def test_explicit_sizes_cover_in_order(self):
+        for n_cycles, size in ((330, 1), (330, 37), (330, 330),
+                               (330, 1000), (128, 64)):
+            bounds = plan_cycle_shards(n_cycles, size)
+            assert bounds[0][0] == 0 and bounds[-1][1] == n_cycles
+            for (a, b), (c, d) in zip(bounds, bounds[1:]):
+                assert b == c and a < b
+            assert all(b - a == size for a, b in bounds[:-1])
+
+    def test_auto_never_splits_single_worker(self):
+        assert plan_cycle_shards(10 ** 6, None, 1) == [(0, 10 ** 6)]
+
+    def test_auto_respects_minimum(self):
+        bounds = plan_cycle_shards(2 * MIN_SHARD_CYCLES, None, 64)
+        assert all(b - a >= MIN_SHARD_CYCLES for a, b in bounds[:-1])
+        assert len(bounds) >= 2
+
+    def test_auto_small_job_untouched(self):
+        assert plan_cycle_shards(MIN_SHARD_CYCLES, None, 8) == [
+            (0, MIN_SHARD_CYCLES)]
+
+    def test_auto_targets_two_shards_per_worker(self):
+        bounds = plan_cycle_shards(64_000, None, 4)
+        assert len(bounds) == 8
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_cycle_shards(0, None)
+        with pytest.raises(ValueError):
+            plan_cycle_shards(100, 0)
+
+
+class TestCycleSharding:
+    """The delay matrices (and collected outputs) must be bit-identical
+    for every worker count and shard size, including shards that are
+    not multiples of the engines' 64-cycle packing words and streams
+    whose internal chunk boundaries interleave with shard boundaries.
+    """
+
+    N_CYCLES = 330  # not a multiple of 64: ragged words everywhere
+
+    def _job(self):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(self.N_CYCLES, operand_width=8, seed=77)
+        stream.name = "shard_parity"
+        return CampaignJob(fu, stream, CONDS)
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return CampaignRunner(use_cache=False).run([self._job()])[0]
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    @pytest.mark.parametrize("shard_cycles", [1, 37, N_CYCLES, None])
+    def test_byte_identical_across_configs(self, reference, n_workers,
+                                           shard_cycles):
+        runner = CampaignRunner(use_cache=False, n_workers=n_workers,
+                                shard_cycles=shard_cycles)
+        trace = runner.run([self._job()])[0]
+        assert trace.delays.tobytes() == reference.delays.tobytes()
+        assert trace.delays.shape == reference.delays.shape
+        expected = len(plan_cycle_shards(self.N_CYCLES, shard_cycles,
+                                         n_workers))
+        assert runner.stats.job_shards == {0: expected}
+
+    def test_shard_chunk_boundary_interaction(self):
+        # stitch shards that were themselves chunked internally at 64
+        # cycles: shard size 37 guarantees every chunk/shard phase
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(self.N_CYCLES, operand_width=8, seed=78)
+        inputs = stream.bit_matrix(fu)
+        dm = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
+        backend = get_backend("compiled")
+        whole = backend.run_delays(fu.netlist, inputs, dm,
+                                   collect_outputs=True)
+        for shard in (1, 37, 64, self.N_CYCLES):
+            parts = [backend.run_delays(fu.netlist,
+                                        inputs[start:stop + 1], dm,
+                                        collect_outputs=True)
+                     for start, stop in plan_cycle_shards(
+                         self.N_CYCLES, shard)]
+            delays = np.concatenate([p.delays for p in parts], axis=1)
+            outputs = np.concatenate([p.outputs for p in parts], axis=0)
+            assert delays.tobytes() == whole.delays.tobytes(), shard
+            np.testing.assert_array_equal(outputs, whole.outputs,
+                                          err_msg=str(shard))
+
+    def test_event_backend_never_sharded(self):
+        fu = build_functional_unit("int_add", width=4)
+        stream = random_stream(40, operand_width=4, seed=79)
+        stream.name = "shard_event"
+        runner = CampaignRunner(backend="event", use_cache=False,
+                                n_workers=2, shard_cycles=10)
+        runner.run([CampaignJob(fu, stream, CONDS[:1])])
+        assert runner.stats.job_shards == {0: 1}
+
+    def test_stats_record_times_and_shards(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        streams = []
+        for seed in (80, 81):
+            s = random_stream(60, operand_width=8, seed=seed)
+            s.name = f"shard_stats_{seed}"
+            streams.append(s)
+        runner = CampaignRunner(store=tmp_path, shard_cycles=25)
+        runner.run([CampaignJob(fu, s, CONDS) for s in streams])
+        stats = runner.stats
+        assert stats.misses == 2
+        assert stats.job_shards == {0: 3, 1: 3}
+        assert stats.total_shards == 6
+        assert set(stats.job_seconds) == {0, 1}
+        assert all(t >= 0 for t in stats.job_seconds.values())
+        assert stats.sim_seconds == pytest.approx(
+            sum(stats.job_seconds.values()))
+        assert stats.wall_seconds > 0
+        # second run: all hits, no shard/timing entries
+        runner.run([CampaignJob(fu, s, CONDS) for s in streams])
+        assert runner.stats.hits == 2
+        assert runner.stats.job_shards == {}
+        assert runner.stats.sim_seconds == 0.0
+
+    def test_sharded_results_cache_and_reload(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(90, operand_width=8, seed=82)
+        stream.name = "shard_cache"
+        job = CampaignJob(fu, stream, CONDS)
+        sharded = CampaignRunner(store=tmp_path, shard_cycles=40)
+        first = sharded.run([job])[0]
+        unsharded = CampaignRunner(store=tmp_path)
+        second = unsharded.run([job])[0]
+        assert unsharded.stats.hits == 1
+        assert second.delays.tobytes() == first.delays.tobytes()
 
 
 class TestTraceStoreGC:

@@ -1,0 +1,212 @@
+"""Tests for the compiled netlist programs (repro.sim.compile).
+
+The lowering pass and the level-parallel kernels carry the PR's
+load-bearing guarantee: whatever the substrate (uint8 arrays or packed
+uint64 words), whatever the chunking, delays and collected outputs are
+bit-identical to the per-gate reference engines.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.circuits import PAPER_UNITS, build_functional_unit
+from repro.circuits.netlist import GATE_ARITY, GateType, Netlist
+from repro.sim import compile_netlist, get_backend
+from repro.sim.bitpacked import BitPackedSimulator
+from repro.sim.compile import CompiledNetlist, _PROGRAM_CACHE
+from repro.sim.levelized import LevelizedSimulator
+from repro.timing import DEFAULT_LIBRARY, OperatingCondition
+from repro.workloads import stream_for_unit
+
+CONDS = [OperatingCondition(0.81, 0.0), OperatingCondition(1.00, 100.0)]
+DTA_BACKENDS = ("levelized", "bitpacked", "compiled")
+
+
+def _fu_inputs(fu_name, n_cycles, seed=0, **fu_kwargs):
+    fu = build_functional_unit(fu_name, **fu_kwargs)
+    stream = stream_for_unit(fu_name, n_cycles, seed=seed)
+    return fu, stream.bit_matrix(fu)
+
+
+class TestLowering:
+    def test_every_gate_in_exactly_one_group(self):
+        fu = build_functional_unit("int_mul", width=8)
+        prog = compile_netlist(fu.netlist)
+        seen = np.concatenate([g.gate_idx for g in prog.groups])
+        assert sorted(seen) == list(range(fu.netlist.n_gates))
+
+    def test_rows_partition_and_groups_are_contiguous(self):
+        fu = build_functional_unit("fp_add")
+        prog = compile_netlist(fu.netlist)
+        # program rows: PIs first, then each group's outputs back-to-back
+        cursor = prog.n_inputs
+        for g in prog.groups:
+            assert (g.start, g.stop) == (cursor, cursor + len(g.gate_idx))
+            cursor = g.stop
+        assert cursor == prog.n_nets
+        assert sorted(prog.net_row) == list(range(prog.n_nets))
+
+    def test_fanins_come_from_lower_rows(self):
+        # a fanin row must be settled before its group runs
+        fu = build_functional_unit("int_add", width=8)
+        prog = compile_netlist(fu.netlist)
+        for g in prog.groups:
+            assert g.fanin.size == 0 or g.fanin.max() < g.start
+
+    def test_arrival_blocks_cover_all_non_const_gates(self):
+        fu = build_functional_unit("fp_mul")
+        prog = compile_netlist(fu.netlist)
+        covered = np.concatenate(
+            [b.gate_idx for b in prog.arrival_blocks])
+        n_consts = sum(
+            1 for g in fu.netlist.gates if GATE_ARITY[g.gtype] == 0)
+        assert len(covered) == fu.netlist.n_gates - n_consts
+        assert len(set(covered.tolist())) == len(covered)
+        for b in prog.arrival_blocks:
+            assert b.fanin.shape == (b.width, b.stop - b.start)
+
+    def test_levelize_order_respected(self):
+        fu = build_functional_unit("int_add", width=8)
+        prog = compile_netlist(fu.netlist)
+        levels = [g.level for g in prog.groups]
+        assert levels == sorted(levels)
+
+
+class TestProgramCache:
+    def test_same_netlist_same_program(self):
+        fu = build_functional_unit("int_add", width=8)
+        assert compile_netlist(fu.netlist) is compile_netlist(fu.netlist)
+
+    def test_different_netlists_different_programs(self):
+        a = build_functional_unit("int_add", width=8).netlist
+        b = build_functional_unit("int_add", width=8).netlist
+        assert compile_netlist(a) is not compile_netlist(b)
+
+    def test_cache_evicts_with_netlist(self):
+        fu = build_functional_unit("int_add", width=8)
+        nl = fu.netlist
+        compile_netlist(nl)
+        key = id(nl)
+        assert key in _PROGRAM_CACHE
+        del fu, nl
+        gc.collect()
+        assert key not in _PROGRAM_CACHE
+
+    def test_backends_share_one_lowering(self):
+        # satellite regression: run_delays used to re-validate and
+        # re-lower the netlist on every invocation
+        fu, inputs = _fu_inputs("int_add", 10, seed=1, width=8)
+        delays = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
+        get_backend("bitpacked").run_delays(fu.netlist, inputs, delays)
+        prog = compile_netlist(fu.netlist)
+        get_backend("compiled").run_delays(fu.netlist, inputs, delays)
+        get_backend("levelized").run_values(fu.netlist, inputs)
+        assert compile_netlist(fu.netlist) is prog
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("fu_name", PAPER_UNITS)
+    def test_delays_and_outputs_bit_identical_to_per_gate(self, fu_name):
+        # 130 cycles: three packed words with a ragged tail
+        fu, inputs = _fu_inputs(fu_name, 130, seed=6)
+        delays = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
+        ref = LevelizedSimulator(fu.netlist, compiled=False).run(
+            inputs, delays, collect_outputs=True)
+        ref_bp = BitPackedSimulator(fu.netlist, compiled=False).run(
+            inputs, delays, collect_outputs=True)
+        assert ref.delays.tobytes() == ref_bp.delays.tobytes()
+        for name in DTA_BACKENDS:
+            got = get_backend(name).run_delays(
+                fu.netlist, inputs, delays, collect_outputs=True)
+            assert got.delays.tobytes() == ref.delays.tobytes(), name
+            np.testing.assert_array_equal(got.outputs, ref.outputs,
+                                          err_msg=name)
+
+    @pytest.mark.parametrize("packed", [False, True])
+    def test_chunking_invariance(self, packed):
+        fu, inputs = _fu_inputs("int_add", 200, seed=8, width=8)
+        delays = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
+        prog = compile_netlist(fu.netlist)
+        whole = prog.run(inputs, delays, collect_outputs=True,
+                         packed=packed)
+        for chunk in (1, 37, 64, 100, 1000):
+            part = prog.run(inputs, delays, collect_outputs=True,
+                            chunk_cycles=chunk, packed=packed)
+            assert part.delays.tobytes() == whole.delays.tobytes(), chunk
+            np.testing.assert_array_equal(part.outputs, whole.outputs)
+
+    def test_run_values_matches_reference_model(self):
+        fu, inputs = _fu_inputs("int_mul", 40, seed=9, width=4)
+        prog = compile_netlist(fu.netlist)
+        ref = LevelizedSimulator(fu.netlist,
+                                 compiled=False).run_values(inputs)
+        for packed in (False, True):
+            np.testing.assert_array_equal(
+                prog.run_values(inputs, packed=packed), ref)
+
+    def test_single_corner_one_dim_delays(self):
+        fu, inputs = _fu_inputs("int_add", 20, seed=10, width=8)
+        delays = DEFAULT_LIBRARY.gate_delays(fu.netlist, CONDS[0])
+        res = get_backend("compiled").run_delays(fu.netlist, inputs,
+                                                 delays)
+        assert res.delays.shape == (1, 20)
+
+    def test_input_validation(self):
+        fu = build_functional_unit("int_add", width=8)
+        prog = compile_netlist(fu.netlist)
+        with pytest.raises(ValueError):
+            prog.run(np.zeros((5, 3), np.uint8), np.zeros(161))
+        with pytest.raises(ValueError):
+            prog.run(np.zeros((1, 64), np.uint8), np.zeros(161))
+        with pytest.raises(ValueError):
+            prog.run(np.zeros((5, 64), np.uint8), np.zeros(7))
+        with pytest.raises(ValueError):
+            prog.run_values(np.zeros((5, 3), np.uint8))
+
+    def test_invalid_netlist_rejected_at_compile(self):
+        nl = Netlist(name="broken")
+        a = nl.add_input("a")
+        nl.add_gate(GateType.NOT, [a])
+        nl.primary_outputs.append(99)  # undriven
+        with pytest.raises(Exception):
+            compile_netlist(nl)
+
+
+class TestSimulatorFrontEnds:
+    def test_compiled_flag_default_on(self):
+        fu = build_functional_unit("int_add", width=8)
+        assert LevelizedSimulator(fu.netlist).compiled
+        assert BitPackedSimulator(fu.netlist).compiled
+
+    def test_compiled_and_reference_agree_through_simulator_api(self):
+        fu, inputs = _fu_inputs("int_add", 75, seed=12, width=8)
+        delays = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
+        for cls in (LevelizedSimulator, BitPackedSimulator):
+            fast = cls(fu.netlist).run(inputs, delays)
+            slow = cls(fu.netlist, compiled=False).run(inputs, delays)
+            assert fast.delays.tobytes() == slow.delays.tobytes(), cls
+            np.testing.assert_array_equal(
+                cls(fu.netlist).run_values(inputs),
+                cls(fu.netlist, compiled=False).run_values(inputs))
+
+
+class TestCompiledNetlistStandalone:
+    def test_direct_construction_matches_cached(self):
+        fu, inputs = _fu_inputs("int_add", 30, seed=13, width=8)
+        delays = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
+        direct = CompiledNetlist(fu.netlist)
+        cached = compile_netlist(fu.netlist)
+        assert (direct.run(inputs, delays).delays.tobytes()
+                == cached.run(inputs, delays).delays.tobytes())
+
+    def test_stats_preserved(self):
+        fu = build_functional_unit("fp_add")
+        prog = compile_netlist(fu.netlist)
+        assert prog.n_gates == fu.netlist.n_gates
+        assert prog.n_inputs == len(fu.netlist.primary_inputs)
+        assert prog.n_outputs == len(fu.netlist.primary_outputs)
+        level = fu.netlist.levelize()
+        assert prog.n_levels == 1 + max(
+            level[g.output] for g in fu.netlist.gates)

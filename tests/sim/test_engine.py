@@ -39,7 +39,7 @@ def _fu_inputs(fu_name, n_cycles, seed=0, **fu_kwargs):
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert {"levelized", "event", "bitpacked"} <= set(
+        assert {"levelized", "event", "bitpacked", "compiled"} <= set(
             available_backends())
 
     def test_get_backend_returns_singleton(self):
@@ -52,13 +52,38 @@ class TestRegistry:
     def test_capability_flags(self):
         lev = get_backend("levelized")
         bp = get_backend("bitpacked")
+        comp = get_backend("compiled")
         ev = get_backend("event")
-        assert lev.supports_multi_corner and bp.supports_multi_corner
+        assert (lev.supports_multi_corner and bp.supports_multi_corner
+                and comp.supports_multi_corner)
         assert not ev.supports_multi_corner
         assert ev.models_glitches
-        assert not lev.models_glitches and not bp.models_glitches
-        assert lev.delay_model == bp.delay_model == "dta"
+        assert not (lev.models_glitches or bp.models_glitches
+                    or comp.models_glitches)
+        assert lev.delay_model == bp.delay_model == comp.delay_model == "dta"
         assert ev.delay_model == "glitch"
+
+    def test_cycle_sharding_capability(self):
+        # the DTA engines compute cycle t from input rows t and t+1
+        # only, so campaigns may shard their cycle axis; the event
+        # engine never advertises it
+        for name in ("levelized", "bitpacked", "compiled"):
+            assert get_backend(name).supports_cycle_sharding, name
+        assert not get_backend("event").supports_cycle_sharding
+
+    def test_default_backend_consistent(self):
+        import inspect
+
+        from repro.flow.campaign import DEFAULT_BACKEND as flow_default
+        from repro.sim.dta import dynamic_delay_trace
+        from repro.sim.engine import DEFAULT_BACKEND as sim_default
+
+        # satellite regression: dynamic_delay_trace defaulted to
+        # "levelized" while campaigns defaulted to "bitpacked"
+        assert flow_default is sim_default
+        sig = inspect.signature(dynamic_delay_trace)
+        assert sig.parameters["engine"].default == sim_default
+        assert sim_default in available_backends()
 
     def test_register_custom_backend(self):
         class DummyBackend(SimBackend):
@@ -127,21 +152,38 @@ class TestBackendParity:
     def test_settled_values_agree_across_all_backends(self, fu_name):
         fu, inputs = _fu_inputs(fu_name, 10, seed=5)
         reference = get_backend("levelized").run_values(fu.netlist, inputs)
-        for name in ("bitpacked", "event"):
+        for name in ("bitpacked", "compiled", "event"):
             got = get_backend(name).run_values(fu.netlist, inputs)
             np.testing.assert_array_equal(got, reference, err_msg=name)
 
     @pytest.mark.parametrize("fu_name", PAPER_UNITS)
-    def test_bitpacked_delays_bit_identical_to_levelized(self, fu_name):
+    def test_dta_backends_delay_bit_identical(self, fu_name):
         # 130 cycles: spans three 64-cycle words with a ragged tail
         fu, inputs = _fu_inputs(fu_name, 130, seed=6)
         dm = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
         lev = get_backend("levelized").run_delays(
             fu.netlist, inputs, dm, collect_outputs=True)
-        bp = get_backend("bitpacked").run_delays(
-            fu.netlist, inputs, dm, collect_outputs=True)
-        np.testing.assert_array_equal(lev.delays, bp.delays)
-        np.testing.assert_array_equal(lev.outputs, bp.outputs)
+        for name in ("bitpacked", "compiled"):
+            got = get_backend(name).run_delays(
+                fu.netlist, inputs, dm, collect_outputs=True)
+            assert got.delays.tobytes() == lev.delays.tobytes(), name
+            np.testing.assert_array_equal(got.outputs, lev.outputs,
+                                          err_msg=name)
+
+    @pytest.mark.parametrize("fu_name", PAPER_UNITS)
+    def test_compiled_backends_match_per_gate_reference(self, fu_name):
+        # the tentpole guarantee: the level-parallel kernels reproduce
+        # the original per-gate engines bit for bit
+        fu, inputs = _fu_inputs(fu_name, 130, seed=6)
+        dm = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
+        reference = LevelizedSimulator(fu.netlist, compiled=False).run(
+            inputs, dm, collect_outputs=True)
+        for name in ("levelized", "bitpacked", "compiled"):
+            got = get_backend(name).run_delays(
+                fu.netlist, inputs, dm, collect_outputs=True)
+            assert got.delays.tobytes() == reference.delays.tobytes(), name
+            np.testing.assert_array_equal(got.outputs, reference.outputs,
+                                          err_msg=name)
 
     def test_event_values_on_wide_unit(self):
         fu, inputs = _fu_inputs("int_add", 15, seed=7, width=8)

@@ -35,6 +35,26 @@ class TestCommands:
         assert rc == 0
         assert "mean" in capsys.readouterr().out
 
+    def test_campaign_reports_shards_and_sim_time(self, capsys, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        rc = main(["campaign", "--fu", "int_add", "--cycles", "90",
+                   "--shard-cycles", "30", "--voltages", "0.9",
+                   "--temperatures", "25"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 simulated" in out
+        assert "across 3 shard(s)" in out
+        assert "[3 shard(s)," in out
+        # rerun is fully cached: no shard/timing detail
+        rc = main(["campaign", "--fu", "int_add", "--cycles", "90",
+                   "--shard-cycles", "30", "--voltages", "0.9",
+                   "--temperatures", "25"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 cached, 0 simulated]" in out
+        assert "[cached]" in out
+
     def test_train_and_predict_roundtrip(self, capsys, tmp_path,
                                          monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
@@ -60,6 +80,7 @@ class TestValidation:
         ["predict", "-m", "m.pkl", "--fu", "int_add", "--cycles", "-1"],
         ["predict", "-m", "m.pkl", "--fu", "int_add", "--speedup", "-0.1"],
         ["campaign", "--workers", "0"],
+        ["campaign", "--shard-cycles", "0"],
         ["serve", "--max-batch", "0"],
         ["serve", "--batch-window-ms", "-1"],
     ])
