@@ -11,8 +11,10 @@ default scale (documented in EXPERIMENTS.md).  Scale knobs:
   characterization (default: the campaign layer's default, the
   compiled level-parallel engine).
 * ``REPRO_BENCH_WORKERS`` — campaign process-pool width (default 1).
-* ``REPRO_BENCH_SHARD_CYCLES`` — cycle-range shard size for single
-  jobs (default: auto-sized from the worker count).
+* ``REPRO_BENCH_SHARD_CYCLES`` / ``REPRO_BENCH_SHARD_CORNERS`` —
+  cycle- / corner-axis shard pitch for single jobs (default:
+  auto-sized from the worker count and any persisted throughput
+  history).
 * ``REPRO_BENCH_SMOKE=1`` — shrink the simspeed bench to an
   import/parity smoke test (skips throughput-floor assertions).
 
@@ -70,10 +72,12 @@ def conditions():
 def campaign_runner():
     """Shared campaign runner for every bench characterization."""
     shard = os.environ.get("REPRO_BENCH_SHARD_CYCLES")
+    shard_corners = os.environ.get("REPRO_BENCH_SHARD_CORNERS")
     return CampaignRunner(
         backend=os.environ.get("REPRO_BENCH_BACKEND", DEFAULT_BACKEND),
         n_workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
-        shard_cycles=int(shard) if shard else None)
+        shard_cycles=int(shard) if shard else None,
+        shard_corners=int(shard_corners) if shard_corners else None)
 
 
 @pytest.fixture(scope="session")

@@ -13,13 +13,20 @@ kernel PR on:
   ``MIN_KERNEL_SPEEDUP`` over the per-gate bit-packed engine — the
   backend every characterization ran on before the compiled kernels —
   on the ``FLOOR_FU`` at one corner.
+* **corner-scaling table** — the multi-corner trajectory this repo's
+  characterization actually runs (every paper table simulates the
+  full corner grid): compiled vs per-gate throughput at 1/3/9 corners
+  on the ``FLOOR_FU``, with a second floor
+  (``MIN_KERNEL_SPEEDUP_9C``) at the 9-corner point the corner-aware
+  arrival kernels target.
 * **settled-value table** — ``run_values`` throughput (the functional-
   verification pass), where bit-packed level-parallel evaluation wins
   by an order of magnitude.
 * **sharding table** — wall time of one huge single-stream campaign
-  job across worker/shard configurations, asserting byte-identical
-  delay matrices whatever the configuration.  Scaling is reported,
-  not asserted: CI boxes may have a single core.
+  job across worker/shard-grid configurations (cycle shards, corner
+  shards, and mixed), asserting byte-identical stitched delay
+  matrices whatever the configuration.  Scaling is reported, not
+  asserted: CI boxes may have a single core.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks every stream and skips the throughput
 floors (keeps the kernels imported, exercised, and parity-checked on
@@ -48,12 +55,32 @@ CYCLES = 130 if SMOKE else int(os.environ.get("REPRO_BENCH_CYCLES", 6000))
 SHARD_JOB_CYCLES = 400 if SMOKE else 12_000
 #: floor for compiled vs the per-gate bit-packed engine on FLOOR_FU.
 MIN_KERNEL_SPEEDUP = 5.0
+#: floor at the full 9-corner grid (the regime campaigns run in) —
+#: the corner-aware arrival kernels must keep most of their edge as
+#: the corner axis widens, not just at one corner.  Typical measured
+#: speedup is 4.5-5x on a quiet machine; the asserted floor leaves
+#: headroom because the compiled engine is memory-bandwidth-bound and
+#: shared-VM contention slows it asymmetrically vs the dispatch-bound
+#: per-gate reference.  Losing any one of the structural
+#: optimizations (dead-cone exclusion, level-1 corner collapse,
+#: cache-sized sub-blocks) lands the ratio near 3x and trips this
+#: reliably.
+MIN_KERNEL_SPEEDUP_9C = 3.8
 FLOOR_FU = "int_mul"
 LARGE_FUS = ("int_mul", "fp_mul")  # 3540 / 4182 gates
 
 CORNER_SETS = {
     1: [OperatingCondition(0.90, 25.0)],
     2: [OperatingCondition(0.81, 0.0), OperatingCondition(1.00, 100.0)],
+}
+
+#: 1/3/9-corner grids for the corner-scaling table (3x3 V/T grid at 9).
+SCALING_CORNER_SETS = {
+    1: [OperatingCondition(0.90, 25.0)],
+    3: [OperatingCondition(0.81, 0.0), OperatingCondition(0.90, 50.0),
+        OperatingCondition(1.00, 100.0)],
+    9: [OperatingCondition(v, t) for v in (0.81, 0.90, 1.00)
+        for t in (0.0, 50.0, 100.0)],
 }
 
 
@@ -147,6 +174,46 @@ def _measure_kernels():
 
 
 @pytest.mark.benchmark(group="simspeed")
+def test_corner_scaling(benchmark):
+    rows, ratio_9c = benchmark.pedantic(_measure_corner_scaling,
+                                        rounds=1, iterations=1)
+    _record(
+        "Simspeed - corner scaling on int_mul",
+        format_table(["corners", "per-gate cyc/s", "compiled cyc/s",
+                      "speedup"], rows))
+    if not SMOKE:
+        assert ratio_9c >= MIN_KERNEL_SPEEDUP_9C, (
+            f"compiled engine is {ratio_9c:.1f}x the per-gate bitpacked "
+            f"engine on {FLOOR_FU} at 9 corners "
+            f"(floor {MIN_KERNEL_SPEEDUP_9C}x)")
+
+
+def _measure_corner_scaling():
+    fu = build_functional_unit(FLOOR_FU)
+    inputs = stream_for_unit(FLOOR_FU, CYCLES, seed=45).bit_matrix(fu)
+    rows = []
+    ratio_9c = None
+    for n_corners, conditions in SCALING_CORNER_SETS.items():
+        dm = DEFAULT_LIBRARY.delay_matrix(fu.netlist, conditions)
+        ref_run = (lambda dm=dm:
+                   _per_gate(BitPackedSimulator, fu.netlist, inputs, dm))
+        comp_run = (lambda dm=dm:
+                    get_backend("compiled").run_delays(fu.netlist,
+                                                       inputs, dm))
+        np.testing.assert_array_equal(
+            comp_run().delays, ref_run().delays,
+            err_msg=f"{FLOOR_FU}/{n_corners}-corner delay parity")
+        t_ref = _time(ref_run)
+        t_comp = _time(comp_run, min_reps=3)
+        ratio = t_ref / t_comp
+        rows.append([f"{n_corners}", f"{CYCLES / t_ref:,.0f}",
+                     f"{CYCLES / t_comp:,.0f}", f"{ratio:.1f}x"])
+        if n_corners == 9:
+            ratio_9c = ratio
+    return rows, ratio_9c
+
+
+@pytest.mark.benchmark(group="simspeed")
 def test_settled_value_throughput(benchmark):
     rows = benchmark.pedantic(_measure_values, rounds=1, iterations=1)
     _record("Simspeed - settled-value (run_values) throughput",
@@ -179,37 +246,41 @@ def _measure_values():
 
 
 @pytest.mark.benchmark(group="simspeed")
-def test_cycle_shard_scaling(benchmark):
+def test_shard_grid_scaling(benchmark):
     rows = benchmark.pedantic(_measure_sharding, rounds=1, iterations=1)
     rows.insert(0, ["job", f"{SHARD_JOB_CYCLES} cycles",
-                    f"{os.cpu_count()} cpu(s)", "", ""])
+                    f"{os.cpu_count()} cpu(s)", "", "", ""])
     _record(
-        "Simspeed - cycle-range sharding of one int_mul job",
-        format_table(["workers", "shard cycles", "shards", "wall (s)",
-                      "speedup"], rows))
+        "Simspeed - corner x cycle sharding of one int_mul job",
+        format_table(["workers", "shard cycles", "shard corners",
+                      "shards", "wall (s)", "speedup"], rows))
 
 
 def _measure_sharding():
     fu = build_functional_unit("int_mul")
     stream = stream_for_unit("int_mul", SHARD_JOB_CYCLES, seed=44)
     stream.name = "bench_simspeed_shard"
-    conditions = CORNER_SETS[2]
+    conditions = SCALING_CORNER_SETS[3]
 
     rows = []
     reference = None
-    configs = [(1, None), (2, None), (4, None),
-               (2, SHARD_JOB_CYCLES // 8)]
-    for n_workers, shard_cycles in configs:
+    configs = [(1, None, None), (2, None, None), (4, None, None),
+               (2, SHARD_JOB_CYCLES // 8, None),
+               (2, None, 1),                      # corner-parallel
+               (2, SHARD_JOB_CYCLES // 4, 1)]     # full 2-D grid
+    for n_workers, shard_cycles, shard_corners in configs:
         runner = CampaignRunner(use_cache=False, n_workers=n_workers,
-                                shard_cycles=shard_cycles)
+                                shard_cycles=shard_cycles,
+                                shard_corners=shard_corners)
         start = time.perf_counter()
         trace = runner.run([CampaignJob(fu, stream, conditions)])[0]
         wall = time.perf_counter() - start
         if reference is None:
             reference, base_wall = trace, wall
-        # byte-identical whatever the worker/shard configuration
+        # byte-identical whatever the worker count or shard grid
         assert trace.delays.tobytes() == reference.delays.tobytes()
         rows.append([f"{n_workers}", str(shard_cycles or "auto"),
+                     str(shard_corners or "auto"),
                      f"{runner.stats.total_shards}", f"{wall:.2f}",
                      f"{base_wall / wall:.2f}x"])
     return rows

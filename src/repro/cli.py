@@ -105,7 +105,8 @@ def cmd_campaign(args) -> int:
     conditions = _conditions(args)
     runner = CampaignRunner(backend=args.backend, n_workers=args.workers,
                             use_cache=not args.no_cache,
-                            shard_cycles=args.shard_cycles)
+                            shard_cycles=args.shard_cycles,
+                            shard_corners=args.shard_corners)
     jobs = []
     for name in args.fu:
         fu = build_functional_unit(name)
@@ -128,7 +129,11 @@ def cmd_campaign(args) -> int:
                 f"mean {d.mean():8.1f} ps  worst {d.max():8.1f} ps")
         if i in stats.job_shards:
             line += (f"  [{stats.job_shards[i]} shard(s), "
-                     f"{stats.job_seconds[i]:.2f}s sim]")
+                     f"{stats.job_seconds[i]:.2f}s sim")
+            cps = stats.job_cycles_per_s(i)
+            if cps is not None:  # throughput regressions visible here
+                line += f", {cps:,.0f} cyc/s"
+            line += "]"
         else:
             line += "  [cached]"
         print(line)
@@ -245,17 +250,38 @@ def cmd_store(args) -> int:
         entries = store.entries()
         if not entries:
             print(f"trace store {store.root} is empty")
-            return 0
-        total = store.size_bytes()
-        print(f"trace store {store.root}: {len(entries)} entr(y/ies), "
-              f"{total / 1e6:.2f} MB")
-        for key, entry in sorted(entries.items(),
-                                 key=lambda kv: kv[1].get("created", "")):
-            print(f"  {key}  {entry['fu']:8s} {entry['stream']:28s} "
-                  f"{entry['n_conditions']:3d}x{entry['n_cycles']:<7d} "
-                  f"{entry.get('created', '')}")
+        else:
+            total = store.size_bytes()
+            print(f"trace store {store.root}: {len(entries)} entr(y/ies), "
+                  f"{total / 1e6:.2f} MB")
+            for key, entry in sorted(entries.items(),
+                                     key=lambda kv: kv[1].get("created", "")):
+                print(f"  {key}  {entry['fu']:8s} {entry['stream']:28s} "
+                      f"{entry['n_conditions']:3d}x{entry['n_cycles']:<7d} "
+                      f"{entry.get('created', '')}")
+        history = store.throughput_history()
+        if history:
+            print(f"throughput history ({len(history)} entr(y/ies), feeds "
+                  f"the adaptive shard planner):")
+            for key, entry in sorted(history.items()):
+                cps = entry.get("corner_cycles_per_s") \
+                    if isinstance(entry, dict) else None
+                samples = entry.get("samples", "?") \
+                    if isinstance(entry, dict) else "?"
+                cps_text = (f"{cps:,.0f} corner-cyc/s"
+                            if isinstance(cps, (int, float)) else "corrupt")
+                print(f"  {key:32s} {cps_text}  ({samples} sample(s))")
         return 0
     # gc
+    if args.drop_history:
+        if args.dry_run:
+            n = len(store.throughput_history())
+            print(f"store gc: would have dropped {n} throughput-history "
+                  f"entr(y/ies)")
+        else:
+            dropped = store.clear_throughput()
+            print(f"store gc: dropped {dropped} throughput-history "
+                  f"entr(y/ies)")
     max_bytes = None if args.max_mb is None else int(args.max_mb * 1e6)
     report = store.gc(max_bytes=max_bytes, dry_run=args.dry_run)
     prefix = "would have " if args.dry_run else ""
@@ -293,8 +319,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=_positive_int, default=1)
     p.add_argument("--shard-cycles", type=_positive_int, default=None,
-                   help="cycle-range shard size for single jobs "
-                        "(default: auto-sized from --workers)")
+                   help="cycle-axis shard pitch for single jobs "
+                        "(default: auto-sized from --workers and any "
+                        "persisted throughput history)")
+    p.add_argument("--shard-corners", type=_positive_int, default=None,
+                   help="corner-axis shard pitch for single jobs "
+                        "(default: auto)")
     _backend_arg(p)
     p.add_argument("--no-cache", action="store_true",
                    help="skip the trace store entirely")
@@ -358,6 +388,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="store directory (default: REPRO_CACHE_DIR)")
     p.add_argument("--max-mb", type=_nonnegative_float, default=None,
                    help="gc: evict oldest traces beyond this size budget")
+    p.add_argument("--drop-history", action="store_true",
+                   help="gc: also reset the adaptive shard planner's "
+                        "throughput history")
     p.add_argument("--dry-run", action="store_true")
     p.set_defaults(func=cmd_store)
     return parser

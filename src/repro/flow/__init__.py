@@ -4,12 +4,14 @@ from .asicflow import ImplementedDesign, implement
 from .campaign import (
     DEFAULT_BACKEND,
     MIN_SHARD_CYCLES,
+    TARGET_SHARD_SECONDS,
     CampaignJob,
     CampaignRunner,
     CampaignStats,
     characterize,
     error_free_clocks,
     plan_cycle_shards,
+    plan_shards,
 )
 from .manifest import read_manifest, write_manifest
 from .tracestore import (
@@ -35,6 +37,8 @@ __all__ = [
     "implement",
     "library_fingerprint",
     "plan_cycle_shards",
+    "plan_shards",
+    "TARGET_SHARD_SECONDS",
     "read_manifest",
     "trace_key",
     "write_manifest",

@@ -10,12 +10,20 @@ and a :class:`CampaignRunner` executes a batch of jobs:
   :class:`~repro.flow.tracestore.TraceStore` keyed by netlist, stream,
   corners, **and library**, so reruns are cache hits;
 * cache misses fan out over a ``concurrent.futures`` process pool when
-  ``n_workers > 1`` — across jobs *and*, for backends that support it,
-  across **cycle-range shards within a job**: cycle ``t`` of the DTA
-  arrival pass depends only on input rows ``t`` and ``t+1``, so a huge
-  stream splits into shards (each receiving rows ``[start, stop + 1]``)
-  whose delay matrices are stitched back in submission order — results
-  are bit-identical for every ``n_workers``/shard-size configuration;
+  ``n_workers > 1`` — across jobs *and*, within a job, across a 2-D
+  **corner × cycle shard grid** (:func:`plan_shards`): cycle ``t`` of
+  the DTA arrival pass depends only on input rows ``t`` and ``t+1``,
+  and corner rows of the delay matrix are computed independently, so a
+  job splits along either axis (corners keep wide grids parallel even
+  when streams are short) and the per-shard delay matrices are
+  stitched back into place — results are bit-identical for every
+  ``n_workers``/shard-shape configuration;
+* the auto-sizer is **adaptive**: per-(FU, backend, corner-count)
+  throughput observed on earlier runs is persisted in the trace-store
+  manifest (:meth:`TraceStore.record_throughput`) and used to pick a
+  shard count that equalizes worker runtimes; with no usable history
+  (cold store, corrupted section, cache disabled) it falls back to the
+  static heuristic;
 * the simulation backend is pluggable
   (:func:`repro.sim.engine.get_backend`); the default is the compiled
   level-parallel engine, which is delay-identical to ``levelized`` and
@@ -52,43 +60,164 @@ __all__ = [
     "CampaignRunner",
     "CampaignStats",
     "MIN_SHARD_CYCLES",
+    "TARGET_SHARD_SECONDS",
     "characterize",
     "error_free_clocks",
     "plan_cycle_shards",
+    "plan_shards",
 ]
 
-#: Smallest shard the auto planner will produce; jobs below twice this
-#: never split (the per-shard overhead of pickling the netlist and
-#: re-lowering it in the worker would outweigh the parallelism).
+#: Smallest cycle-axis shard the auto planner will produce; jobs below
+#: twice this never split along the cycle axis (the per-shard overhead
+#: of pickling the netlist and re-lowering it in the worker would
+#: outweigh the parallelism).
 MIN_SHARD_CYCLES = 512
+
+#: Wall-clock the adaptive auto-sizer aims at per shard.  Shards much
+#: shorter than this drown in per-task overhead (netlist pickling +
+#: per-process lowering); much longer ones straggle at the end of the
+#: pool.  Jobs estimated under twice this never split.
+TARGET_SHARD_SECONDS = 2.0
+
+#: A shard grid never exceeds this many shards per worker — beyond it
+#: the scheduling slack the extra shards buy is smaller than their
+#: fixed costs.
+_MAX_SHARDS_PER_WORKER = 4
+
+#: Shard bounds: (corner_start, corner_stop, cycle_start, cycle_stop).
+Shard = Tuple[int, int, int, int]
+
+
+def _even_bounds(length: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``[0, length)`` into ``parts`` near-equal contiguous ranges."""
+    parts = max(1, min(parts, length))
+    base, extra = divmod(length, parts)
+    bounds = []
+    start = 0
+    for k in range(parts):
+        stop = start + base + (1 if k < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def plan_shards(n_cycles: int, n_corners: int = 1, *,
+                shard_cycles: Optional[int] = None,
+                shard_corners: Optional[int] = None,
+                n_workers: int = 1,
+                corner_cycles_per_s: Optional[float] = None,
+                cycle_shardable: bool = True,
+                corner_shardable: bool = True) -> List[Shard]:
+    """Plan a 2-D corner × cycle shard grid for one job.
+
+    Each shard ``(c0, c1, t0, t1)`` covers corners ``c0 .. c1-1`` of
+    cycles ``t0 .. t1-1`` and must be simulated from input rows
+    ``[t0, t1 + 1)`` (one leading state row) with delay-matrix rows
+    ``c0:c1`` — cycle ``t`` depends only on input rows ``t``/``t+1``
+    and corner rows are elementwise-independent, which is why stitching
+    the shard delay matrices back into place is bit-identical to the
+    unsharded run.  Shards are returned corner-major, cycle-minor.
+
+    Explicit ``shard_cycles``/``shard_corners`` (each ``>= 1``) fix
+    the grid pitch along their axis (ragged tails allowed).  With both
+    ``None`` the size is picked automatically:
+
+    * a single worker never splits;
+    * with usable throughput history (``corner_cycles_per_s``, i.e.
+      corner-cycles simulated per worker-second for this FU/backend/
+      grid), the shard count targets :data:`TARGET_SHARD_SECONDS` per
+      shard, aimed at a multiple of ``n_workers`` so worker runtimes
+      equalize (exact whenever a single axis can satisfy it), and
+      never above ``4 * n_workers``;
+    * cold, the static heuristic aims at roughly two shards per
+      worker.
+
+    Cycle splits are preferred (corner shards repeat the corner-
+    independent settled-value pass), never go below
+    :data:`MIN_SHARD_CYCLES`, and short streams fall back to corner
+    splits so wide grids still saturate the pool.
+    ``cycle_shardable``/``corner_shardable`` pin the respective axis
+    to a single span (backend capability gates).
+    """
+    if n_cycles < 1:
+        raise ValueError("n_cycles must be >= 1")
+    if n_corners < 1:
+        raise ValueError("n_corners must be >= 1")
+    if shard_cycles is not None and shard_cycles < 1:
+        raise ValueError("shard_cycles must be >= 1")
+    if shard_corners is not None and shard_corners < 1:
+        raise ValueError("shard_corners must be >= 1")
+    if not cycle_shardable:
+        shard_cycles = None
+    if not corner_shardable:
+        shard_corners = None
+
+    if shard_cycles is not None or shard_corners is not None:
+        pitch_t = shard_cycles if shard_cycles is not None else n_cycles
+        pitch_c = shard_corners if shard_corners is not None else n_corners
+        return [(c0, min(c0 + pitch_c, n_corners),
+                 t0, min(t0 + pitch_t, n_cycles))
+                for c0 in range(0, n_corners, pitch_c)
+                for t0 in range(0, n_cycles, pitch_t)]
+
+    if n_workers <= 1:
+        return [(0, n_corners, 0, n_cycles)]
+
+    max_cycle_splits = (max(1, n_cycles // MIN_SHARD_CYCLES)
+                        if cycle_shardable else 1)
+    max_corner_splits = n_corners if corner_shardable else 1
+
+    if corner_cycles_per_s is not None and corner_cycles_per_s > 0 \
+            and np.isfinite(corner_cycles_per_s):
+        est_seconds = n_cycles * n_corners / corner_cycles_per_s
+        if est_seconds < 2 * TARGET_SHARD_SECONDS:
+            target = 1 if est_seconds < TARGET_SHARD_SECONDS else n_workers
+        else:
+            target = min(_MAX_SHARDS_PER_WORKER * n_workers,
+                         max(1, round(est_seconds / TARGET_SHARD_SECONDS)))
+        if target > 1:  # aim at a multiple of n_workers so runtimes equalize
+            target = -(-target // n_workers) * n_workers
+        target = min(target, max_cycle_splits * max_corner_splits)
+        if target <= 1:
+            return [(0, n_corners, 0, n_cycles)]
+        cycle_splits = min(target, max_cycle_splits)
+        # floor division keeps the grid at or under target (the hard
+        # shards-per-worker cap); a 2-D grid cannot always hit an exact
+        # worker multiple, undershooting only costs a little slack
+        corner_splits = min(max_corner_splits,
+                            max(1, target // cycle_splits))
+        cycle_bounds = _even_bounds(n_cycles, cycle_splits)
+        corner_bounds = _even_bounds(n_corners, corner_splits)
+        return [(c0, c1, t0, t1) for c0, c1 in corner_bounds
+                for t0, t1 in cycle_bounds]
+
+    # static heuristic (cold): legacy fixed-pitch cycle shards, corner
+    # splits only when the cycle axis alone cannot feed the pool
+    if cycle_shardable and n_cycles >= 2 * MIN_SHARD_CYCLES:
+        pitch = max(MIN_SHARD_CYCLES, -(-n_cycles // (2 * n_workers)))
+        cycle_bounds = [(t0, min(t0 + pitch, n_cycles))
+                        for t0 in range(0, n_cycles, pitch)]
+    else:
+        cycle_bounds = [(0, n_cycles)]
+    need = -(-2 * n_workers // len(cycle_bounds))
+    corner_splits = (min(max_corner_splits, need)
+                     if len(cycle_bounds) < 2 * n_workers else 1)
+    corner_bounds = _even_bounds(n_corners, corner_splits)
+    return [(c0, c1, t0, t1) for c0, c1 in corner_bounds
+            for t0, t1 in cycle_bounds]
 
 
 def plan_cycle_shards(n_cycles: int, shard_cycles: Optional[int],
                       n_workers: int = 1) -> List[Tuple[int, int]]:
-    """Split a cycle axis into contiguous ``(start, stop)`` ranges.
+    """Cycle-only shard plan — thin wrapper over :func:`plan_shards`.
 
-    Shard ``(start, stop)`` covers cycles ``start .. stop-1`` and must
-    be simulated from input rows ``[start, stop + 1)`` — one leading
-    state row, exactly like the engines' internal chunking, which is
-    why stitching shard delay matrices back in order is bit-identical
-    to the unsharded run.
-
-    ``shard_cycles`` is the explicit shard size (``>= 1``); ``None``
-    picks one automatically: no splitting for a single worker, else
-    roughly two shards per worker, never smaller than
-    :data:`MIN_SHARD_CYCLES`.
+    Retained for callers that shard a single-corner stream; returns
+    the ``(cycle_start, cycle_stop)`` pairs of the 2-D plan with one
+    corner.
     """
-    if n_cycles < 1:
-        raise ValueError("n_cycles must be >= 1")
-    if shard_cycles is None:
-        if n_workers <= 1 or n_cycles < 2 * MIN_SHARD_CYCLES:
-            return [(0, n_cycles)]
-        shard_cycles = max(MIN_SHARD_CYCLES,
-                           -(-n_cycles // (2 * n_workers)))
-    elif shard_cycles < 1:
-        raise ValueError("shard_cycles must be >= 1")
-    return [(start, min(start + shard_cycles, n_cycles))
-            for start in range(0, n_cycles, shard_cycles)]
+    return [(t0, t1) for _, _, t0, t1 in
+            plan_shards(n_cycles, 1, shard_cycles=shard_cycles,
+                        n_workers=n_workers)]
 
 
 @dataclass
@@ -109,11 +238,11 @@ class CampaignJob:
 class CampaignStats:
     """Bookkeeping from the latest :meth:`CampaignRunner.run`.
 
-    ``job_seconds``/``job_shards`` are keyed by the job's index in the
-    ``run()`` batch and only cover cache misses (cached jobs never
-    simulate).  ``sim_seconds`` is worker-side simulation time summed
-    over shards — with sharding across a pool it exceeds
-    ``wall_seconds``, and the ratio is the effective parallel speedup.
+    Per-job dicts are keyed by the job's index in the ``run()`` batch
+    and only cover cache misses (cached jobs never simulate).
+    ``sim_seconds`` is worker-side simulation time summed over shards —
+    with sharding across a pool it exceeds ``wall_seconds``, and the
+    ratio is the effective parallel speedup.
     """
 
     hits: int = 0
@@ -124,8 +253,12 @@ class CampaignStats:
     sim_seconds: float = 0.0
     #: job index -> worker-side simulation seconds for that job.
     job_seconds: Dict[int, float] = field(default_factory=dict)
-    #: job index -> number of cycle-range shards it was split into.
+    #: job index -> number of shards in the job's corner × cycle grid.
     job_shards: Dict[int, int] = field(default_factory=dict)
+    #: job index -> simulated cycles (the stream's cycle count).
+    job_cycles: Dict[int, int] = field(default_factory=dict)
+    #: job index -> corner-grid size.
+    job_corners: Dict[int, int] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -134,6 +267,15 @@ class CampaignStats:
     @property
     def total_shards(self) -> int:
         return sum(self.job_shards.values())
+
+    def job_cycles_per_s(self, i: int) -> Optional[float]:
+        """Effective cycles/s of job ``i`` (simulated cycles over
+        worker-side sim seconds), or None for cached/instant jobs."""
+        seconds = self.job_seconds.get(i)
+        cycles = self.job_cycles.get(i)
+        if not seconds or not cycles:
+            return None
+        return cycles / seconds
 
 
 def _run_payload(payload: Tuple[Netlist, np.ndarray, np.ndarray, str]
@@ -161,28 +303,33 @@ class CampaignRunner:
     store:
         A :class:`TraceStore`, a directory path for one, or None for
         the default cache directory.  Ignored when ``use_cache`` is
-        False.
+        False.  Besides trace caching, the store's manifest carries
+        the throughput history that feeds the adaptive shard planner.
     n_workers:
         Process-pool width for cache misses; 1 runs inline.
     use_cache:
-        Disable all persistence when False.
-    shard_cycles:
-        Cycle-range shard size for single jobs on backends that
-        support it (see
-        :attr:`~repro.sim.engine.SimBackend.supports_cycle_sharding`).
-        None (default) auto-sizes shards from ``n_workers`` so one
-        huge stream saturates the pool; results are bit-identical for
-        every shard size and worker count.
+        Disable all persistence (and the adaptive history) when False.
+    shard_cycles / shard_corners:
+        Explicit shard-grid pitch along the cycle / corner axis for
+        single jobs, on backends whose capability flags allow it (see
+        :class:`~repro.sim.engine.SimBackend`).  None (default) sizes
+        the grid automatically — from throughput history when the
+        store has seen this (FU, backend, corner-count) before, else
+        statically from ``n_workers``.  Results are bit-identical for
+        every shard shape and worker count.
     """
 
     def __init__(self, backend: str = DEFAULT_BACKEND,
                  store: Union[TraceStore, str, Path, None] = None,
                  n_workers: int = 1, use_cache: bool = True,
-                 shard_cycles: Optional[int] = None) -> None:
+                 shard_cycles: Optional[int] = None,
+                 shard_corners: Optional[int] = None) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if shard_cycles is not None and shard_cycles < 1:
             raise ValueError("shard_cycles must be >= 1")
+        if shard_corners is not None and shard_corners < 1:
+            raise ValueError("shard_corners must be >= 1")
         self.backend_name = backend
         self.backend = get_backend(backend)
         if not use_cache:
@@ -193,7 +340,29 @@ class CampaignRunner:
             self.store = TraceStore(store)
         self.n_workers = n_workers
         self.shard_cycles = shard_cycles
+        self.shard_corners = shard_corners
         self.stats = CampaignStats()
+
+    def _plan_job(self, n_cycles: int, n_corners: int,
+                  fu_name: str) -> List[Shard]:
+        """Shard plan for one job, honoring backend capabilities and
+        any persisted throughput history (static fallback when cold)."""
+        cycle_ok = self.backend.supports_cycle_sharding
+        corner_ok = (self.backend.supports_corner_sharding
+                     and n_corners > 1)
+        history = None
+        if self.store is not None and self.shard_cycles is None \
+                and self.shard_corners is None:
+            history = self.store.get_throughput(
+                fu_name, self.backend_name, n_corners)
+        return plan_shards(
+            n_cycles, n_corners,
+            shard_cycles=self.shard_cycles,
+            shard_corners=self.shard_corners,
+            n_workers=self.n_workers,
+            corner_cycles_per_s=history,
+            cycle_shardable=cycle_ok,
+            corner_shardable=corner_ok)
 
     def run(self, jobs: Sequence[CampaignJob]) -> List[DelayTrace]:
         """Execute a batch of jobs, in order, returning their traces.
@@ -201,8 +370,9 @@ class CampaignRunner:
         Cached jobs load from the store; the rest are simulated (in
         parallel when ``n_workers > 1``) and persisted.  The result
         list is aligned with ``jobs`` and is bit-identical whatever
-        the worker count or shard size — workers only ever compute
-        independent jobs or independent cycle ranges of one job.
+        the worker count or shard grid — workers only ever compute
+        independent jobs, independent cycle ranges, or independent
+        corner rows.
         """
         jobs = list(jobs)
         delay_model = self.backend.delay_model
@@ -224,24 +394,24 @@ class CampaignRunner:
 
         if pending:
             batch_start = time.perf_counter()
-            shardable = getattr(self.backend, "supports_cycle_sharding",
-                                False)
-            # one task per (job, cycle shard); results regrouped below
+            # one task per (job, shard); results stitched below
             tasks: List[Tuple[int, Tuple[Netlist, np.ndarray,
                                          np.ndarray, str]]] = []
-            shard_counts: List[int] = []
+            job_plans: List[List[Shard]] = []
+            job_grids: List[Tuple[int, int]] = []
             for pos, (i, job, key, inputs) in enumerate(pending):
                 delay_matrix = job.library.delay_matrix(
                     job.fu.netlist, list(job.conditions))
                 n_cycles = inputs.shape[0] - 1
-                bounds = (plan_cycle_shards(n_cycles, self.shard_cycles,
-                                            self.n_workers)
-                          if shardable else [(0, n_cycles)])
-                shard_counts.append(len(bounds))
-                for start, stop in bounds:
+                n_corners = delay_matrix.shape[0]
+                shards = self._plan_job(n_cycles, n_corners, job.fu.name)
+                job_plans.append(shards)
+                job_grids.append((n_corners, n_cycles))
+                for c0, c1, t0, t1 in shards:
                     tasks.append((pos, (job.fu.netlist,
-                                        inputs[start:stop + 1],
-                                        delay_matrix, self.backend_name)))
+                                        inputs[t0:t1 + 1],
+                                        delay_matrix[c0:c1],
+                                        self.backend_name)))
 
             payloads = [payload for _, payload in tasks]
             if self.n_workers > 1 and len(payloads) > 1:
@@ -254,12 +424,18 @@ class CampaignRunner:
             parts: List[List[np.ndarray]] = [[] for _ in pending]
             seconds = [0.0] * len(pending)
             for (pos, _), (delays, secs) in zip(tasks, outcomes):
-                parts[pos].append(delays)  # tasks are in shard order
+                parts[pos].append(delays)  # tasks are in plan order
                 seconds[pos] += secs
             for pos, (i, job, key, inputs) in enumerate(pending):
-                shards = parts[pos]
-                delays = (shards[0] if len(shards) == 1
-                          else np.concatenate(shards, axis=1))
+                shards = job_plans[pos]
+                n_corners, n_cycles = job_grids[pos]
+                if len(shards) == 1:
+                    delays = parts[pos][0]
+                else:
+                    delays = np.empty((n_corners, n_cycles),
+                                      dtype=parts[pos][0].dtype)
+                    for (c0, c1, t0, t1), part in zip(shards, parts[pos]):
+                        delays[c0:c1, t0:t1] = part
                 trace = DelayTrace(delays, list(job.conditions),
                                    inputs=inputs)
                 if self.store is not None:
@@ -268,10 +444,16 @@ class CampaignRunner:
                                    library=job.library,
                                    delay_model=delay_model,
                                    backend=self.backend_name)
+                    if seconds[pos] > 0:
+                        self.store.record_throughput(
+                            job.fu.name, self.backend_name, n_corners,
+                            n_cycles * n_corners / seconds[pos])
                 results[i] = trace
                 self.stats.misses += 1
                 self.stats.job_seconds[i] = seconds[pos]
-                self.stats.job_shards[i] = shard_counts[pos]
+                self.stats.job_shards[i] = len(shards)
+                self.stats.job_cycles[i] = n_cycles
+                self.stats.job_corners[i] = n_corners
             self.stats.sim_seconds = sum(seconds)
             self.stats.wall_seconds = time.perf_counter() - batch_start
         return results  # type: ignore[return-value]

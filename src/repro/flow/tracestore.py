@@ -124,6 +124,92 @@ class TraceStore:
     def __contains__(self, key: str) -> bool:
         return key in self._read_manifest()["entries"]
 
+    # -- throughput history ----------------------------------------------------
+    #
+    # A small side-table in the manifest feeding the campaign layer's
+    # adaptive shard planner: per (FU, backend, corner-count), an
+    # exponential moving average of corner-cycles simulated per
+    # worker-second.  Readers are deliberately paranoid — a corrupted
+    # or hand-edited section must degrade to "no history" (static
+    # planning), never crash a campaign.
+
+    @staticmethod
+    def _throughput_key(fu_name: str, backend: str, n_corners: int) -> str:
+        return f"{fu_name}|{backend}|{int(n_corners)}"
+
+    def _throughput_section(self, manifest: Dict) -> Dict:
+        section = manifest.get("throughput")
+        return section if isinstance(section, dict) else {}
+
+    @staticmethod
+    def _entry_cps(entry) -> Optional[float]:
+        """Validated corner-cycles/s of one history entry, else None."""
+        if not isinstance(entry, dict):
+            return None
+        try:
+            value = float(entry.get("corner_cycles_per_s"))
+        except (TypeError, ValueError):
+            return None
+        if not np.isfinite(value) or value <= 0:
+            return None
+        return value
+
+    def record_throughput(self, fu_name: str, backend: str,
+                          n_corners: int,
+                          corner_cycles_per_s: float,
+                          alpha: float = 0.4) -> None:
+        """Fold one observation into the per-(FU, backend, corners) EWMA."""
+        try:
+            observed = float(corner_cycles_per_s)
+        except (TypeError, ValueError):
+            return
+        if not np.isfinite(observed) or observed <= 0:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest = self._read_manifest()  # single read: prev + samples
+        section = self._throughput_section(manifest)
+        key = self._throughput_key(fu_name, backend, n_corners)
+        prev = self._entry_cps(section.get(key))
+        entry = section.get(key) if isinstance(section.get(key), dict) else {}
+        samples = entry.get("samples")
+        samples = samples if isinstance(samples, int) and samples >= 0 else 0
+        value = (observed if prev is None
+                 else alpha * observed + (1 - alpha) * prev)
+        section[key] = {
+            "corner_cycles_per_s": float(value),
+            "samples": samples + 1,
+            "updated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }
+        manifest["throughput"] = section
+        self._write_manifest(manifest)
+
+    def get_throughput(self, fu_name: str, backend: str,
+                       n_corners: int) -> Optional[float]:
+        """EWMA corner-cycles/s for this (FU, backend, corner-count),
+        or None when the history is absent or unusable."""
+        section = self._throughput_section(self._read_manifest())
+        return self._entry_cps(
+            section.get(self._throughput_key(fu_name, backend, n_corners)))
+
+    def throughput_history(self) -> Dict[str, Dict]:
+        """The raw persisted throughput section (copy)."""
+        return dict(self._throughput_section(self._read_manifest()))
+
+    def clear_throughput(self) -> int:
+        """Drop the whole throughput history; returns entries removed.
+
+        Use after hardware or backend changes that make old cycles/s
+        observations misleading for the adaptive planner.
+        """
+        manifest = self._read_manifest()
+        section = self._throughput_section(manifest)
+        if not section:
+            return 0
+        n = len(section)
+        manifest["throughput"] = {}
+        self._write_manifest(manifest)
+        return n
+
     # -- traces ---------------------------------------------------------------
 
     def get(self, key: str, conditions: Sequence[OperatingCondition],

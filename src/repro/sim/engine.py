@@ -105,13 +105,30 @@ class SimBackend(abc.ABC):
     #: and ``t+1``, so a stream may be split into cycle-range shards
     #: (each shard receiving rows ``[start, stop + 1]``) and the delay
     #: matrices stitched back in order with bit-identical results.
-    #: The campaign runner only shards jobs on backends that set this.
+    #: The campaign runner only cycle-shards jobs on backends that set
+    #: this.
     supports_cycle_sharding: bool = False
+    #: Corner rows of ``run_delays`` are computed independently of one
+    #: another, so a delay matrix may be split row-wise across workers
+    #: and the results stacked back with bit-identical results.  True
+    #: by default: the protocol's delay semantics are per-corner (every
+    #: built-in either vectorizes elementwise over the corner axis or
+    #: loops corner by corner).  A backend whose corners interact (e.g.
+    #: shared adaptive state across the grid) must clear this.
+    supports_corner_sharding: bool = True
     #: Models glitch pulses on nets whose settled value does not change.
     #: Glitch-aware delays are systematically >= DTA delays, so traces
     #: from glitch backends must never share a cache entry with DTA
     #: traces (see :attr:`delay_model`).
     models_glitches: bool = False
+
+    #: Capability attributes the registry validates on every instance.
+    #: The campaign layer reads these as plain attributes (never via
+    #: ``getattr`` with a default), so a backend that typos a flag name
+    #: fails loudly at registration instead of silently losing e.g.
+    #: sharding.
+    CAPABILITY_FLAGS = ("supports_multi_corner", "supports_cycle_sharding",
+                        "supports_corner_sharding", "models_glitches")
 
     @property
     def delay_model(self) -> str:
@@ -202,5 +219,12 @@ def get_backend(name: str) -> SimBackend:
         raise ValueError(
             f"backend class {type(backend).__name__} declares name "
             f"{backend.name!r} but is registered as {name!r}")
+    for flag in SimBackend.CAPABILITY_FLAGS:
+        value = getattr(backend, flag, None)
+        if not isinstance(value, bool):
+            raise ValueError(
+                f"backend {name!r} capability {flag!r} must be a bool, "
+                f"got {value!r} — a typo'd flag name would silently "
+                f"disable the capability")
     _INSTANCES[name] = backend
     return backend

@@ -192,8 +192,15 @@ class EventBackend(SimBackend):
     corner by corner (one event-driven pass each).
     """
 
+    # every capability is declared explicitly (not inherited) so the
+    # registry's bool validation covers this backend's real contract:
+    # corner-by-corner looping makes corner sharding exact, but the
+    # event queue couples adjacent cycles (glitch trains can straddle a
+    # cut), so cycle sharding must stay off.
     name = "event"
     supports_multi_corner = False
+    supports_cycle_sharding = False
+    supports_corner_sharding = True
     models_glitches = True
 
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,

@@ -264,6 +264,7 @@ class LevelizedBackend(SimBackend):
     name = "levelized"
     supports_multi_corner = True
     supports_cycle_sharding = True
+    supports_corner_sharding = True
     models_glitches = False
 
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,

@@ -8,11 +8,13 @@ import pytest
 from repro.circuits import build_functional_unit
 from repro.flow import (
     MIN_SHARD_CYCLES,
+    TARGET_SHARD_SECONDS,
     CampaignJob,
     CampaignRunner,
     TraceStore,
     library_fingerprint,
     plan_cycle_shards,
+    plan_shards,
     trace_key,
 )
 from repro.sim import get_backend
@@ -225,6 +227,198 @@ class TestShardPlanning:
             plan_cycle_shards(100, 0)
 
 
+class TestShardGridPlanning:
+    """2-D corner × cycle planning: full coverage, disjointness, axis
+    preferences, capability gates, and history-driven sizing."""
+
+    def _assert_covers(self, shards, n_corners, n_cycles):
+        seen = np.zeros((n_corners, n_cycles), dtype=int)
+        for c0, c1, t0, t1 in shards:
+            assert 0 <= c0 < c1 <= n_corners
+            assert 0 <= t0 < t1 <= n_cycles
+            seen[c0:c1, t0:t1] += 1
+        assert (seen == 1).all()  # exact partition, no overlap
+
+    def test_explicit_grid_partitions(self):
+        for n_corners, n_cycles, sk, sc in ((9, 330, 2, 37), (1, 1, 1, 1),
+                                            (3, 100, 5, 1000),
+                                            (100, 64, 100, 64)):
+            shards = plan_shards(n_cycles, n_corners, shard_corners=sk,
+                                 shard_cycles=sc)
+            self._assert_covers(shards, n_corners, n_cycles)
+
+    def test_one_cycle_stream_splits_corners_only(self):
+        shards = plan_shards(1, 9, n_workers=4)
+        self._assert_covers(shards, 9, 1)
+        assert len(shards) > 1  # wide grid still feeds the pool
+        assert all(t0 == 0 and t1 == 1 for _, _, t0, t1 in shards)
+
+    def test_single_corner_single_worker_never_splits(self):
+        assert plan_shards(10 ** 6, 1) == [(0, 1, 0, 10 ** 6)]
+        assert plan_shards(1, 1, n_workers=64) == [(0, 1, 0, 1)]
+
+    def test_shard_larger_than_job_is_one_shard(self):
+        assert plan_shards(100, 2, shard_cycles=1000,
+                           shard_corners=50) == [(0, 2, 0, 100)]
+
+    def test_cycle_wrapper_matches_2d_plan(self):
+        for n_cycles, size, workers in ((330, 37, 1), (64_000, None, 4),
+                                        (1, 1, 2)):
+            flat = plan_cycle_shards(n_cycles, size, workers)
+            grid = plan_shards(n_cycles, 1, shard_cycles=size,
+                               n_workers=workers)
+            assert flat == [(t0, t1) for _, _, t0, t1 in grid]
+
+    def test_capability_gates_pin_axes(self):
+        # a backend without cycle sharding must never see cycle cuts,
+        # even when the caller asks for them explicitly
+        shards = plan_shards(10_000, 9, shard_cycles=100, n_workers=4,
+                             cycle_shardable=False)
+        assert all(t0 == 0 and t1 == 10_000 for _, _, t0, t1 in shards)
+        shards = plan_shards(10_000, 9, shard_corners=2, n_workers=4,
+                             corner_shardable=False)
+        assert all(c0 == 0 and c1 == 9 for c0, c1, _, _ in shards)
+
+    def test_history_targets_equal_worker_runtimes(self):
+        # 9 corners x 60k cycles at 100k corner-cycles/s ~ 5.4s of work:
+        # with 4 workers the count lands on a multiple of 4
+        shards = plan_shards(60_000, 9, n_workers=4,
+                             corner_cycles_per_s=100_000.0)
+        self._assert_covers(shards, 9, 60_000)
+        assert len(shards) % 4 == 0
+        sizes = [(c1 - c0) * (t1 - t0) for c0, c1, t0, t1 in shards]
+        assert max(sizes) - min(sizes) <= max(sizes) * 0.5  # near-equal
+
+    def test_history_small_jobs_never_split(self):
+        est_fast = 10 ** 9  # corner-cycles/s -> microsecond jobs
+        assert plan_shards(5000, 9, n_workers=8,
+                           corner_cycles_per_s=est_fast) == [(0, 9, 0, 5000)]
+
+    def test_history_caps_shards_per_worker(self):
+        shards = plan_shards(10 ** 6, 1, n_workers=2,
+                             corner_cycles_per_s=10.0)  # "weeks" of work
+        assert len(shards) <= 4 * 2
+
+    def test_history_cap_holds_on_2d_grids(self):
+        # regression: corner_splits used to be re-derived with ceil
+        # division after the cap, so a short multi-corner stream could
+        # overshoot the shards-per-worker ceiling
+        for n_workers in (2, 4):
+            shards = plan_shards(1536, 9, n_workers=n_workers,
+                                 corner_cycles_per_s=100.0)
+            self._assert_covers(shards, 9, 1536)
+            assert len(shards) <= 4 * n_workers, (n_workers, len(shards))
+
+    def test_nonsense_history_falls_back_to_static(self):
+        static = plan_shards(64_000, 1, n_workers=4)
+        for bad in (0.0, -5.0, float("inf"), float("nan")):
+            assert plan_shards(64_000, 1, n_workers=4,
+                               corner_cycles_per_s=bad) == static
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_shards(0, 1)
+        with pytest.raises(ValueError):
+            plan_shards(10, 0)
+        with pytest.raises(ValueError):
+            plan_shards(10, 1, shard_cycles=0)
+        with pytest.raises(ValueError):
+            plan_shards(10, 1, shard_corners=0)
+
+
+class TestAdaptiveThroughputHistory:
+    def _run_once(self, tmp_path, seed=55):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(60, operand_width=8, seed=seed)
+        stream.name = f"hist_{seed}"
+        runner = CampaignRunner(store=tmp_path)
+        runner.run([CampaignJob(fu, stream, CONDS)])
+        return runner
+
+    def test_campaign_records_throughput(self, tmp_path):
+        self._run_once(tmp_path)
+        store = TraceStore(tmp_path)
+        cps = store.get_throughput("int_add", "compiled", len(CONDS))
+        assert cps is not None and cps > 0
+        (entry,) = store.throughput_history().values()
+        assert entry["samples"] == 1
+
+    def test_ewma_update_and_samples(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.record_throughput("fu", "compiled", 9, 100.0)
+        store.record_throughput("fu", "compiled", 9, 200.0, alpha=0.5)
+        assert store.get_throughput("fu", "compiled", 9) == \
+            pytest.approx(150.0)
+        key = TraceStore._throughput_key("fu", "compiled", 9)
+        assert store.throughput_history()[key]["samples"] == 2
+
+    def test_bogus_observations_ignored(self, tmp_path):
+        store = TraceStore(tmp_path)
+        for bad in (0.0, -1.0, float("nan"), float("inf"), "fast"):
+            store.record_throughput("fu", "compiled", 9, bad)
+        assert store.get_throughput("fu", "compiled", 9) is None
+
+    def test_missing_history_is_none(self, tmp_path):
+        assert TraceStore(tmp_path).get_throughput("fu", "x", 1) is None
+
+    def test_corrupt_history_never_crashes_a_campaign(self, tmp_path):
+        # poison the section with every shape of garbage; the planner
+        # must fall back to the static heuristic and the run must
+        # produce correct delays
+        runner = self._run_once(tmp_path, seed=56)
+        first = runner.run([self._job_for(56)])[0]
+        store = TraceStore(tmp_path)
+        manifest = store._read_manifest()
+        key = TraceStore._throughput_key("int_add", "compiled", len(CONDS))
+        for poison in ("garbage", {"corner_cycles_per_s": "NaN?"},
+                       {"corner_cycles_per_s": [1, 2]}, 17,
+                       {"samples": "many"}, None):
+            manifest["throughput"] = {key: poison}
+            store._write_manifest(manifest)
+            assert store.get_throughput("int_add", "compiled",
+                                        len(CONDS)) is None
+            fresh = CampaignRunner(store=tmp_path, n_workers=2)
+            got = fresh.run([self._job_for(57)])[0]
+            ref = CampaignRunner(use_cache=False).run(
+                [self._job_for(57)])[0]
+            assert got.delays.tobytes() == ref.delays.tobytes()
+        # a whole-manifest corruption degrades the same way
+        (tmp_path / "manifest.json").write_text("{not json")
+        assert store.get_throughput("int_add", "compiled",
+                                    len(CONDS)) is None
+
+    def _job_for(self, seed):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(60, operand_width=8, seed=seed)
+        stream.name = f"hist_{seed}"
+        return CampaignJob(fu, stream, CONDS)
+
+    def test_clear_throughput(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.record_throughput("fu", "compiled", 9, 100.0)
+        assert store.clear_throughput() == 1
+        assert store.get_throughput("fu", "compiled", 9) is None
+        assert store.clear_throughput() == 0
+
+    def test_gc_preserves_history(self, tmp_path):
+        runner = self._run_once(tmp_path, seed=58)
+        store = TraceStore(tmp_path)
+        assert store.throughput_history()
+        store.gc(max_bytes=0)  # evict every trace blob
+        assert store.entries() == {}
+        assert store.get_throughput("int_add", "compiled",
+                                    len(CONDS)) is not None
+
+    def test_no_cache_runner_keeps_no_history(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(40, operand_width=8, seed=59)
+        stream.name = "hist_nocache"
+        CampaignRunner(use_cache=False).run(
+            [CampaignJob(fu, stream, CONDS)])
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestCycleSharding:
     """The delay matrices (and collected outputs) must be bit-identical
     for every worker count and shard size, including shards that are
@@ -253,9 +447,28 @@ class TestCycleSharding:
         trace = runner.run([self._job()])[0]
         assert trace.delays.tobytes() == reference.delays.tobytes()
         assert trace.delays.shape == reference.delays.shape
-        expected = len(plan_cycle_shards(self.N_CYCLES, shard_cycles,
-                                         n_workers))
+        expected = len(plan_shards(self.N_CYCLES, len(CONDS),
+                                   shard_cycles=shard_cycles,
+                                   n_workers=n_workers))
         assert runner.stats.job_shards == {0: expected}
+
+    @pytest.mark.parametrize("shard_corners", [1, 2, None])
+    @pytest.mark.parametrize("shard_cycles", [37, None])
+    def test_corner_grid_stitching_byte_identical(self, reference,
+                                                  shard_corners,
+                                                  shard_cycles):
+        runner = CampaignRunner(use_cache=False, n_workers=2,
+                                shard_cycles=shard_cycles,
+                                shard_corners=shard_corners)
+        trace = runner.run([self._job()])[0]
+        assert trace.delays.tobytes() == reference.delays.tobytes()
+        expected = len(plan_shards(self.N_CYCLES, len(CONDS),
+                                   shard_cycles=shard_cycles,
+                                   shard_corners=shard_corners,
+                                   n_workers=2))
+        assert runner.stats.job_shards == {0: expected}
+        if shard_corners == 1:
+            assert runner.stats.job_shards[0] >= 2  # split per corner
 
     def test_shard_chunk_boundary_interaction(self):
         # stitch shards that were themselves chunked internally at 64
@@ -279,7 +492,7 @@ class TestCycleSharding:
             np.testing.assert_array_equal(outputs, whole.outputs,
                                           err_msg=str(shard))
 
-    def test_event_backend_never_sharded(self):
+    def test_event_backend_never_cycle_sharded(self):
         fu = build_functional_unit("int_add", width=4)
         stream = random_stream(40, operand_width=4, seed=79)
         stream.name = "shard_event"
@@ -287,6 +500,20 @@ class TestCycleSharding:
                                 n_workers=2, shard_cycles=10)
         runner.run([CampaignJob(fu, stream, CONDS[:1])])
         assert runner.stats.job_shards == {0: 1}
+
+    def test_event_backend_corner_shards_bit_identically(self):
+        # the event engine loops corner by corner, so corner rows are
+        # independent and the 2-D planner may still split them
+        fu = build_functional_unit("int_add", width=4)
+        stream = random_stream(30, operand_width=4, seed=83)
+        stream.name = "shard_event_corners"
+        job = CampaignJob(fu, stream, CONDS)
+        ref = CampaignRunner(backend="event", use_cache=False).run([job])[0]
+        runner = CampaignRunner(backend="event", use_cache=False,
+                                n_workers=2, shard_corners=1)
+        got = runner.run([job])[0]
+        assert got.delays.tobytes() == ref.delays.tobytes()
+        assert runner.stats.job_shards == {0: len(CONDS)}
 
     def test_stats_record_times_and_shards(self, tmp_path):
         fu = build_functional_unit("int_add", width=8)

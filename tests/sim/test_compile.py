@@ -55,23 +55,56 @@ class TestLowering:
         for g in prog.groups:
             assert g.fanin.size == 0 or g.fanin.max() < g.start
 
-    def test_arrival_blocks_cover_all_non_const_gates(self):
+    def test_arrival_blocks_cover_live_non_const_gates(self):
+        # dead-cone gates (no structural path to a PO) are excluded
+        # from the arrival pass — they cannot influence any delay
         fu = build_functional_unit("fp_mul")
         prog = compile_netlist(fu.netlist)
         covered = np.concatenate(
             [b.gate_idx for b in prog.arrival_blocks])
-        n_consts = sum(
-            1 for g in fu.netlist.gates if GATE_ARITY[g.gtype] == 0)
-        assert len(covered) == fu.netlist.n_gates - n_consts
+        live = {idx for g in prog.groups if g.live for idx in g.gate_idx}
+        n_live_consts = sum(
+            1 for g in prog.groups if g.live and g.arity == 0
+            for _ in g.gate_idx)
+        assert len(covered) == len(live) - n_live_consts
+        assert prog.n_arrival_gates == len(covered)
+        assert set(covered.tolist()) <= live
         assert len(set(covered.tolist())) == len(covered)
         for b in prog.arrival_blocks:
             assert b.fanin.shape == (b.width, b.stop - b.start)
 
     def test_levelize_order_respected(self):
-        fu = build_functional_unit("int_add", width=8)
+        # live groups first (levels ascending), then the dead cone
+        # (levels ascending again) — rows below n_live_rows are live
+        fu = build_functional_unit("int_mul", width=8)
         prog = compile_netlist(fu.netlist)
-        levels = [g.level for g in prog.groups]
-        assert levels == sorted(levels)
+        live_flags = [g.live for g in prog.groups]
+        assert live_flags == sorted(live_flags, reverse=True)
+        n_live = prog.n_live_groups
+        live_levels = [g.level for g in prog.groups[:n_live]]
+        dead_levels = [g.level for g in prog.groups[n_live:]]
+        assert live_levels == sorted(live_levels)
+        assert dead_levels == sorted(dead_levels)
+        assert prog.n_live_rows == prog.groups[n_live - 1].stop
+
+    def test_live_gates_never_read_dead_rows(self):
+        fu = build_functional_unit("int_mul")
+        prog = compile_netlist(fu.netlist)
+        for g in prog.groups[:prog.n_live_groups]:
+            assert g.fanin.size == 0 or g.fanin.max() < prog.n_live_rows
+        for b in prog.arrival_blocks:
+            assert b.fanin.max() < prog.n_live_rows
+            assert b.start >= prog.n_inputs and b.stop <= prog.n_live_rows
+
+    def test_dead_cone_detected_on_int_mul(self):
+        # the 32-bit array multiplier carries unused carry/sign cells;
+        # they must be segregated, and delays must not change (covered
+        # bit-exactly by the parity tests)
+        fu = build_functional_unit("int_mul")
+        prog = compile_netlist(fu.netlist)
+        n_dead = sum(len(g.gate_idx) for g in prog.groups if not g.live)
+        assert n_dead > 0
+        assert prog.n_live_rows < prog.n_nets
 
 
 class TestProgramCache:
@@ -172,6 +205,87 @@ class TestKernelParity:
         nl.primary_outputs.append(99)  # undriven
         with pytest.raises(Exception):
             compile_netlist(nl)
+
+
+class TestArrivalFastPaths:
+    """The multi-corner fast paths — dead-cone exclusion, the level-1
+    corner-independent max, quiet-sub-block skipping — must all be
+    invisible in the delays: bit-identical to the per-gate reference.
+    """
+
+    CONDS9 = [OperatingCondition(v, t)
+              for v in (0.81, 0.90, 1.00) for t in (0.0, 50.0, 100.0)]
+
+    def _parity(self, netlist, inputs, conds):
+        delays = DEFAULT_LIBRARY.delay_matrix(netlist, conds)
+        ref = LevelizedSimulator(netlist, compiled=False).run(
+            inputs, delays, collect_outputs=True)
+        got = compile_netlist(netlist).run(inputs, delays,
+                                           collect_outputs=True)
+        assert got.delays.tobytes() == ref.delays.tobytes()
+        np.testing.assert_array_equal(got.outputs, ref.outputs)
+
+    def test_dangling_gate_netlist_parity(self):
+        # a gate driving nothing (classic dead cone) plus a dead chain
+        nl = Netlist(name="dangling")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        x = nl.add_gate(GateType.XOR2, [a, b])
+        dead1 = nl.add_gate(GateType.AND2, [a, b])
+        nl.add_gate(GateType.NOT, [dead1])  # dead chain, never read
+        nl.primary_outputs.append(x)
+        prog = compile_netlist(nl)
+        assert prog.n_arrival_gates == 1  # only the XOR is simulated
+        rng = np.random.default_rng(3)
+        inputs = rng.integers(0, 2, size=(130, 2)).astype(np.uint8)
+        self._parity(nl, inputs, self.CONDS9[:3])
+
+    def test_const_feeding_level1_gate_parity(self):
+        # the fused level-1 path reads constant arrivals as the quiet
+        # sentinel where the main path holds -inf; both must lose every
+        # max and leave delays bit-identical
+        nl = Netlist(name="const_lvl1")
+        a = nl.add_input("a")
+        one = nl.add_gate(GateType.CONST1, [])
+        x = nl.add_gate(GateType.XOR2, [a, one])   # level 1, const fanin
+        y = nl.add_gate(GateType.AND2, [x, a])
+        nl.primary_outputs.extend([x, y])
+        rng = np.random.default_rng(4)
+        inputs = rng.integers(0, 2, size=(70, 1)).astype(np.uint8)
+        self._parity(nl, inputs, self.CONDS9)
+
+    def test_quiet_chunks_skip_but_stay_exact(self):
+        # long constant stretches make whole chunks (and sub-blocks)
+        # quiet — the sparsity skip must not change a single bit
+        fu = build_functional_unit("int_mul", width=8)
+        stream = stream_for_unit("int_mul", 400, seed=15)
+        inputs = stream.bit_matrix(fu)
+        inputs[50:260] = inputs[50]  # 210 frozen cycles
+        self._parity(fu.netlist, inputs, self.CONDS9)
+
+    def test_plan_cache_distinguishes_delay_matrices(self):
+        # the single-slot plan cache must never serve another delay
+        # matrix's tiles: same netlist, same shape, different values
+        fu, inputs = _fu_inputs("int_add", 80, seed=16, width=8)
+        prog = compile_netlist(fu.netlist)
+        dm_a = DEFAULT_LIBRARY.delay_matrix(fu.netlist, self.CONDS9)
+        dm_b = np.asarray(dm_a, np.float32) * np.float32(2.0)
+        ref_b = LevelizedSimulator(fu.netlist, compiled=False).run(
+            inputs, dm_b)
+        prog.run(inputs, dm_a)  # warm the cache with matrix A
+        got_b = prog.run(inputs, dm_b)
+        assert got_b.delays.tobytes() == ref_b.delays.tobytes()
+
+    def test_multi_corner_equals_corner_by_corner(self):
+        # corner rows are computed independently: slicing the delay
+        # matrix row-wise reproduces the same bits (the property the
+        # campaign layer's corner sharding relies on)
+        fu, inputs = _fu_inputs("int_add", 90, seed=14, width=8)
+        delays = DEFAULT_LIBRARY.delay_matrix(fu.netlist, self.CONDS9)
+        prog = compile_netlist(fu.netlist)
+        whole = prog.run(inputs, delays).delays
+        for lo, hi in ((0, 1), (1, 4), (4, 9)):
+            part = prog.run(inputs, delays[lo:hi]).delays
+            assert part.tobytes() == whole[lo:hi].tobytes(), (lo, hi)
 
 
 class TestSimulatorFrontEnds:

@@ -71,6 +71,40 @@ class TestRegistry:
             assert get_backend(name).supports_cycle_sharding, name
         assert not get_backend("event").supports_cycle_sharding
 
+    def test_corner_sharding_capability(self):
+        # every built-in computes corner rows independently — including
+        # the event engine, which loops corner by corner
+        for name in ("levelized", "bitpacked", "compiled", "event"):
+            assert get_backend(name).supports_corner_sharding, name
+
+    def test_event_backend_declares_all_flags_explicitly(self):
+        # satellite regression: absent attrs used to be probed with
+        # getattr defaults, so a typo'd flag silently disabled sharding
+        from repro.sim.eventsim import EventBackend
+
+        for flag in SimBackend.CAPABILITY_FLAGS:
+            assert flag in vars(EventBackend), flag
+
+    def test_registry_rejects_non_bool_capabilities(self):
+        class BrokenFlags(SimBackend):
+            name = "brokenflags"
+            supports_cycle_sharding = None  # type: ignore[assignment]
+
+            def run_delays(self, *a, **k):  # pragma: no cover
+                raise NotImplementedError
+
+            def run_values(self, *a, **k):  # pragma: no cover
+                raise NotImplementedError
+
+        register_backend("brokenflags", BrokenFlags)
+        try:
+            with pytest.raises(ValueError, match="capability"):
+                get_backend("brokenflags")
+        finally:
+            import repro.sim.engine as engine
+            engine._REGISTRY.pop("brokenflags", None)
+            engine._INSTANCES.pop("brokenflags", None)
+
     def test_default_backend_consistent(self):
         import inspect
 

@@ -46,6 +46,7 @@ class TestCommands:
         assert "1 simulated" in out
         assert "across 3 shard(s)" in out
         assert "[3 shard(s)," in out
+        assert "cyc/s" in out  # effective per-job throughput
         # rerun is fully cached: no shard/timing detail
         rc = main(["campaign", "--fu", "int_add", "--cycles", "90",
                    "--shard-cycles", "30", "--voltages", "0.9",
@@ -81,6 +82,7 @@ class TestValidation:
         ["predict", "-m", "m.pkl", "--fu", "int_add", "--speedup", "-0.1"],
         ["campaign", "--workers", "0"],
         ["campaign", "--shard-cycles", "0"],
+        ["campaign", "--shard-corners", "0"],
         ["serve", "--max-batch", "0"],
         ["serve", "--batch-window-ms", "-1"],
     ])
@@ -117,6 +119,25 @@ class TestStoreCommands:
         assert main(["store", "gc", "--max-mb", "0", "--dry-run"]) == 0
         assert "would have" in capsys.readouterr().out
         assert len(list(tmp_path.glob("dta_*.npz"))) == 1
+
+    def test_store_list_and_reset_throughput_history(self, capsys,
+                                                     tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # a campaign miss records adaptive-planner history
+        main(["campaign", "--fu", "int_add", "--cycles", "40",
+              "--voltages", "0.9", "--temperatures", "25"])
+        capsys.readouterr()
+        assert main(["store", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput history" in out
+        assert "int_add|compiled|1" in out
+        # dry run previews, real run drops
+        assert main(["store", "gc", "--drop-history", "--dry-run"]) == 0
+        assert "would have dropped 1" in capsys.readouterr().out
+        assert main(["store", "gc", "--drop-history"]) == 0
+        assert "dropped 1 throughput-history" in capsys.readouterr().out
+        from repro.flow import TraceStore
+        assert TraceStore(tmp_path).throughput_history() == {}
 
 
 class TestModelRegistryCommands:
