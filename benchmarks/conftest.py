@@ -34,7 +34,7 @@ import pytest
 from repro.apps import app_stream, image_corpus, split_corpus
 from repro.circuits import build_functional_unit
 from repro.core.pipeline import train_models
-from repro.flow import DEFAULT_BACKEND, CampaignRunner
+from repro.flow import DEFAULT_BACKEND, CampaignJob, CampaignRunner
 from repro.timing import fig3_corner_subset, paper_corner_grid
 from repro.workloads import OperandStream, stream_for_unit
 
@@ -58,6 +58,16 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
 
 def bench_cycles(default: int = 1500) -> int:
     return int(os.environ.get("REPRO_BENCH_CYCLES", default))
+
+
+def characterize_one(runner: CampaignRunner, fu, stream,
+                     conditions):
+    """Single-job characterization via the batch API.
+
+    (``CampaignRunner.characterize`` is a deprecated shim now; the
+    benches go through ``run()`` like the rest of the pipeline.)
+    """
+    return runner.run([CampaignJob(fu, stream, list(conditions))])[0]
 
 
 @pytest.fixture(scope="session")

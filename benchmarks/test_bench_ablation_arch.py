@@ -9,7 +9,8 @@ and the dynamic-vs-static delay gap that motivates TEVoT.
 import numpy as np
 import pytest
 
-from conftest import bench_cycles, format_table, record_report
+from conftest import (bench_cycles, characterize_one, format_table,
+                      record_report)
 from repro.circuits.adders import ADDER_ARCHITECTURES, build_int_adder
 from repro.circuits.multipliers import (
     MULTIPLIER_ARCHITECTURES,
@@ -32,7 +33,7 @@ def _adder_rows(runner):
             name="int_add", netlist=nl, operand_width=32, result_width=32,
             reference=lambda a, b: refmodels.int_add_ref(a, b, 32)[0])
         static = static_delay(nl, COND)
-        trace = runner.characterize(fu, stream, [COND])
+        trace = characterize_one(runner, fu, stream, [COND])
         dynamic = float(trace.delays.mean())
         rows.append([arch, nl.n_gates, nl.depth(), f"{static:.0f}",
                      f"{dynamic:.0f}", f"{dynamic / static:.2f}"])
@@ -48,7 +49,7 @@ def _multiplier_rows(runner):
             name="int_mul", netlist=nl, operand_width=32, result_width=32,
             reference=lambda a, b: refmodels.int_mul_ref(a, b, 32))
         static = static_delay(nl, COND)
-        trace = runner.characterize(fu, stream, [COND])
+        trace = characterize_one(runner, fu, stream, [COND])
         dynamic = float(trace.delays.mean())
         rows.append([arch, nl.n_gates, nl.depth(), f"{static:.0f}",
                      f"{dynamic:.0f}", f"{dynamic / static:.2f}"])

@@ -14,7 +14,7 @@ Two parts:
 import numpy as np
 import pytest
 
-from conftest import format_table, record_report
+from conftest import characterize_one, format_table, record_report
 from repro.core.features import build_feature_matrix
 from repro.ml import mean_absolute_error
 from repro.sim.levelized import LevelizedSimulator
@@ -71,8 +71,8 @@ def test_history_improves_app_delay_prediction(benchmark, fu_name,
     def run():
         bundle = trained_models(fu_name)
         stream = datasets(fu_name)["sobel"]
-        trace = campaign_runner.characterize(bundle["fu"], stream,
-                                             conditions)
+        trace = characterize_one(campaign_runner, bundle["fu"], stream,
+                                 conditions)
         maes = {"TEVoT": [], "TEVoT-NH": []}
         for k, condition in enumerate(conditions):
             X = build_feature_matrix(stream, condition,

@@ -9,7 +9,7 @@ features — the interpretability argument of Sec. IV-B.
 import numpy as np
 import pytest
 
-from conftest import format_table, record_report
+from conftest import characterize_one, format_table, record_report
 from repro.core.features import build_feature_matrix, build_training_set
 from repro.ml import RandomForestRegressor, mean_absolute_error
 from repro.timing import sped_up_clock
@@ -22,7 +22,8 @@ def _sweep(trained_models, datasets, conditions, runner):
     train_stream = datasets(FU_NAME)["train"]
     test_stream = datasets(FU_NAME)["random"]
     train_trace = bundle["train_trace"]
-    test_trace = runner.characterize(bundle["fu"], test_stream, conditions)
+    test_trace = characterize_one(runner, bundle["fu"], test_stream,
+                                  conditions)
     X_train, y_train = build_training_set(
         train_stream, train_trace.conditions, train_trace.delays,
         max_rows=20_000, seed=0)

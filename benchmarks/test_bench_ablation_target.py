@@ -11,7 +11,7 @@ own training clock) and the 3x model-count cost.
 import numpy as np
 import pytest
 
-from conftest import format_table, record_report
+from conftest import characterize_one, format_table, record_report
 from repro.core.features import build_training_set
 from repro.ml import RandomForestClassifier, accuracy_score
 from repro.timing import CLOCK_SPEEDUPS, sped_up_clock
@@ -27,7 +27,8 @@ def _run(trained_models, datasets, conditions, runner):
     train_stream = datasets(FU_NAME)["train"]
     test_stream = datasets(FU_NAME)["random"]
     train_trace = bundle["train_trace"]
-    test_trace = runner.characterize(bundle["fu"], test_stream, conditions)
+    test_trace = characterize_one(runner, bundle["fu"], test_stream,
+                                  conditions)
 
     X_train, y_train_delay = build_training_set(
         train_stream, train_trace.conditions, train_trace.delays,

@@ -12,7 +12,8 @@ the 9 plotted corners and checks the paper's three observations:
 import numpy as np
 import pytest
 
-from conftest import bench_cycles, format_table, record_report
+from conftest import (bench_cycles, characterize_one, format_table,
+                      record_report)
 from repro.circuits import PAPER_UNITS, build_functional_unit
 from repro.timing import OperatingCondition, fig3_corner_subset
 
@@ -24,7 +25,7 @@ def _average_delays(fu_name, datasets, runner):
     streams = datasets(fu_name)
     means = {}
     for key in ("random", "sobel", "gauss"):
-        trace = runner.characterize(fu, streams[key], FIG3_CONDS)
+        trace = characterize_one(runner, fu, streams[key], FIG3_CONDS)
         means[key] = trace.average_delay()
     return means
 

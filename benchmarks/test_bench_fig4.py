@@ -13,7 +13,7 @@ garbage.
 import numpy as np
 import pytest
 
-from conftest import format_table, record_report
+from conftest import characterize_one, format_table, record_report
 from repro.apps import quality_for_ters
 from repro.core.features import build_feature_matrix
 from repro.timing import sped_up_clock
@@ -43,8 +43,8 @@ def _run(trained_models, datasets, conditions, corpus_split, runner):
     image = test_images[0]
     bundles = {fu: trained_models(fu) for fu in APP_FUS}
     streams = {fu: datasets(fu)["sobel"] for fu in APP_FUS}
-    traces = {fu: runner.characterize(bundles[fu]["fu"], streams[fu],
-                                      conditions)
+    traces = {fu: characterize_one(runner, bundles[fu]["fu"],
+                                   streams[fu], conditions)
               for fu in APP_FUS}
     ci, condition, speedup = _pick_operating_point(
         bundles, streams, traces, conditions)

@@ -14,7 +14,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import format_table, record_report
+from conftest import characterize_one, format_table, record_report
 from repro.circuits import build_functional_unit
 from repro.core import TEVoT, build_training_set
 from repro.serve import ModelRegistry, PredictionEngine, PredictRequest
@@ -31,7 +31,7 @@ def _publish_model(tmp_path, campaign_runner):
     stream = stream_for_unit(FU_NAME, 300, seed=50)
     stream.name = "bench_serve_train"
     conditions = [OperatingCondition(0.90, 25.0)]
-    trace = campaign_runner.characterize(fu, stream, conditions)
+    trace = characterize_one(campaign_runner, fu, stream, conditions)
     model = TEVoT(operand_width=fu.operand_width)
     X, y = build_training_set(stream, conditions, trace.delays,
                               spec=model.spec)

@@ -12,7 +12,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import format_table, record_report
+from conftest import characterize_one, format_table, record_report
 from repro.circuits import build_functional_unit
 from repro.core import TEVoT, build_training_set
 from repro.core.features import build_feature_matrix
@@ -33,7 +33,7 @@ def _measure(fu_name, runner):
 
     # train a small TEVoT so inference is realistic
     small = stream.head(400)
-    trace = runner.characterize(fu, small, [COND])
+    trace = characterize_one(runner, fu, small, [COND])
     X, y = build_training_set(small, [COND], trace.delays)
     model = TEVoT().fit(X, y)
 

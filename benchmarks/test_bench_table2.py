@@ -14,7 +14,8 @@ import time
 import numpy as np
 import pytest
 
-from conftest import bench_cycles, format_table, record_report
+from conftest import (bench_cycles, characterize_one, format_table,
+                      record_report)
 from repro.circuits import build_functional_unit
 from repro.core.features import build_training_set
 from repro.ml import (
@@ -47,8 +48,8 @@ def _make_classification_data(conditions, runner):
     train.name = "t2_train"
     test = stream_for_unit(FU_NAME, n, seed=21)
     test.name = "t2_test"
-    train_trace = runner.characterize(fu, train, conditions)
-    test_trace = runner.characterize(fu, test, conditions)
+    train_trace = characterize_one(runner, fu, train, conditions)
+    test_trace = characterize_one(runner, fu, test, conditions)
     clocks = {cond: float(np.percentile(train_trace.delays[k], 70))
               for k, cond in enumerate(train_trace.conditions)}
 

@@ -15,7 +15,7 @@ Shape assertions (the reproduction target):
 import numpy as np
 import pytest
 
-from conftest import format_table, record_report
+from conftest import characterize_one, format_table, record_report
 from repro.circuits import PAPER_UNITS, build_functional_unit
 from repro.core.evaluation import evaluate_models
 
@@ -27,7 +27,8 @@ def _evaluate(fu_name, dataset_key, trained_models, datasets, conditions,
     bundle = trained_models(fu_name)
     streams = datasets(fu_name)
     stream = streams[dataset_key]
-    test_trace = runner.characterize(bundle["fu"], stream, conditions)
+    test_trace = characterize_one(runner, bundle["fu"], stream,
+                                  conditions)
     sweep = evaluate_models(
         bundle["tevot"], bundle["tevot_nh"], bundle["delay_based"],
         bundle["ter_based"], stream, test_trace, bundle["clocks"])

@@ -12,7 +12,7 @@ gate-level-simulation verdict.
 import numpy as np
 import pytest
 
-from conftest import format_table, record_report
+from conftest import characterize_one, format_table, record_report
 from repro.apps import estimation_accuracy, quality_for_ters
 from repro.core.features import build_feature_matrix
 from repro.timing import CLOCK_SPEEDUPS, sped_up_clock
@@ -45,8 +45,8 @@ def _run_filter_case(filter_name, trained_models, datasets, conditions,
 
     bundles = {fu: trained_models(fu) for fu in APP_FUS}
     streams = {fu: datasets(fu)[filter_name] for fu in APP_FUS}
-    traces = {fu: runner.characterize(bundles[fu]["fu"], streams[fu],
-                                      conditions)
+    traces = {fu: characterize_one(runner, bundles[fu]["fu"],
+                                   streams[fu], conditions)
               for fu in APP_FUS}
 
     verdicts = {name: [] for name in MODELS}

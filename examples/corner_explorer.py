@@ -13,7 +13,7 @@ Run:  python examples/corner_explorer.py
 import tempfile
 from pathlib import Path
 
-from repro.flow import CampaignRunner, implement
+from repro.flow import CampaignJob, CampaignRunner, implement
 from repro.timing import (
     DEFAULT_SCALING,
     OperatingCondition,
@@ -30,7 +30,8 @@ def main() -> None:
     print("== implement INT_ADD and sign off all corners ==")
     design = implement("int_add", conditions)
     stream = random_stream(600, seed=1)
-    trace = CampaignRunner().characterize(design.fu, stream, conditions)
+    trace = CampaignRunner().run(
+        [CampaignJob(design.fu, stream, conditions)])[0]
 
     print(f"\nITD crossover voltage at 50C: "
           f"{DEFAULT_SCALING.itd_crossover_voltage(50.0):.3f} V\n")

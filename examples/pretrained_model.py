@@ -14,7 +14,7 @@ import tempfile
 from pathlib import Path
 
 from repro.core import TEVoT, build_training_set
-from repro.flow import CampaignRunner, error_free_clocks
+from repro.flow import CampaignJob, CampaignRunner, error_free_clocks
 from repro.circuits import build_functional_unit
 from repro.timing import OperatingCondition, sped_up_clock
 from repro.workloads import stream_for_unit
@@ -28,7 +28,8 @@ def main() -> None:
     print("== provider side: characterize, train, publish ==")
     train = stream_for_unit("fp_add", 3000, seed=0)
     train.name = "pretrain"
-    trace = CampaignRunner().characterize(fu, train, conditions)
+    trace = CampaignRunner().run(
+        [CampaignJob(fu, train, conditions)])[0]
     clocks = error_free_clocks(trace)
     X, y = build_training_set(train, conditions, trace.delays)
     model = TEVoT().fit(X, y)

@@ -1,13 +1,15 @@
 #!/usr/bin/env python
 """Quickstart: train TEVoT for one FU and predict timing errors.
 
-Walks the full Fig.-2 pipeline at a small scale:
+Walks the full Fig.-2 pipeline at a small scale through the
+declarative ``repro.api`` layer — the same specs ``repro --config``
+runs from TOML files:
 
 1. elaborate a 32-bit integer adder to a gate netlist (the "synthesis"
    step of the simulated ASIC flow),
-2. characterize its dynamic delay over a few (V, T) corners with the
-   levelized DTA engine,
-3. train the TEVoT random-forest delay model,
+2. characterize its dynamic delay over a few (V, T) corners with a
+   ``CampaignSpec`` executed by a ``Workspace``,
+3. train the TEVoT random-forest delay model from a ``TrainSpec``,
 4. classify unseen cycles as timing correct / erroneous at an
    overclocked period and compare against simulation ground truth.
 
@@ -16,16 +18,18 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import TEVoT, build_training_set, prediction_accuracy
+from repro.api import CampaignSpec, CornerSpec, StreamSpec, TrainSpec, Workspace
+from repro.core import prediction_accuracy
 from repro.core.features import build_feature_matrix
-from repro.flow import CampaignRunner, error_free_clocks, implement
-from repro.timing import OperatingCondition, sped_up_clock
-from repro.workloads import random_stream
+from repro.flow import error_free_clocks, implement
+from repro.timing import sped_up_clock
 
 
 def main() -> None:
-    conditions = [OperatingCondition(v, t)
-                  for v in (0.81, 0.90, 1.00) for t in (0.0, 50.0, 100.0)]
+    corners = CornerSpec(voltages=(0.81, 0.90, 1.00),
+                         temperatures=(0.0, 50.0, 100.0))
+    conditions = corners.conditions()
+    workspace = Workspace()  # default trace store, no registry
 
     print("== 1. simulated ASIC flow ==")
     design = implement("int_add", conditions)
@@ -34,30 +38,36 @@ def main() -> None:
         print(f"  static delay @ {cond.label}: "
               f"{design.static_delay(cond):.0f} ps")
 
-    print("\n== 2. dynamic timing analysis ==")
-    train = random_stream(2000, seed=0, name="train")
-    test = random_stream(1000, seed=1, name="test")
-    runner = CampaignRunner()
-    train_trace = runner.characterize(design.fu, train, conditions)
-    test_trace = runner.characterize(design.fu, test, conditions)
-    clocks = error_free_clocks(train_trace)
+    print("\n== 2. dynamic timing analysis (declarative campaign) ==")
+    test_spec = CampaignSpec(fus=("int_add",), corners=corners,
+                             stream=StreamSpec(cycles=1000, seed=1,
+                                               name="test"))
+    test_trace = workspace.characterize(test_spec).traces[0]
+
+    print("\n== 3. train TEVoT from a TrainSpec ==")
+    train_spec = TrainSpec(fu="int_add", corners=corners,
+                           stream=StreamSpec(cycles=2000, seed=0,
+                                             name="train"))
+    print(f"spec fingerprint: {train_spec.fingerprint()} "
+          f"(keys the artifact like any content hash)")
+    trained = workspace.train(train_spec)
+    model = trained.model
+    clocks = error_free_clocks(trained.train_trace)
     cond = conditions[0]
-    print(f"mean dynamic delay @ {cond.label}: "
-          f"{train_trace.delays[0].mean():.0f} ps "
+    print(f"trained on {trained.n_rows} rows; "
+          f"mean dynamic delay @ {cond.label}: "
+          f"{trained.train_trace.delays[0].mean():.0f} ps "
           f"(static: {design.static_delay(cond):.0f} ps)")
 
-    print("\n== 3. train TEVoT ==")
-    X, y = build_training_set(train, conditions, train_trace.delays)
-    model = TEVoT().fit(X, y)
-    print(f"trained on {X.shape[0]} rows x {X.shape[1]} features")
-
     print("\n== 4. predict timing errors on unseen data ==")
+    test_stream = test_spec.stream.build("int_add")
     for speedup in (0.05, 0.10, 0.15):
         accs = []
         for k, condition in enumerate(conditions):
             tclk = sped_up_clock(clocks[condition], speedup)
             truth = (test_trace.delays[k] > tclk).astype(int)
-            features = build_feature_matrix(test, condition, model.spec)
+            features = build_feature_matrix(test_stream, condition,
+                                            model.spec)
             pred = model.predict_errors(features, tclk)
             accs.append(prediction_accuracy(truth, pred))
         print(f"  +{speedup:.0%} clock speedup: "
@@ -66,6 +76,8 @@ def main() -> None:
     path = "/tmp/tevot_int_add.pkl"
     model.save(path)
     print(f"\nmodel saved to {path}; reload with TEVoT.load(...)")
+    print("the same flow runs from a config file: "
+          "python -m repro train --config examples/run.toml")
 
 
 if __name__ == "__main__":

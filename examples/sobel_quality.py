@@ -21,7 +21,7 @@ from repro.apps import (
     run_filter_with_errors,
 )
 from repro.circuits import build_functional_unit
-from repro.flow import CampaignRunner, error_free_clocks
+from repro.flow import CampaignJob, CampaignRunner, error_free_clocks
 from repro.timing import OperatingCondition, sped_up_clock
 from repro.workloads import stream_for_unit
 
@@ -54,11 +54,12 @@ def main() -> None:
         fu = build_functional_unit(fu_name)
         # error-free clock from a random characterization workload
         runner = CampaignRunner()
-        random_trace = runner.characterize(
-            fu, stream_for_unit(fu_name, 1000, seed=3), [condition])
+        random_trace = runner.run([CampaignJob(
+            fu, stream_for_unit(fu_name, 1000, seed=3), [condition])])[0]
         clock = error_free_clocks(random_trace)[condition]
         tclk = sped_up_clock(clock, 0.15)  # 15 % overclock
-        app_trace = runner.characterize(fu, stream, [condition])
+        app_trace = runner.run(
+            [CampaignJob(fu, stream, [condition])])[0]
         ters[fu_name] = float((app_trace.delays[0] > tclk).mean())
         print(f"  {fu_name}: TER = {ters[fu_name]*100:.2f}% "
               f"at tclk = {tclk:.0f} ps")

@@ -1,0 +1,59 @@
+"""Declarative front door: typed specs + the ``Workspace`` facade.
+
+The one import new code needs::
+
+    from repro.api import CampaignSpec, Workspace
+
+    ws = Workspace("my_run")
+    result = ws.characterize(CampaignSpec.from_file("run.toml"))
+
+Specs (:mod:`repro.api.specs`) are frozen, validated, JSON/TOML
+round-trippable descriptions of runs; the
+:class:`~repro.api.workspace.Workspace` owns the trace store and model
+registry and executes specs with byte-identical cache keys and model
+fingerprints to the legacy flag/kwarg entry points it replaces.
+"""
+
+from .specs import (
+    CampaignSpec,
+    CornerSpec,
+    DEFAULT_TEMPERATURES,
+    DEFAULT_VOLTAGES,
+    ExperimentSpec,
+    PredictSpec,
+    ServeSpec,
+    ShardSpec,
+    SimSpec,
+    Spec,
+    SpecError,
+    StreamSpec,
+    TrainSpec,
+    load_config,
+)
+from .workspace import (
+    CampaignResult,
+    PredictResult,
+    TrainResult,
+    Workspace,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "CornerSpec",
+    "DEFAULT_TEMPERATURES",
+    "DEFAULT_VOLTAGES",
+    "ExperimentSpec",
+    "PredictResult",
+    "PredictSpec",
+    "ServeSpec",
+    "ShardSpec",
+    "SimSpec",
+    "Spec",
+    "SpecError",
+    "StreamSpec",
+    "TrainResult",
+    "TrainSpec",
+    "Workspace",
+    "load_config",
+]

@@ -1,0 +1,328 @@
+"""The ``Workspace`` facade: one front door over the whole flow.
+
+A :class:`Workspace` owns the on-disk state of a deployment — the
+characterization :class:`~repro.flow.tracestore.TraceStore` and the
+serving :class:`~repro.serve.registry.ModelRegistry` — and executes
+declarative :mod:`repro.api.specs` against it:
+
+* :meth:`simulate` — run a campaign spec without touching the cache;
+* :meth:`characterize` — the cached campaign path (what ``repro
+  campaign`` / ``repro characterize`` run);
+* :meth:`train` — characterize a training stream, fit TEVoT, save and
+  optionally publish the artifact;
+* :meth:`predict` — TER estimates for a saved artifact over a workload
+  spec;
+* :meth:`experiment` — the full Fig.-2 protocol
+  (:func:`repro.core.pipeline.experiment_impl`);
+* :meth:`serve` — build the micro-batching HTTP server over the
+  workspace registry.
+
+Spec-driven runs produce byte-identical trace-store cache keys and
+model fingerprints to the equivalent hand-built
+:class:`~repro.flow.campaign.CampaignRunner` / CLI-flag invocations:
+the facade builds the very same streams, conditions, and jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..circuits.functional_units import FunctionalUnit, build_functional_unit
+from ..core.features import build_training_set
+from ..core.model import TEVoT
+from ..core.pipeline import ExperimentResult, experiment_impl
+from ..flow.campaign import (
+    CampaignJob,
+    CampaignRunner,
+    CampaignStats,
+    error_free_clocks,
+)
+from ..flow.tracestore import TraceStore
+from ..sim.dta import DelayTrace
+from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
+from ..timing.corners import sped_up_clock
+from ..workloads.streams import OperandStream
+from .specs import (
+    CampaignSpec,
+    ExperimentSpec,
+    PredictSpec,
+    ServeSpec,
+    ShardSpec,
+    SimSpec,
+    SpecError,
+    TrainSpec,
+)
+
+__all__ = [
+    "CampaignResult",
+    "PredictResult",
+    "TrainResult",
+    "Workspace",
+]
+
+
+@dataclass
+class CampaignResult:
+    """Traces plus run bookkeeping from one campaign spec."""
+
+    spec: CampaignSpec
+    jobs: List[CampaignJob]
+    traces: List[DelayTrace]
+    stats: CampaignStats
+
+    def __iter__(self):
+        return iter(self.traces)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+
+@dataclass
+class TrainResult:
+    """A trained model plus where it went."""
+
+    spec: TrainSpec
+    model: TEVoT
+    n_rows: int
+    train_trace: DelayTrace
+    stream: OperandStream
+    path: Optional[Path] = None
+    record: Optional[object] = None  # ModelRecord when published
+
+
+@dataclass
+class PredictResult:
+    """Per-corner TER estimates for one workload/model pair."""
+
+    spec: PredictSpec
+    ters: Dict  # OperatingCondition -> estimated TER at the sped-up clock
+    clocks: Dict  # OperatingCondition -> error-free clock period (ps)
+
+
+class Workspace:
+    """Owns stores + runners; executes specs.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the workspace state: traces under
+        ``root/traces``, published models under ``root/registry``.
+        ``None`` (default) uses the global cache directory
+        (``REPRO_CACHE_DIR``) for traces and has no registry unless
+        ``registry`` names one.
+    store / registry:
+        Explicit overrides for either location (path or an already
+        constructed :class:`TraceStore` /
+        :class:`~repro.serve.registry.ModelRegistry`).
+    library:
+        Cell library used for every characterization.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None, *,
+                 store=None, registry=None,
+                 library: CellLibrary = DEFAULT_LIBRARY) -> None:
+        self.root = Path(root) if root is not None else None
+        if store is None and self.root is not None:
+            store = self.root / "traces"
+        self._store = store
+        if registry is None and self.root is not None:
+            registry = self.root / "registry"
+        self._registry = registry
+        self.library = library
+        self._fus: Dict[str, FunctionalUnit] = {}
+
+    # -- owned components -----------------------------------------------------
+
+    @property
+    def store(self) -> TraceStore:
+        """The workspace trace store (built on first use)."""
+        if not isinstance(self._store, TraceStore):
+            self._store = TraceStore(self._store)
+        return self._store
+
+    @property
+    def registry(self):
+        """The workspace model registry, or None when unconfigured."""
+        from ..serve.registry import ModelRegistry
+
+        if self._registry is None:
+            return None
+        if not isinstance(self._registry, ModelRegistry):
+            self._registry = ModelRegistry(self._registry)
+        return self._registry
+
+    def _registry_for(self, path: Optional[str]):
+        """Registry override from a spec, else the workspace's own."""
+        from ..serve.registry import ModelRegistry
+
+        if path is not None:
+            return ModelRegistry(path)
+        return self.registry
+
+    def functional_unit(self, name: str) -> FunctionalUnit:
+        """Build (and memoize) an FU by name."""
+        fu = self._fus.get(name)
+        if fu is None:
+            fu = build_functional_unit(name)
+            self._fus[name] = fu
+        return fu
+
+    def runner(self, sim: Optional[SimSpec] = None,
+               shards: Optional[ShardSpec] = None,
+               cache: bool = True,
+               store: Optional[str] = None) -> CampaignRunner:
+        """A :class:`CampaignRunner` configured from spec fragments."""
+        sim = sim or SimSpec()
+        shards = shards or ShardSpec()
+        runner_store = store if store is not None else self._store
+        # compiled=False is an audit of the fast kernels: reading a
+        # (bit-identical, compiled-produced) cache entry would skip the
+        # reference simulation entirely, so audits always run fresh
+        return CampaignRunner(
+            backend=sim.backend_name(),
+            store=runner_store,
+            n_workers=shards.workers,
+            use_cache=cache and sim.compiled,
+            shard_cycles=shards.shard_cycles,
+            shard_corners=shards.shard_corners,
+            chunk_cycles=sim.chunk_cycles,
+            adaptive_history=shards.adaptive_history)
+
+    # -- campaign -------------------------------------------------------------
+
+    def jobs(self, spec: CampaignSpec) -> List[CampaignJob]:
+        """The campaign's job list (FU x stream x corners)."""
+        conditions = spec.corners.conditions()
+        jobs = []
+        for name in spec.resolved_fus():
+            fu = self.functional_unit(name)
+            stream = spec.stream.build(name)
+            jobs.append(CampaignJob(fu, stream, conditions, self.library))
+        return jobs
+
+    def characterize(self, spec: CampaignSpec) -> CampaignResult:
+        """Run a campaign spec through the cached store."""
+        runner = self.runner(spec.sim, spec.shards, cache=spec.cache,
+                             store=spec.store)
+        jobs = self.jobs(spec)
+        traces = runner.run(jobs)
+        return CampaignResult(spec=spec, jobs=jobs, traces=traces,
+                              stats=runner.stats)
+
+    def simulate(self, spec: CampaignSpec) -> CampaignResult:
+        """Run a campaign spec with caching forced off (pure sim)."""
+        return self.characterize(spec.replace(cache=False))
+
+    # -- training -------------------------------------------------------------
+
+    def train(self, spec: TrainSpec) -> TrainResult:
+        """Characterize the training stream and fit a TEVoT model.
+
+        Mirrors the ``repro train`` flag path exactly (same stream,
+        conditions, and feature build), so artifacts and registry keys
+        are byte-identical between the two.  ``spec.output`` saves the
+        artifact; ``spec.publish`` also publishes it — into
+        ``spec.registry`` when set, else the workspace registry.
+        """
+        if not spec.fu:
+            raise SpecError("TrainSpec.fu must name a functional unit")
+        conditions = spec.corners.conditions()
+        fu = self.functional_unit(spec.fu)
+        stream = spec.stream.build(spec.fu)
+        runner = self.runner(spec.sim, spec.shards)
+        trace = runner.run([CampaignJob(fu, stream, conditions,
+                                        self.library)])[0]
+        X, y = build_training_set(stream, conditions, trace.delays,
+                                  max_rows=spec.max_rows)
+        model = TEVoT().fit(X, y)
+        result = TrainResult(spec=spec, model=model, n_rows=int(X.shape[0]),
+                             train_trace=trace, stream=stream)
+        if spec.output:
+            path = Path(spec.output)
+            model.save(path, metadata={"fu": spec.fu,
+                                       "cycles": spec.stream.cycles,
+                                       "seed": spec.stream.seed,
+                                       "spec": spec.fingerprint()})
+            result.path = path
+        if spec.publish:
+            registry = self._registry_for(spec.registry)
+            if registry is None:
+                raise SpecError(
+                    "TrainSpec.publish requires a registry: set "
+                    "TrainSpec.registry (CLI --publish DIR) or configure "
+                    "the workspace (Workspace(root=...) / "
+                    "Workspace(registry=...))")
+            result.record = registry.publish(
+                model, fu=fu, conditions=conditions, train_stream=stream)
+        return result
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict(self, spec: PredictSpec) -> PredictResult:
+        """TER estimates at a sped-up clock, like ``repro predict``.
+
+        Characterizes the workload spec for ground-truth error-free
+        clocks, then queries the saved model at each corner.
+        """
+        if not spec.fu:
+            raise SpecError("PredictSpec.fu must name a functional unit")
+        if not spec.model:
+            raise SpecError("PredictSpec.model must name a saved artifact")
+        model = TEVoT.load(spec.model)
+        conditions = spec.corners.conditions()
+        fu = self.functional_unit(spec.fu)
+        workload = spec.stream.build(spec.fu)
+        runner = self.runner(spec.sim, spec.shards)
+        trace = runner.run([CampaignJob(fu, workload, conditions,
+                                        self.library)])[0]
+        clocks = error_free_clocks(trace)
+        ters = {}
+        for cond in conditions:
+            tclk = sped_up_clock(clocks[cond], spec.speedup)
+            ters[cond] = model.timing_error_rate(workload, cond, tclk)
+        return PredictResult(spec=spec, ters=ters, clocks=clocks)
+
+    # -- experiments ----------------------------------------------------------
+
+    def experiment(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Full Fig.-2 protocol from a declarative spec."""
+        fu = self.functional_unit(spec.fu)
+        train_stream = spec.train_stream.build(spec.fu)
+        test_stream = spec.test_stream.build(spec.fu)
+        runner = self.runner(spec.sim, spec.shards, cache=spec.cache)
+        registry = self.registry if spec.publish else None
+        if spec.publish and registry is None:
+            raise SpecError(
+                "ExperimentSpec.publish requires a workspace registry")
+        return experiment_impl(
+            fu, train_stream, test_stream, spec.corners.conditions(),
+            self.library, max_train_rows=spec.max_rows,
+            speedups=spec.speedups, seed=spec.seed, runner=runner,
+            registry=registry)
+
+    # -- serving --------------------------------------------------------------
+
+    def engine(self, spec: ServeSpec):
+        """A :class:`~repro.serve.engine.PredictionEngine` for a spec."""
+        from ..serve.engine import PredictionEngine
+
+        registry = self._registry_for(spec.registry)
+        return PredictionEngine(registry=registry, kind=spec.kind,
+                                sim_fallback=spec.fallback,
+                                backend=spec.sim.backend_name())
+
+    def serve(self, spec: ServeSpec):
+        """A ready-to-run :class:`~repro.serve.server.PredictionServer`.
+
+        The server is constructed (socket bound) but not serving;
+        call ``serve_forever()`` or ``start_background()`` on it.
+        """
+        from ..serve.server import PredictionServer
+
+        return PredictionServer(self.engine(spec), host=spec.host,
+                                port=spec.port,
+                                batch_window_ms=spec.batch_window_ms,
+                                max_batch=spec.max_batch,
+                                verbose=spec.verbose)

@@ -15,6 +15,16 @@ pipeline without writing Python:
                                                  — registry operations
 * ``python -m repro serve --registry r/``        — HTTP prediction server
 * ``python -m repro store gc --max-mb 256``      — trace-store eviction
+
+Every pipeline subcommand parses into the typed specs of
+:mod:`repro.api` and executes through the :class:`~repro.api.Workspace`
+facade.  ``--config run.toml`` (TOML or JSON, see
+``CampaignSpec.from_file``) loads a declarative spec first; individual
+flags override single fields of it, and the effective resolved spec is
+echoed back so every run is reproducible from its log line alone.
+Shared flag groups (corners, stream, sim backend, shard grid) are
+declared once by the ``_add_*_args`` helpers instead of per
+subcommand, so the subparsers can never drift apart.
 """
 
 from __future__ import annotations
@@ -23,19 +33,22 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .circuits import PAPER_UNITS, build_functional_unit
-from .core import TEVoT, build_training_set, load_model
-from .flow import (
-    DEFAULT_BACKEND,
-    CampaignJob,
-    CampaignRunner,
-    TraceStore,
-    error_free_clocks,
-    implement,
+from .api import (
+    CampaignSpec,
+    CornerSpec,
+    PredictSpec,
+    ServeSpec,
+    SpecError,
+    TrainSpec,
+    Workspace,
 )
+from .circuits import PAPER_UNITS
+from .core import load_model
+from .flow import TraceStore, implement
 from .sim import available_backends
-from .timing import OperatingCondition, paper_corner_grid, sped_up_clock
-from .workloads import stream_for_unit
+
+_CONFIG_HELP = ("declarative spec file (.toml or .json); individual "
+                "flags override single fields of it")
 
 
 def _positive_int(text: str) -> int:
@@ -52,34 +65,232 @@ def _nonnegative_float(text: str) -> float:
     return value
 
 
-def _backend_arg(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--backend", default=DEFAULT_BACKEND,
+# -- shared flag groups (single source of truth across subcommands) -----------
+
+
+def _add_config_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", metavar="FILE", help=_CONFIG_HELP)
+
+
+def _add_corner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--voltages", type=float, nargs="+", default=None,
+                        help="corner-grid voltage points "
+                             "(default 0.81 0.90 1.00)")
+    parser.add_argument("--temperatures", type=float, nargs="+",
+                        default=None,
+                        help="corner-grid temperature points "
+                             "(default 0 50 100)")
+
+
+def _add_stream_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cycles", type=_positive_int, default=None,
+                        help="workload length in cycles")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed")
+
+
+def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=None,
                         choices=available_backends(),
                         help="simulation backend (choices list the "
                              "registered names)")
+    parser.add_argument("--chunk-cycles", type=_positive_int, default=None,
+                        help="cycle-axis working-set chunk for backends "
+                             "that support it (never affects results)")
 
 
-def _condition_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--voltages", type=float, nargs="+",
-                        default=[0.81, 0.90, 1.00])
-    parser.add_argument("--temperatures", type=float, nargs="+",
-                        default=[0.0, 50.0, 100.0])
+def _add_shard_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=_positive_int, default=None,
+                        help="process-pool width for cache misses")
+    parser.add_argument("--shard-cycles", type=_positive_int, default=None,
+                        help="cycle-axis shard pitch for single jobs "
+                             "(default: auto-sized from --workers and any "
+                             "persisted throughput history)")
+    parser.add_argument("--shard-corners", type=_positive_int, default=None,
+                        help="corner-axis shard pitch for single jobs "
+                             "(default: auto)")
+    parser.add_argument("--no-adaptive-history", action="store_const",
+                        const=True, default=None,
+                        help="plan shard grids statically, ignoring the "
+                             "trace store's throughput history")
 
 
-def _conditions(args) -> List[OperatingCondition]:
-    return [OperatingCondition(v, t)
-            for v in args.voltages for t in args.temperatures]
+# -- flag -> spec override application ----------------------------------------
+
+
+def _apply_corners(spec, args):
+    if args.voltages is None and args.temperatures is None:
+        return spec
+    base = spec.corners
+    if base.pairs and (args.voltages is None or args.temperatures is None):
+        # a lone axis flag cannot partially override an explicit pair
+        # list; silently filling the other axis with defaults would
+        # simulate corners the user never asked for
+        raise SpecError(
+            "the config defines explicit corner pairs; overriding from "
+            "flags requires both --voltages and --temperatures")
+    voltages = (tuple(args.voltages) if args.voltages is not None
+                else base.voltages)
+    temperatures = (tuple(args.temperatures)
+                    if args.temperatures is not None
+                    else base.temperatures)
+    # flags always describe a grid; they replace an explicit pair list
+    return spec.replace(corners=CornerSpec(
+        voltages=voltages, temperatures=temperatures, pairs=()))
+
+
+def _apply_stream(spec, args, field: str = "stream"):
+    stream = getattr(spec, field)
+    changes = {}
+    if args.cycles is not None:
+        changes["cycles"] = args.cycles
+    if args.seed is not None:
+        changes["seed"] = args.seed
+    return spec.replace(**{field: stream.replace(**changes)}) \
+        if changes else spec
+
+
+def _apply_sim(spec, args):
+    changes = {}
+    if args.backend is not None:
+        changes["backend"] = args.backend
+    if args.chunk_cycles is not None:
+        changes["chunk_cycles"] = args.chunk_cycles
+    return spec.replace(sim=spec.sim.replace(**changes)) \
+        if changes else spec
+
+
+def _apply_shards(spec, args):
+    changes = {}
+    if args.workers is not None:
+        changes["workers"] = args.workers
+    if args.shard_cycles is not None:
+        changes["shard_cycles"] = args.shard_cycles
+    if args.shard_corners is not None:
+        changes["shard_corners"] = args.shard_corners
+    if args.no_adaptive_history:
+        changes["adaptive_history"] = False
+    return spec.replace(shards=spec.shards.replace(**changes)) \
+        if changes else spec
+
+
+def _base_spec(cls, args):
+    if getattr(args, "config", None):
+        return cls.from_file(args.config)
+    return cls()
+
+
+def campaign_spec(args) -> CampaignSpec:
+    """Effective :class:`CampaignSpec` for ``repro campaign`` args."""
+    spec = _base_spec(CampaignSpec, args)
+    if args.fu:
+        spec = spec.replace(fus=tuple(args.fu))
+    spec = _apply_stream(spec, args)
+    spec = _apply_corners(spec, args)
+    spec = _apply_sim(spec, args)
+    spec = _apply_shards(spec, args)
+    if args.no_cache:
+        spec = spec.replace(cache=False)
+    return spec
+
+
+def characterize_spec(args) -> CampaignSpec:
+    """Effective single-FU :class:`CampaignSpec` for ``characterize``."""
+    spec = _base_spec(CampaignSpec, args)
+    if args.fu:
+        spec = spec.replace(fus=(args.fu,))
+    spec = _apply_stream(spec, args)
+    spec = _apply_corners(spec, args)
+    spec = _apply_sim(spec, args)
+    spec = _apply_shards(spec, args)
+    if len(spec.resolved_fus()) != 1:
+        raise SpecError("characterize needs exactly one FU "
+                        "(--fu or a single-FU config)")
+    return spec
+
+
+def train_spec(args) -> TrainSpec:
+    """Effective :class:`TrainSpec` for ``repro train`` args."""
+    spec = _base_spec(TrainSpec, args)
+    if args.fu:
+        spec = spec.replace(fu=args.fu)
+    spec = _apply_stream(spec, args)
+    spec = _apply_corners(spec, args)
+    spec = _apply_sim(spec, args)
+    spec = _apply_shards(spec, args)
+    if args.max_rows is not None:
+        spec = spec.replace(max_rows=args.max_rows)
+    if args.output:
+        spec = spec.replace(output=args.output)
+    if args.publish:
+        spec = spec.replace(publish=True, registry=args.publish)
+    if not spec.fu:
+        raise SpecError("train needs an FU (--fu or [train] fu in the "
+                        "config)")
+    return spec
+
+
+def predict_spec(args) -> PredictSpec:
+    """Effective :class:`PredictSpec` for ``repro predict`` args."""
+    spec = _base_spec(PredictSpec, args)
+    if args.fu:
+        spec = spec.replace(fu=args.fu)
+    if args.model:
+        spec = spec.replace(model=args.model)
+    if args.speedup is not None:
+        spec = spec.replace(speedup=args.speedup)
+    spec = _apply_stream(spec, args)
+    spec = _apply_corners(spec, args)
+    spec = _apply_sim(spec, args)
+    spec = _apply_shards(spec, args)
+    if not spec.fu:
+        raise SpecError("predict needs an FU (--fu or [predict] fu in "
+                        "the config)")
+    return spec
+
+
+def serve_spec(args) -> ServeSpec:
+    """Effective :class:`ServeSpec` for ``repro serve`` args."""
+    spec = _base_spec(ServeSpec, args)
+    changes = {}
+    if args.registry is not None:
+        changes["registry"] = args.registry
+    if args.host is not None:
+        changes["host"] = args.host
+    if args.port is not None:
+        changes["port"] = args.port
+    if args.kind is not None:
+        changes["kind"] = args.kind
+    if args.batch_window_ms is not None:
+        changes["batch_window_ms"] = args.batch_window_ms
+    if args.max_batch is not None:
+        changes["max_batch"] = args.max_batch
+    if args.no_fallback:
+        changes["fallback"] = False
+    if args.verbose:
+        changes["verbose"] = True
+    if changes:
+        spec = spec.replace(**changes)
+    return _apply_sim(spec, args)
+
+
+def _echo_spec(kind: str, spec) -> None:
+    print(f"spec[{kind}] {spec.to_json()}")
+
+
+# -- commands -----------------------------------------------------------------
 
 
 def cmd_stats(args) -> int:
     for name in (args.fu and [args.fu]) or PAPER_UNITS:
-        fu = build_functional_unit(name)
+        fu = Workspace().functional_unit(name)
         print(f"{name}: {fu.stats()}  — {fu.description}")
     return 0
 
 
 def cmd_sta(args) -> int:
-    conditions = _conditions(args)
+    corners = _apply_corners(CampaignSpec(), args).corners
+    conditions = corners.conditions()
     design = implement(args.fu, conditions)
     print(f"static critical-path delay of {args.fu} (ps):")
     for cond in conditions:
@@ -88,42 +299,35 @@ def cmd_sta(args) -> int:
 
 
 def cmd_characterize(args) -> int:
-    conditions = _conditions(args)
-    fu = build_functional_unit(args.fu)
-    stream = stream_for_unit(args.fu, args.cycles, seed=args.seed)
-    stream.name = f"cli_{args.fu}_{args.seed}"
-    runner = CampaignRunner(backend=args.backend)
-    trace = runner.characterize(fu, stream, conditions)
-    print(f"dynamic delay of {args.fu} over {args.cycles} random cycles (ps):")
-    for k, cond in enumerate(conditions):
+    spec = characterize_spec(args)
+    _echo_spec("characterize", spec)
+    result = Workspace().characterize(spec)
+    trace = result.traces[0]
+    fu_name = spec.resolved_fus()[0]
+    print(f"dynamic delay of {fu_name} over {spec.stream.cycles} "
+          f"random cycles (ps):")
+    for k, cond in enumerate(spec.corners.conditions()):
         d = trace.delays[k]
         print(f"  {cond.label}: mean {d.mean():8.1f}  max {d.max():8.1f}")
     return 0
 
 
 def cmd_campaign(args) -> int:
-    conditions = _conditions(args)
-    runner = CampaignRunner(backend=args.backend, n_workers=args.workers,
-                            use_cache=not args.no_cache,
-                            shard_cycles=args.shard_cycles,
-                            shard_corners=args.shard_corners)
-    jobs = []
-    for name in args.fu:
-        fu = build_functional_unit(name)
-        stream = stream_for_unit(name, args.cycles, seed=args.seed)
-        stream.name = f"cli_campaign_{name}_{args.seed}"
-        jobs.append(CampaignJob(fu, stream, conditions))
-    traces = runner.run(jobs)
-    stats = runner.stats
+    spec = campaign_spec(args)
+    _echo_spec("campaign", spec)
+    result = Workspace().characterize(spec)
+    stats = result.stats
     summary = f"[{stats.hits} cached, {stats.misses} simulated"
     if stats.misses:
         summary += (f" in {stats.wall_seconds:.2f}s wall / "
                     f"{stats.sim_seconds:.2f}s sim across "
                     f"{stats.total_shards} shard(s)")
     summary += "]"
-    print(f"campaign: {len(jobs)} job(s), {len(conditions)} corner(s), "
-          f"backend={args.backend}, workers={args.workers} {summary}")
-    for i, (job, trace) in enumerate(zip(jobs, traces)):
+    print(f"campaign: {len(result.jobs)} job(s), "
+          f"{spec.corners.n_corners} corner(s), "
+          f"backend={spec.sim.backend_name()}, "
+          f"workers={spec.shards.workers} {summary}")
+    for i, (job, trace) in enumerate(zip(result.jobs, result.traces)):
         d = trace.delays
         line = (f"  {job.fu.name:8s} {trace.n_cycles:6d} cycles  "
                 f"mean {d.mean():8.1f} ps  worst {d.max():8.1f} ps")
@@ -141,39 +345,29 @@ def cmd_campaign(args) -> int:
 
 
 def cmd_train(args) -> int:
-    conditions = _conditions(args)
-    fu = build_functional_unit(args.fu)
-    stream = stream_for_unit(args.fu, args.cycles, seed=args.seed)
-    stream.name = f"cli_train_{args.fu}_{args.seed}"
-    runner = CampaignRunner(backend=args.backend)
-    trace = runner.characterize(fu, stream, conditions)
-    X, y = build_training_set(stream, conditions, trace.delays,
-                              max_rows=args.max_rows)
-    model = TEVoT().fit(X, y)
-    model.save(args.output, metadata={"fu": args.fu, "cycles": args.cycles,
-                                      "seed": args.seed})
-    print(f"trained on {X.shape[0]} rows; saved to {args.output}")
-    if args.publish:
-        from .serve import ModelRegistry
-        record = ModelRegistry(args.publish).publish(
-            model, fu=fu, conditions=conditions, train_stream=stream)
-        print(f"published {record.model_id} to {args.publish}")
+    spec = train_spec(args)
+    if not spec.output:
+        print("train requires -o/--output (or [train] output in the "
+              "config)", file=sys.stderr)
+        return 2
+    _echo_spec("train", spec)
+    result = Workspace().train(spec)
+    print(f"trained on {result.n_rows} rows; saved to {result.path}")
+    if result.record is not None:
+        print(f"published {result.record.model_id} to {spec.registry}")
     return 0
 
 
 def cmd_predict(args) -> int:
-    conditions = _conditions(args)
-    model = TEVoT.load(args.model)
-    fu = build_functional_unit(args.fu)
-    workload = stream_for_unit(args.fu, args.cycles, seed=args.seed)
-    workload.name = f"cli_wl_{args.fu}_{args.seed}"
-    runner = CampaignRunner(backend=args.backend)
-    trace = runner.characterize(fu, workload, conditions)
-    clocks = error_free_clocks(trace)
-    print(f"estimated TER at +{args.speedup:.0%} overclock:")
-    for cond in conditions:
-        tclk = sped_up_clock(clocks[cond], args.speedup)
-        ter = model.timing_error_rate(workload, cond, tclk)
+    spec = predict_spec(args)
+    if not spec.model:
+        print("predict requires -m/--model (or [predict] model in the "
+              "config)", file=sys.stderr)
+        return 2
+    _echo_spec("predict", spec)
+    result = Workspace().predict(spec)
+    print(f"estimated TER at +{spec.speedup:.0%} overclock:")
+    for cond, ter in result.ters.items():
         print(f"  {cond.label}: {ter*100:6.2f}%")
     return 0
 
@@ -182,21 +376,17 @@ def cmd_predict(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from .serve import PredictionEngine, PredictionServer
-
-    engine = PredictionEngine(registry=args.registry, kind=args.kind,
-                              sim_fallback=not args.no_fallback,
-                              backend=args.backend)
-    server = PredictionServer(engine, host=args.host, port=args.port,
-                              batch_window_ms=args.batch_window_ms,
-                              max_batch=args.max_batch,
-                              verbose=args.verbose)
+    spec = serve_spec(args)
+    _echo_spec("serve", spec)
+    workspace = Workspace()
+    server = workspace.serve(spec)
+    engine = server.engine
     host, port = server.address
     published = 0 if engine.registry is None else len(engine.registry)
     print(f"repro serve on http://{host}:{port}  "
-          f"[registry={args.registry or '-'}, {published} model(s), "
-          f"fallback={'off' if args.no_fallback else args.backend}, "
-          f"window={args.batch_window_ms}ms, max_batch={args.max_batch}]",
+          f"[registry={spec.registry or '-'}, {published} model(s), "
+          f"fallback={spec.sim.backend_name() if spec.fallback else 'off'}, "
+          f"window={spec.batch_window_ms}ms, max_batch={spec.max_batch}]",
           flush=True)
     try:
         server.serve_forever()
@@ -300,74 +490,71 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sta", help="per-corner static timing")
     p.add_argument("--fu", required=True, choices=PAPER_UNITS)
-    _condition_args(p)
+    _add_corner_args(p)
     p.set_defaults(func=cmd_sta)
 
     p = sub.add_parser("characterize", help="DTA delay summary")
-    p.add_argument("--fu", required=True, choices=PAPER_UNITS)
-    p.add_argument("--cycles", type=_positive_int, default=1000)
-    p.add_argument("--seed", type=int, default=0)
-    _backend_arg(p)
-    _condition_args(p)
+    p.add_argument("--fu", choices=PAPER_UNITS)
+    _add_config_arg(p)
+    _add_stream_args(p)
+    _add_shard_args(p)
+    _add_sim_args(p)
+    _add_corner_args(p)
     p.set_defaults(func=cmd_characterize)
 
     p = sub.add_parser("campaign",
                        help="batched DTA over several FUs (process pool)")
-    p.add_argument("--fu", nargs="+", default=list(PAPER_UNITS),
-                   choices=PAPER_UNITS)
-    p.add_argument("--cycles", type=_positive_int, default=1000)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--workers", type=_positive_int, default=1)
-    p.add_argument("--shard-cycles", type=_positive_int, default=None,
-                   help="cycle-axis shard pitch for single jobs "
-                        "(default: auto-sized from --workers and any "
-                        "persisted throughput history)")
-    p.add_argument("--shard-corners", type=_positive_int, default=None,
-                   help="corner-axis shard pitch for single jobs "
-                        "(default: auto)")
-    _backend_arg(p)
+    p.add_argument("--fu", nargs="+", default=None, choices=PAPER_UNITS)
+    _add_config_arg(p)
+    _add_stream_args(p)
+    _add_shard_args(p)
+    _add_sim_args(p)
     p.add_argument("--no-cache", action="store_true",
                    help="skip the trace store entirely")
-    _condition_args(p)
+    _add_corner_args(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("train", help="train and save a TEVoT model")
-    p.add_argument("--fu", required=True, choices=PAPER_UNITS)
-    p.add_argument("--cycles", type=_positive_int, default=2000)
-    p.add_argument("--max-rows", type=_positive_int, default=60_000)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--fu", choices=PAPER_UNITS)
+    _add_config_arg(p)
+    _add_stream_args(p)
+    _add_shard_args(p)
+    p.add_argument("--max-rows", type=_positive_int, default=None)
+    p.add_argument("-o", "--output", default=None)
     p.add_argument("--publish", metavar="REGISTRY_DIR",
                    help="also publish into a serving model registry")
-    _backend_arg(p)
-    _condition_args(p)
+    _add_sim_args(p)
+    _add_corner_args(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("predict", help="estimate TERs with a saved model")
-    p.add_argument("-m", "--model", required=True)
-    p.add_argument("--fu", required=True, choices=PAPER_UNITS)
-    p.add_argument("--speedup", type=_nonnegative_float, default=0.10)
-    p.add_argument("--cycles", type=_positive_int, default=500)
-    p.add_argument("--seed", type=int, default=1)
-    _backend_arg(p)
-    _condition_args(p)
+    p.add_argument("-m", "--model", default=None)
+    p.add_argument("--fu", choices=PAPER_UNITS)
+    _add_config_arg(p)
+    p.add_argument("--speedup", type=_nonnegative_float, default=None)
+    _add_stream_args(p)
+    _add_shard_args(p)
+    _add_sim_args(p)
+    _add_corner_args(p)
     p.set_defaults(func=cmd_predict)
 
     p = sub.add_parser("serve", help="HTTP/JSON prediction server")
-    p.add_argument("--registry", help="model registry directory")
-    p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, default=8000,
+    _add_config_arg(p)
+    p.add_argument("--registry", default=None,
+                   help="model registry directory")
+    p.add_argument("--host", default=None)
+    p.add_argument("--port", type=int, default=None,
                    help="TCP port (0 binds an ephemeral one)")
-    p.add_argument("--kind", default="tevot",
+    p.add_argument("--kind", default=None,
                    help="published model kind to serve")
-    p.add_argument("--batch-window-ms", type=_nonnegative_float, default=2.0,
-                   help="micro-batch collection window")
-    p.add_argument("--max-batch", type=_positive_int, default=64)
+    p.add_argument("--batch-window-ms", type=_nonnegative_float,
+                   default=None, help="micro-batch collection window")
+    p.add_argument("--max-batch", type=_positive_int, default=None)
     p.add_argument("--no-fallback", action="store_true",
                    help="disable the gate-level simulation fallback")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request")
-    _backend_arg(p)
+    _add_sim_args(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("models", help="serving model registry operations")
@@ -398,7 +585,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

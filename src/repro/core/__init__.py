@@ -18,6 +18,7 @@ from .features import (
 from .model import TEVoT, default_regressor, load_model, save_model
 from .pipeline import (
     ExperimentResult,
+    experiment_impl,
     publish_models,
     run_experiment,
     train_models,
@@ -36,6 +37,7 @@ __all__ = [
     "build_training_set",
     "default_regressor",
     "evaluate_models",
+    "experiment_impl",
     "load_model",
     "make_tevot_nh",
     "operand_bits",

@@ -9,6 +9,7 @@ every model on the *test* workload's ground-truth delays.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -110,8 +111,8 @@ def train_models(fu: FunctionalUnit,
     if train_trace is None:
         if runner is None:
             runner = CampaignRunner(use_cache=use_cache)
-        train_trace = runner.characterize(fu, train_stream, conditions,
-                                          library)
+        train_trace = runner.run([CampaignJob(fu, train_stream,
+                                              list(conditions), library)])[0]
     clocks = error_free_clocks(train_trace)
 
     tevot = TEVoT(operand_width=fu.operand_width)
@@ -137,6 +138,57 @@ def train_models(fu: FunctionalUnit,
     return tevot, nh, delay_based, ter_based, train_trace, clocks
 
 
+def experiment_impl(fu: FunctionalUnit,
+                    train_stream: OperandStream,
+                    test_stream: OperandStream,
+                    conditions: Sequence[OperatingCondition],
+                    library: CellLibrary = DEFAULT_LIBRARY,
+                    max_train_rows: int = 200_000,
+                    speedups: Sequence[float] = CLOCK_SPEEDUPS,
+                    seed: int = 0,
+                    runner: Optional[CampaignRunner] = None,
+                    registry=None) -> ExperimentResult:
+    """Full Fig.-2 protocol over already-built objects.
+
+    The working core behind :meth:`repro.api.Workspace.experiment`
+    (which expands a declarative :class:`~repro.api.ExperimentSpec`)
+    and the deprecated :func:`run_experiment` shim.  The train and
+    test characterizations run as one campaign batch, so a runner with
+    ``n_workers > 1`` overlaps them; a ``registry`` (path or
+    :class:`~repro.serve.registry.ModelRegistry`) publishes the
+    trained models for serving before returning.
+    """
+    conditions = list(conditions)
+    if runner is None:
+        runner = CampaignRunner()
+    train_trace, test_trace = runner.run([
+        CampaignJob(fu, train_stream, conditions, library),
+        CampaignJob(fu, test_stream, conditions, library),
+    ])
+
+    tevot, nh, delay_based, ter_based, train_trace, clocks = train_models(
+        fu, train_stream, conditions, library,
+        max_train_rows=max_train_rows, speedups=speedups, seed=seed,
+        runner=runner, train_trace=train_trace)
+    sweep = evaluate_models(tevot, nh, delay_based, ter_based,
+                            test_stream, test_trace, clocks, speedups)
+    result = ExperimentResult(
+        fu_name=fu.name,
+        dataset=test_stream.name,
+        sweep=sweep,
+        tevot=tevot,
+        tevot_nh=nh,
+        delay_based=delay_based,
+        ter_based=ter_based,
+        train_trace=train_trace,
+        test_trace=test_trace,
+        clocks=clocks,
+    )
+    if registry is not None:
+        result.publish(registry)
+    return result
+
+
 def run_experiment(fu_name: str,
                    test_stream: Optional[OperandStream] = None,
                    train_stream: Optional[OperandStream] = None,
@@ -155,13 +207,18 @@ def run_experiment(fu_name: str,
                    **fu_kwargs) -> ExperimentResult:
     """One full Fig.-2 pipeline run for an FU.
 
-    Defaults: random train/test streams (unseen test data, like the
-    paper's 200 K/200 K split) over the full Table I corner grid.  The
-    train and test characterizations run as one campaign batch, so
-    ``n_workers > 1`` overlaps them.  A ``registry`` (path or
-    :class:`~repro.serve.registry.ModelRegistry`) publishes the trained
-    models for serving before returning.
+    Deprecated compatibility shim: new code should describe the run as
+    a :class:`repro.api.ExperimentSpec` and call
+    :meth:`repro.api.Workspace.experiment` (declarative, versionable),
+    or use :func:`experiment_impl` for pre-built objects.  Defaults:
+    random train/test streams (unseen test data, like the paper's
+    200 K/200 K split) over the full Table I corner grid.
     """
+    warnings.warn(
+        "repro.core.run_experiment() is deprecated; use "
+        "repro.api.Workspace.experiment(spec) (or experiment_impl() "
+        "for pre-built streams/conditions)",
+        DeprecationWarning, stacklevel=2)
     fu = build_functional_unit(fu_name, **fu_kwargs)
     conditions = list(conditions) if conditions else paper_corner_grid()
     if train_stream is None:
@@ -170,33 +227,10 @@ def run_experiment(fu_name: str,
     if test_stream is None:
         test_stream = stream_for_unit(fu_name, n_test_cycles, seed=seed + 1)
         test_stream.name = "random_test"
-
     if runner is None:
         runner = CampaignRunner(backend=backend, n_workers=n_workers,
                                 use_cache=use_cache)
-    train_trace, test_trace = runner.run([
-        CampaignJob(fu, train_stream, conditions, library),
-        CampaignJob(fu, test_stream, conditions, library),
-    ])
-
-    tevot, nh, delay_based, ter_based, train_trace, clocks = train_models(
-        fu, train_stream, conditions, library,
-        max_train_rows=max_train_rows, speedups=speedups, seed=seed,
-        use_cache=use_cache, runner=runner, train_trace=train_trace)
-    sweep = evaluate_models(tevot, nh, delay_based, ter_based,
-                            test_stream, test_trace, clocks, speedups)
-    result = ExperimentResult(
-        fu_name=fu_name,
-        dataset=test_stream.name,
-        sweep=sweep,
-        tevot=tevot,
-        tevot_nh=nh,
-        delay_based=delay_based,
-        ter_based=ter_based,
-        train_trace=train_trace,
-        test_trace=test_trace,
-        clocks=clocks,
-    )
-    if registry is not None:
-        result.publish(registry)
-    return result
+    return experiment_impl(fu, train_stream, test_stream, conditions,
+                           library, max_train_rows=max_train_rows,
+                           speedups=speedups, seed=seed, runner=runner,
+                           registry=registry)

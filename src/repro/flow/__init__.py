@@ -13,7 +13,7 @@ from .campaign import (
     plan_cycle_shards,
     plan_shards,
 )
-from .manifest import read_manifest, write_manifest
+from .manifest import read_manifest, stable_fingerprint, write_manifest
 from .tracestore import (
     GCReport,
     TraceStore,
@@ -40,6 +40,7 @@ __all__ = [
     "plan_shards",
     "TARGET_SHARD_SECONDS",
     "read_manifest",
+    "stable_fingerprint",
     "trace_key",
     "write_manifest",
 ]

@@ -29,9 +29,12 @@ and a :class:`CampaignRunner` executes a batch of jobs:
   level-parallel engine, which is delay-identical to ``levelized`` and
   ``bitpacked``.
 
-:func:`characterize` remains as a thin single-job compatibility shim;
-it now emits a :class:`DeprecationWarning` — new code should talk to
-:class:`CampaignRunner` directly.
+:func:`characterize` and :meth:`CampaignRunner.characterize` remain as
+thin single-job compatibility shims emitting
+:class:`DeprecationWarning` — new code should describe runs with
+:mod:`repro.api` specs and go through
+:meth:`repro.api.Workspace.characterize` (or build
+:class:`CampaignJob` batches for :meth:`CampaignRunner.run`).
 """
 
 from __future__ import annotations
@@ -278,17 +281,19 @@ class CampaignStats:
         return cycles / seconds
 
 
-def _run_payload(payload: Tuple[Netlist, np.ndarray, np.ndarray, str]
+def _run_payload(payload: Tuple[Netlist, np.ndarray, np.ndarray, str,
+                                Optional[int]]
                  ) -> Tuple[np.ndarray, float]:
     """Worker body: simulate one shard and return (delays, seconds).
 
     Module-level (and free of FU reference models, which close over
     lambdas) so it pickles across process boundaries.
     """
-    netlist, inputs, delay_matrix, backend_name = payload
+    netlist, inputs, delay_matrix, backend_name, chunk_cycles = payload
     start = time.perf_counter()
     backend = get_backend(backend_name)
-    delays = backend.run_delays(netlist, inputs, delay_matrix).delays
+    delays = backend.run_delays(netlist, inputs, delay_matrix,
+                                chunk_cycles=chunk_cycles).delays
     return delays, time.perf_counter() - start
 
 
@@ -317,21 +322,39 @@ class CampaignRunner:
         store has seen this (FU, backend, corner-count) before, else
         statically from ``n_workers``.  Results are bit-identical for
         every shard shape and worker count.
+    chunk_cycles:
+        Explicit cycle-axis working-set chunk forwarded to the
+        backend's ``run_delays`` (backends with
+        ``supports_chunking``).  None lets the backend pick a
+        cache-sized default; never affects results.
+    adaptive_history:
+        When False the shard auto-sizer ignores any persisted
+        throughput history (and records none), always planning with
+        the static heuristic — for reproducible shard grids across
+        machines.
     """
 
     def __init__(self, backend: str = DEFAULT_BACKEND,
                  store: Union[TraceStore, str, Path, None] = None,
                  n_workers: int = 1, use_cache: bool = True,
                  shard_cycles: Optional[int] = None,
-                 shard_corners: Optional[int] = None) -> None:
+                 shard_corners: Optional[int] = None,
+                 chunk_cycles: Optional[int] = None,
+                 adaptive_history: bool = True) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if shard_cycles is not None and shard_cycles < 1:
             raise ValueError("shard_cycles must be >= 1")
         if shard_corners is not None and shard_corners < 1:
             raise ValueError("shard_corners must be >= 1")
+        if chunk_cycles is not None and chunk_cycles < 1:
+            raise ValueError("chunk_cycles must be >= 1")
         self.backend_name = backend
         self.backend = get_backend(backend)
+        if chunk_cycles is not None and not self.backend.supports_chunking:
+            raise ValueError(
+                f"backend {backend!r} does not honor chunk_cycles "
+                f"(supports_chunking=False)")
         if not use_cache:
             self.store: Optional[TraceStore] = None
         elif isinstance(store, TraceStore):
@@ -341,6 +364,8 @@ class CampaignRunner:
         self.n_workers = n_workers
         self.shard_cycles = shard_cycles
         self.shard_corners = shard_corners
+        self.chunk_cycles = chunk_cycles
+        self.adaptive_history = adaptive_history
         self.stats = CampaignStats()
 
     def _plan_job(self, n_cycles: int, n_corners: int,
@@ -351,7 +376,8 @@ class CampaignRunner:
         corner_ok = (self.backend.supports_corner_sharding
                      and n_corners > 1)
         history = None
-        if self.store is not None and self.shard_cycles is None \
+        if self.store is not None and self.adaptive_history \
+                and self.shard_cycles is None \
                 and self.shard_corners is None:
             history = self.store.get_throughput(
                 fu_name, self.backend_name, n_corners)
@@ -411,7 +437,8 @@ class CampaignRunner:
                     tasks.append((pos, (job.fu.netlist,
                                         inputs[t0:t1 + 1],
                                         delay_matrix[c0:c1],
-                                        self.backend_name)))
+                                        self.backend_name,
+                                        self.chunk_cycles)))
 
             payloads = [payload for _, payload in tasks]
             if self.n_workers > 1 and len(payloads) > 1:
@@ -444,7 +471,7 @@ class CampaignRunner:
                                    library=job.library,
                                    delay_model=delay_model,
                                    backend=self.backend_name)
-                    if seconds[pos] > 0:
+                    if seconds[pos] > 0 and self.adaptive_history:
                         self.store.record_throughput(
                             job.fu.name, self.backend_name, n_corners,
                             n_cycles * n_corners / seconds[pos])
@@ -461,7 +488,16 @@ class CampaignRunner:
     def characterize(self, fu: FunctionalUnit, stream: OperandStream,
                      conditions: Sequence[OperatingCondition],
                      library: CellLibrary = DEFAULT_LIBRARY) -> DelayTrace:
-        """Single-job convenience wrapper over :meth:`run`."""
+        """Deprecated single-job wrapper over :meth:`run`.
+
+        Use :meth:`repro.api.Workspace.characterize` for spec-driven
+        runs, or ``run([CampaignJob(...)])[0]`` directly.
+        """
+        warnings.warn(
+            "CampaignRunner.characterize() is deprecated; use "
+            "repro.api.Workspace.characterize(spec) or "
+            "CampaignRunner.run([CampaignJob(...)])[0]",
+            DeprecationWarning, stacklevel=2)
         return self.run([CampaignJob(fu, stream, list(conditions),
                                      library)])[0]
 
@@ -481,11 +517,13 @@ def characterize(fu: FunctionalUnit, stream: OperandStream,
     """
     warnings.warn(
         "repro.flow.characterize() is deprecated; use "
-        "CampaignRunner(...).characterize(...) or CampaignRunner.run()",
+        "repro.api.Workspace.characterize(spec) (or, for ad-hoc jobs, "
+        "CampaignRunner.run([CampaignJob(...)])[0])",
         DeprecationWarning, stacklevel=2)
     runner = CampaignRunner(backend=backend, store=cache_dir,
                             use_cache=use_cache)
-    return runner.characterize(fu, stream, conditions, library)
+    return runner.run([CampaignJob(fu, stream, list(conditions),
+                                   library)])[0]
 
 
 def error_free_clocks(trace: DelayTrace) -> Dict[OperatingCondition, float]:

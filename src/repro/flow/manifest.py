@@ -12,10 +12,30 @@ blob lookup).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Dict
+
+
+def stable_fingerprint(data, *, tag: str = "", length: int = 16) -> str:
+    """Content hash of a JSON-representable value.
+
+    The canonical form is compact JSON with sorted keys, so two values
+    that compare equal after round-tripping through ``json`` always
+    fingerprint identically — this is what lets declarative specs key
+    the :class:`~repro.flow.tracestore.TraceStore` and the serving
+    :class:`~repro.serve.registry.ModelRegistry`.  ``tag`` namespaces
+    the hash (e.g. by spec class) so equal payloads of different kinds
+    cannot collide.
+    """
+    blob = json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+    h = hashlib.sha256()
+    h.update(f"{tag};".encode())
+    h.update(blob.encode())
+    return h.hexdigest()[:length]
 
 
 def read_manifest(path: Path, *, version_key: str, version: int,

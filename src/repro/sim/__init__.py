@@ -2,7 +2,11 @@
 levelized, event-driven, and bit-packed timing simulators, plus VCD
 and DTA."""
 
-from .bitpacked import BitPackedBackend, BitPackedSimulator
+from .bitpacked import (
+    BitPackedBackend,
+    BitPackedSimulator,
+    ReferenceBitPackedBackend,
+)
 from .compile import (
     CompiledBackend,
     CompiledNetlist,
@@ -24,7 +28,11 @@ from .engine import (
     register_backend,
 )
 from .eventsim import EventBackend, EventDrivenSimulator, EventTraceResult
-from .levelized import LevelizedBackend, LevelizedSimulator
+from .levelized import (
+    LevelizedBackend,
+    LevelizedSimulator,
+    ReferenceLevelizedBackend,
+)
 from .vcd import VCDData, VCDWriter, delays_from_vcd, read_vcd
 
 __all__ = [
@@ -40,6 +48,8 @@ __all__ = [
     "EventTraceResult",
     "LevelizedBackend",
     "LevelizedSimulator",
+    "ReferenceBitPackedBackend",
+    "ReferenceLevelizedBackend",
     "SimBackend",
     "VCDData",
     "VCDWriter",

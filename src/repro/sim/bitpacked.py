@@ -52,6 +52,7 @@ from .logic import eval_gate_words
 __all__ = [
     "BitPackedBackend",
     "BitPackedSimulator",
+    "ReferenceBitPackedBackend",
     "pack_columns",
     "toggle_words",
     "unpack_words",
@@ -259,15 +260,48 @@ class BitPackedBackend(SimBackend):
     supports_cycle_sharding = True
     supports_corner_sharding = True
     models_glitches = False
+    supports_chunking = True
 
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
                    gate_delays: np.ndarray,
-                   collect_outputs: bool = False) -> DelayTraceResult:
+                   collect_outputs: bool = False,
+                   chunk_cycles: Optional[int] = None) -> DelayTraceResult:
         return compile_netlist(netlist).run(
             input_matrix, gate_delays, collect_outputs=collect_outputs,
-            packed=True)
+            chunk_cycles=chunk_cycles, packed=True)
 
     def run_values(self, netlist: Netlist,
                    input_matrix: np.ndarray) -> np.ndarray:
         return compile_netlist(netlist).run_values(input_matrix,
                                                    packed=True)
+
+
+class ReferenceBitPackedBackend(SimBackend):
+    """The per-gate bit-parallel reference path behind the protocol.
+
+    Runs :class:`BitPackedSimulator` with ``compiled=False`` — the
+    original word-at-a-time gate loop.  Slower than ``bitpacked`` but
+    delay-bit-identical, so ``SimSpec(backend="bitpacked",
+    compiled=False)`` can audit the compiled kernels through the full
+    campaign machinery.
+    """
+
+    name = "bitpacked_ref"
+    supports_multi_corner = True
+    supports_cycle_sharding = True
+    supports_corner_sharding = True
+    models_glitches = False
+    supports_chunking = True
+
+    def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
+                   gate_delays: np.ndarray,
+                   collect_outputs: bool = False,
+                   chunk_cycles: Optional[int] = None) -> DelayTraceResult:
+        return BitPackedSimulator(netlist, compiled=False).run(
+            input_matrix, gate_delays, collect_outputs=collect_outputs,
+            chunk_cycles=chunk_cycles)
+
+    def run_values(self, netlist: Netlist,
+                   input_matrix: np.ndarray) -> np.ndarray:
+        return BitPackedSimulator(netlist,
+                                  compiled=False).run_values(input_matrix)

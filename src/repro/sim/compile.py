@@ -831,12 +831,15 @@ class CompiledBackend(SimBackend):
     supports_cycle_sharding = True
     supports_corner_sharding = True
     models_glitches = False
+    supports_chunking = True
 
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
                    gate_delays: np.ndarray,
-                   collect_outputs: bool = False) -> DelayTraceResult:
+                   collect_outputs: bool = False,
+                   chunk_cycles: Optional[int] = None) -> DelayTraceResult:
         return compile_netlist(netlist).run(
-            input_matrix, gate_delays, collect_outputs=collect_outputs)
+            input_matrix, gate_delays, collect_outputs=collect_outputs,
+            chunk_cycles=chunk_cycles)
 
     def run_values(self, netlist: Netlist,
                    input_matrix: np.ndarray) -> np.ndarray:

@@ -121,6 +121,12 @@ class SimBackend(abc.ABC):
     #: from glitch backends must never share a cache entry with DTA
     #: traces (see :attr:`delay_model`).
     models_glitches: bool = False
+    #: ``run_delays`` honors an explicit ``chunk_cycles`` (cycle-axis
+    #: working-set chunk, never affecting results).  Backends that
+    #: process streams cycle by cycle (no chunked working set) must
+    #: leave this False; passing ``chunk_cycles`` to them is an error
+    #: rather than a silent no-op.
+    supports_chunking: bool = False
 
     #: Capability attributes the registry validates on every instance.
     #: The campaign layer reads these as plain attributes (never via
@@ -128,7 +134,8 @@ class SimBackend(abc.ABC):
     #: fails loudly at registration instead of silently losing e.g.
     #: sharding.
     CAPABILITY_FLAGS = ("supports_multi_corner", "supports_cycle_sharding",
-                        "supports_corner_sharding", "models_glitches")
+                        "supports_corner_sharding", "models_glitches",
+                        "supports_chunking")
 
     @property
     def delay_model(self) -> str:
@@ -143,7 +150,8 @@ class SimBackend(abc.ABC):
     @abc.abstractmethod
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
                    gate_delays: np.ndarray,
-                   collect_outputs: bool = False) -> DelayTraceResult:
+                   collect_outputs: bool = False,
+                   chunk_cycles: Optional[int] = None) -> DelayTraceResult:
         """Per-cycle dynamic delays for an input stream.
 
         Parameters
@@ -159,6 +167,10 @@ class SimBackend(abc.ABC):
             multi-corner vectorization loop over the corner axis.
         collect_outputs:
             Also return settled output values per cycle.
+        chunk_cycles:
+            Cycle-axis working-set chunk.  ``None`` lets the backend
+            pick a cache-sized default; an explicit value requires
+            :attr:`supports_chunking` and never affects results.
         """
 
     @abc.abstractmethod
@@ -173,10 +185,17 @@ class SimBackend(abc.ABC):
 
 
 #: name -> "module:Class" (lazy) or SimBackend subclass (eager).
+#: The ``*_ref`` entries are the retained per-gate reference paths
+#: (``compiled=False`` simulators) behind the same protocol — slow,
+#: but delay-bit-identical to the compiled kernels, so campaigns can
+#: audit the fast engines end to end
+#: (``SimSpec(backend="levelized", compiled=False)`` resolves here).
 _REGISTRY: Dict[str, Union[str, Type[SimBackend]]] = {
     "levelized": "repro.sim.levelized:LevelizedBackend",
+    "levelized_ref": "repro.sim.levelized:ReferenceLevelizedBackend",
     "event": "repro.sim.eventsim:EventBackend",
     "bitpacked": "repro.sim.bitpacked:BitPackedBackend",
+    "bitpacked_ref": "repro.sim.bitpacked:ReferenceBitPackedBackend",
     "compiled": "repro.sim.compile:CompiledBackend",
 }
 _INSTANCES: Dict[str, SimBackend] = {}

@@ -202,10 +202,16 @@ class EventBackend(SimBackend):
     supports_cycle_sharding = False
     supports_corner_sharding = True
     models_glitches = True
+    supports_chunking = False
 
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
                    gate_delays: np.ndarray,
-                   collect_outputs: bool = False) -> DelayTraceResult:
+                   collect_outputs: bool = False,
+                   chunk_cycles: Optional[int] = None) -> DelayTraceResult:
+        if chunk_cycles is not None:
+            raise ValueError(
+                "the event backend processes streams cycle by cycle and "
+                "does not honor chunk_cycles (supports_chunking=False)")
         delays = np.asarray(gate_delays, dtype=np.float64)
         if delays.ndim == 1:
             delays = delays[None, :]

@@ -266,15 +266,49 @@ class LevelizedBackend(SimBackend):
     supports_cycle_sharding = True
     supports_corner_sharding = True
     models_glitches = False
+    supports_chunking = True
 
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
                    gate_delays: np.ndarray,
-                   collect_outputs: bool = False) -> DelayTraceResult:
+                   collect_outputs: bool = False,
+                   chunk_cycles: Optional[int] = None) -> DelayTraceResult:
         return compile_netlist(netlist).run(
             input_matrix, gate_delays, collect_outputs=collect_outputs,
-            packed=False)
+            chunk_cycles=chunk_cycles, packed=False)
 
     def run_values(self, netlist: Netlist,
                    input_matrix: np.ndarray) -> np.ndarray:
         return compile_netlist(netlist).run_values(input_matrix,
                                                    packed=False)
+
+
+class ReferenceLevelizedBackend(SimBackend):
+    """The pre-compilation per-gate path behind the engine protocol.
+
+    Runs :class:`LevelizedSimulator` with ``compiled=False`` — no
+    lowering, no program cache, one python-level pass per gate.  Orders
+    of magnitude slower than ``levelized`` but delay-bit-identical to
+    it, so campaigns can audit the compiled kernels through the same
+    caching/sharding machinery (``SimSpec(backend="levelized",
+    compiled=False)`` resolves here).
+    """
+
+    name = "levelized_ref"
+    supports_multi_corner = True
+    supports_cycle_sharding = True
+    supports_corner_sharding = True
+    models_glitches = False
+    supports_chunking = True
+
+    def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
+                   gate_delays: np.ndarray,
+                   collect_outputs: bool = False,
+                   chunk_cycles: Optional[int] = None) -> DelayTraceResult:
+        return LevelizedSimulator(netlist, compiled=False).run(
+            input_matrix, gate_delays, collect_outputs=collect_outputs,
+            chunk_cycles=chunk_cycles)
+
+    def run_values(self, netlist: Netlist,
+                   input_matrix: np.ndarray) -> np.ndarray:
+        return LevelizedSimulator(netlist,
+                                  compiled=False).run_values(input_matrix)

@@ -1,0 +1,299 @@
+"""Tests for the Workspace facade and the deprecated shims over it."""
+
+import re
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CampaignSpec,
+    CornerSpec,
+    ExperimentSpec,
+    PredictSpec,
+    ServeSpec,
+    ShardSpec,
+    SimSpec,
+    SpecError,
+    StreamSpec,
+    TrainSpec,
+    Workspace,
+)
+from repro.circuits import build_functional_unit
+from repro.flow import CampaignJob, CampaignRunner, TraceStore, characterize
+from repro.serve.registry import model_key
+from repro.timing import OperatingCondition
+from repro.workloads import random_stream, stream_for_unit
+
+CORNERS = CornerSpec(voltages=(0.9,), temperatures=(25.0,))
+CONDS = CORNERS.conditions()
+
+
+def small_campaign(**kw):
+    base = dict(fus=("int_add",), stream=StreamSpec(cycles=40, seed=0),
+                corners=CORNERS)
+    base.update(kw)
+    return CampaignSpec(**base)
+
+
+class TestWorkspaceLayout:
+    def test_root_owns_store_and_registry(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        assert ws.store.root == tmp_path / "ws" / "traces"
+        assert ws.registry.root == tmp_path / "ws" / "registry"
+
+    def test_rootless_workspace_has_no_registry(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        ws = Workspace()
+        assert ws.registry is None
+        assert ws.store.root == tmp_path
+
+    def test_explicit_overrides_beat_root(self, tmp_path):
+        ws = Workspace(tmp_path / "ws", store=tmp_path / "elsewhere")
+        assert ws.store.root == tmp_path / "elsewhere"
+        assert ws.registry.root == tmp_path / "ws" / "registry"
+
+
+class TestCharacterize:
+    def test_spec_run_matches_handbuilt_runner(self, tmp_path):
+        spec = small_campaign(store=str(tmp_path / "a"))
+        result = Workspace().characterize(spec)
+        # the exact legacy construction, by hand
+        fu = build_functional_unit("int_add")
+        stream = stream_for_unit("int_add", 40, seed=0)
+        ref = CampaignRunner(store=tmp_path / "b").run(
+            [CampaignJob(fu, stream, CONDS)])[0]
+        assert result.traces[0].delays.tobytes() == ref.delays.tobytes()
+
+    def test_cache_key_byte_identical_to_legacy_path(self, tmp_path):
+        """The acceptance criterion: spec-driven runs key the store
+        exactly like the flag/kwarg paths they replace."""
+        spec = small_campaign()
+        ws_jobs = Workspace(tmp_path).jobs(spec)
+        fu = build_functional_unit("int_add")
+        stream = stream_for_unit("int_add", 40, seed=0)
+        legacy_key = CampaignJob(fu, stream, CONDS).key()
+        assert ws_jobs[0].key() == legacy_key
+
+    def test_characterize_populates_and_hits_store(self, tmp_path):
+        ws = Workspace(tmp_path)
+        spec = small_campaign()
+        first = ws.characterize(spec)
+        assert (first.stats.hits, first.stats.misses) == (0, 1)
+        second = ws.characterize(spec)
+        assert (second.stats.hits, second.stats.misses) == (1, 0)
+        assert second.traces[0].delays.tobytes() == \
+            first.traces[0].delays.tobytes()
+
+    def test_simulate_never_touches_store(self, tmp_path):
+        ws = Workspace(tmp_path)
+        sim = ws.simulate(small_campaign())
+        assert sim.stats.misses == 1
+        assert TraceStore(tmp_path / "traces").entries() == {}
+
+    def test_compiled_false_is_bit_identical(self, tmp_path):
+        ws = Workspace(tmp_path)
+        fast = ws.simulate(small_campaign(
+            stream=StreamSpec(cycles=20, seed=2)))
+        ref = ws.simulate(small_campaign(
+            stream=StreamSpec(cycles=20, seed=2),
+            sim=SimSpec(backend="levelized", compiled=False)))
+        assert fast.traces[0].delays.tobytes() == \
+            ref.traces[0].delays.tobytes()
+
+    def test_compiled_false_audit_never_reads_the_cache(self, tmp_path):
+        """A ref-backend run satisfied from a compiled-produced cache
+        entry would 'audit' nothing — it must simulate fresh."""
+        ws = Workspace(tmp_path)
+        spec = small_campaign(stream=StreamSpec(cycles=20, seed=3))
+        ws.characterize(spec)  # populate the cache (compiled)
+        audit = ws.characterize(spec.replace(
+            sim=SimSpec(backend="levelized", compiled=False)))
+        assert (audit.stats.hits, audit.stats.misses) == (0, 1)
+
+    def test_chunk_cycles_never_affects_results(self, tmp_path):
+        ws = Workspace(tmp_path)
+        base = ws.simulate(small_campaign())
+        chunked = ws.simulate(small_campaign(
+            sim=SimSpec(chunk_cycles=7)))
+        assert chunked.traces[0].delays.tobytes() == \
+            base.traces[0].delays.tobytes()
+
+    def test_adaptive_history_toggle(self, tmp_path):
+        ws = Workspace(tmp_path)
+        off = small_campaign(shards=ShardSpec(adaptive_history=False))
+        ws.characterize(off)
+        assert ws.store.throughput_history() == {}
+        ws.characterize(small_campaign(
+            stream=StreamSpec(cycles=40, seed=9)))
+        assert ws.store.throughput_history() != {}
+
+
+class TestTrainPredict:
+    def test_train_saves_and_publishes(self, tmp_path):
+        ws = Workspace(tmp_path)
+        out = tmp_path / "m.pkl"
+        spec = TrainSpec(fu="int_add", corners=CORNERS,
+                         stream=StreamSpec(cycles=50, seed=0),
+                         output=str(out), publish=True)
+        result = ws.train(spec)
+        assert out.exists()
+        assert result.record.model_id == "int_add/tevot/v1"
+        assert len(ws.registry) == 1
+
+    def test_publish_without_registry_is_loud(self, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        spec = TrainSpec(fu="int_add", corners=CORNERS,
+                         stream=StreamSpec(cycles=30), publish=True)
+        with pytest.raises(SpecError, match="registry"):
+            Workspace().train(spec)
+
+    def test_spec_registry_overrides_workspace(self, tmp_path):
+        spec = TrainSpec(fu="int_add", corners=CORNERS,
+                         stream=StreamSpec(cycles=30), publish=True,
+                         registry=str(tmp_path / "elsewhere"))
+        record = Workspace(tmp_path / "ws").train(spec).record
+        assert record is not None
+        assert (tmp_path / "elsewhere" / record.file).exists()
+        assert len(Workspace(tmp_path / "ws").registry) == 0
+
+    def test_unset_fu_is_rejected_at_execution(self, tmp_path):
+        with pytest.raises(SpecError, match="fu"):
+            Workspace(tmp_path).train(TrainSpec(corners=CORNERS))
+        with pytest.raises(SpecError, match="fu"):
+            Workspace(tmp_path).predict(PredictSpec(model="m.pkl",
+                                                    corners=CORNERS))
+
+    def test_model_key_byte_identical_to_legacy_publish(self, tmp_path):
+        """Registry keys must not depend on which front door was used."""
+        ws = Workspace(tmp_path)
+        spec = TrainSpec(fu="int_add", corners=CORNERS,
+                         stream=StreamSpec(cycles=50, seed=0),
+                         publish=True)
+        record = ws.train(spec).record
+        # what the legacy flag path (cmd_train) would have computed
+        fu = build_functional_unit("int_add")
+        stream = stream_for_unit("int_add", 50, seed=0)
+        spec_tag = ws.train(spec).model.spec.version_tag()
+        legacy = model_key(fu, "tevot", CONDS, stream, spec_tag)
+        assert record.key == legacy
+
+    def test_predict_roundtrip(self, tmp_path):
+        ws = Workspace(tmp_path)
+        out = tmp_path / "m.pkl"
+        ws.train(TrainSpec(fu="int_add", corners=CORNERS,
+                           stream=StreamSpec(cycles=50, seed=0),
+                           output=str(out)))
+        result = ws.predict(PredictSpec(
+            fu="int_add", model=str(out), speedup=0.15, corners=CORNERS,
+            stream=StreamSpec(cycles=30, seed=1)))
+        assert set(result.ters) == set(CONDS)
+        for ter in result.ters.values():
+            assert 0.0 <= ter <= 1.0
+        for clock in result.clocks.values():
+            assert clock > 0
+
+    def test_predict_requires_model(self, tmp_path):
+        with pytest.raises(SpecError, match="model"):
+            Workspace(tmp_path).predict(PredictSpec(fu="int_add",
+                                                    corners=CORNERS))
+
+
+class TestExperiment:
+    def test_experiment_publishes_when_asked(self, tmp_path):
+        ws = Workspace(tmp_path)
+        spec = ExperimentSpec(
+            fu="int_add",
+            train_stream=StreamSpec(cycles=100, seed=0,
+                                    name="random_train"),
+            test_stream=StreamSpec(cycles=60, seed=1, name="random_test"),
+            corners=CornerSpec.from_conditions(
+                [OperatingCondition(0.81, 0.0),
+                 OperatingCondition(1.00, 100.0)]),
+            publish=True)
+        result = ws.experiment(spec)
+        assert set(result.summary()) == {"TEVoT", "TEVoT-NH",
+                                         "Delay-based", "TER-based"}
+        kinds = {r.kind for r in ws.registry.list_models(fu="int_add")}
+        assert kinds == {"tevot", "tevot_nh", "delay_based", "ter_based"}
+
+
+class TestServe:
+    def test_serve_spec_builds_live_server(self, tmp_path):
+        from repro.serve import ServeClient
+
+        ws = Workspace(tmp_path)
+        ws.train(TrainSpec(fu="int_add", corners=CORNERS,
+                           stream=StreamSpec(cycles=50, seed=0),
+                           publish=True))
+        server = ws.serve(ServeSpec(port=0))  # workspace registry
+        try:
+            server.start_background()
+            host, port = server.address
+            client = ServeClient(host, port)
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["models_published"] == 1
+            pred = client.predict(fu="int_add", a=3, b=5,
+                                  voltage=0.9, temperature=25.0)
+            assert pred["ok"] and pred["source"] == "model"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestDeprecatedShims:
+    def test_runner_characterize_warns_and_matches_run(self, tmp_path):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(20, operand_width=8, seed=1)
+        runner = CampaignRunner(use_cache=False)
+        with pytest.warns(DeprecationWarning,
+                          match="Workspace.characterize"):
+            via_shim = runner.characterize(fu, stream, CONDS)
+        via_run = runner.run([CampaignJob(fu, stream, CONDS)])[0]
+        assert via_shim.delays.tobytes() == via_run.delays.tobytes()
+
+    @pytest.mark.parametrize("entry_point,kwargs", [
+        ("module_characterize", {}),
+        ("runner_characterize", {}),
+    ])
+    def test_warning_text_names_a_live_symbol(self, tmp_path, entry_point,
+                                              kwargs):
+        """The satellite guarantee: whatever replacement path the
+        deprecation message advertises must actually resolve."""
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(10, operand_width=8, seed=2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            if entry_point == "module_characterize":
+                characterize(fu, stream, CONDS, cache_dir=tmp_path)
+            else:
+                CampaignRunner(use_cache=False).characterize(
+                    fu, stream, CONDS)
+        (message,) = [str(w.message) for w in caught
+                      if issubclass(w.category, DeprecationWarning)]
+        dotted = re.findall(r"repro(?:\.\w+)+", message)
+        assert dotted, f"warning names no dotted symbol: {message}"
+        for symbol in dotted:
+            parts = symbol.split(".")
+            obj = __import__(parts[0])
+            for part in parts[1:]:
+                obj = getattr(obj, part)  # raises if the path went stale
+            assert callable(obj) or obj is not None
+
+    def test_run_experiment_warning_names_live_symbol(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.core import run_experiment
+
+        with pytest.warns(DeprecationWarning,
+                          match="Workspace.experiment") as caught:
+            run_experiment("int_add", conditions=CONDS,
+                           n_train_cycles=40, n_test_cycles=30, width=8)
+        message = str(caught[0].message)
+        for symbol in re.findall(r"repro(?:\.\w+)+", message):
+            obj = __import__(symbol.split(".")[0])
+            for part in symbol.split(".")[1:]:
+                obj = getattr(obj, part)

@@ -22,7 +22,7 @@ from repro.core import (
     make_tevot_nh,
     save_model,
 )
-from repro.flow import CampaignRunner, error_free_clocks
+from repro.flow import CampaignJob, CampaignRunner, error_free_clocks
 from repro.timing import OperatingCondition, sped_up_clock
 from repro.workloads import random_stream
 
@@ -35,7 +35,8 @@ def fitted():
     fu = build_functional_unit("int_add", width=8)
     stream = random_stream(60, operand_width=8, seed=0)
     stream.name = "persist_train"
-    trace = CampaignRunner(use_cache=False).characterize(fu, stream, CONDS)
+    trace = CampaignRunner(use_cache=False).run(
+        [CampaignJob(fu, stream, CONDS)])[0]
 
     tevot = TEVoT(operand_width=8)
     X, y = build_training_set(stream, CONDS, trace.delays, spec=tevot.spec)

@@ -62,9 +62,9 @@ class TestLibraryCacheRegression:
         fu = build_functional_unit("int_add", width=8)
         stream = random_stream(30, operand_width=8, seed=1)
         runner = CampaignRunner(store=tmp_path)
-        base = runner.characterize(fu, stream, CONDS)
-        slow = runner.characterize(fu, stream, CONDS,
-                                   library=_slow_library())
+        base = runner.run([CampaignJob(fu, stream, CONDS)])[0]
+        slow = runner.run([CampaignJob(fu, stream, CONDS,
+                                       library=_slow_library())])[0]
         # doubled intrinsics must show up: strictly slower worst delay
         assert slow.delays.max() > base.delays.max()
         # and both entries coexist in the store
@@ -78,8 +78,8 @@ class TestTraceStore:
         store = TraceStore(tmp_path)
         key = trace_key(fu, stream, CONDS, DEFAULT_LIBRARY)
         assert store.get(key, CONDS) is None
-        trace = CampaignRunner(use_cache=False).characterize(
-            fu, stream, CONDS)
+        trace = CampaignRunner(use_cache=False).run(
+            [CampaignJob(fu, stream, CONDS)])[0]
         store.put(key, trace, fu_name=fu.name, stream_name=stream.name,
                   library=DEFAULT_LIBRARY, backend="bitpacked")
         assert key in store
@@ -89,7 +89,8 @@ class TestTraceStore:
     def test_manifest_records_metadata(self, tmp_path):
         fu = build_functional_unit("int_add", width=8)
         stream = random_stream(25, operand_width=8, seed=3)
-        CampaignRunner(store=tmp_path).characterize(fu, stream, CONDS)
+        CampaignRunner(store=tmp_path).run(
+            [CampaignJob(fu, stream, CONDS)])
         manifest = json.loads((tmp_path / "manifest.json").read_text())
         (entry,) = manifest["entries"].values()
         assert entry["fu"] == "int_add"
@@ -108,8 +109,8 @@ class TestTraceStore:
         # concurrent writer clobbers the manifest
         fu = build_functional_unit("int_add", width=8)
         stream = random_stream(25, operand_width=8, seed=12)
-        first = CampaignRunner(store=tmp_path).characterize(fu, stream,
-                                                            CONDS)
+        first = CampaignRunner(store=tmp_path).run(
+            [CampaignJob(fu, stream, CONDS)])[0]
         (tmp_path / "manifest.json").unlink()
         key = trace_key(fu, stream, CONDS, DEFAULT_LIBRARY)
         recovered = TraceStore(tmp_path).get(key, CONDS)
@@ -118,7 +119,8 @@ class TestTraceStore:
     def test_missing_blob_is_a_miss(self, tmp_path):
         fu = build_functional_unit("int_add", width=8)
         stream = random_stream(25, operand_width=8, seed=4)
-        CampaignRunner(store=tmp_path).characterize(fu, stream, CONDS)
+        CampaignRunner(store=tmp_path).run(
+            [CampaignJob(fu, stream, CONDS)])
         for blob in tmp_path.glob("dta_*.npz"):
             blob.unlink()
         key = trace_key(fu, stream, CONDS, DEFAULT_LIBRARY)
@@ -324,6 +326,25 @@ class TestShardGridPlanning:
             plan_shards(10, 1, shard_cycles=0)
         with pytest.raises(ValueError):
             plan_shards(10, 1, shard_corners=0)
+
+
+class TestRunnerChunking:
+    def test_chunk_cycles_validated(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(chunk_cycles=0)
+        # the event engine has no chunked working set; asking for one
+        # must fail at construction, not silently no-op per shard
+        with pytest.raises(ValueError, match="chunk"):
+            CampaignRunner(backend="event", chunk_cycles=64)
+
+    def test_chunk_cycles_bit_identical(self):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(50, operand_width=8, seed=31)
+        job = CampaignJob(fu, stream, CONDS)
+        base = CampaignRunner(use_cache=False).run([job])[0]
+        chunked = CampaignRunner(use_cache=False,
+                                 chunk_cycles=13).run([job])[0]
+        assert chunked.delays.tobytes() == base.delays.tobytes()
 
 
 class TestAdaptiveThroughputHistory:
@@ -559,7 +580,7 @@ class TestTraceStoreGC:
         for seed in seeds:
             stream = random_stream(30, operand_width=8, seed=seed)
             stream.name = f"gc_{seed}"
-            runner.characterize(fu, stream, CONDS)
+            runner.run([CampaignJob(fu, stream, CONDS)])
         return TraceStore(tmp_path)
 
     def test_gc_removes_orphan_blobs(self, tmp_path):

@@ -49,7 +49,8 @@ class TestCharacterize:
     def test_shim_emits_deprecation_warning(self, tmp_path):
         fu = build_functional_unit("int_add", width=8)
         stream = random_stream(10, operand_width=8, seed=9)
-        with pytest.warns(DeprecationWarning, match="CampaignRunner"):
+        with pytest.warns(DeprecationWarning,
+                          match="Workspace.characterize"):
             characterize(fu, stream, CONDS, cache_dir=tmp_path)
 
     def test_delay_trace_shape(self, tmp_path):
@@ -87,7 +88,9 @@ class TestCharacterize:
 
 
 class TestEndToEndSmall:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_run_experiment_smoke(self, tmp_path, monkeypatch):
+        # the deprecated kwarg entry point, still fully functional
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         from repro.core import run_experiment
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.circuits import build_functional_unit
 from repro.core import TEVoT, build_training_set
-from repro.flow import CampaignRunner
+from repro.flow import CampaignJob, CampaignRunner
 from repro.serve import ModelRegistry, model_key, stream_fingerprint
 from repro.timing import OperatingCondition
 from repro.workloads import random_stream
@@ -20,7 +20,8 @@ def trained():
     fu = build_functional_unit("int_add", width=8)
     stream = random_stream(60, operand_width=8, seed=0)
     stream.name = "reg_train"
-    trace = CampaignRunner(use_cache=False).characterize(fu, stream, CONDS)
+    trace = CampaignRunner(use_cache=False).run(
+        [CampaignJob(fu, stream, CONDS)])[0]
     model = TEVoT(operand_width=8)
     X, y = build_training_set(stream, CONDS, trace.delays, spec=model.spec)
     model.fit(X, y)
@@ -147,9 +148,11 @@ class TestPipelinePublish:
 
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         registry = ModelRegistry(tmp_path / "registry")
-        result = run_experiment("int_add", conditions=CONDS,
-                                n_train_cycles=100, n_test_cycles=60,
-                                width=8, registry=registry)
+        # the deprecated shim must still run end to end (with a warning)
+        with pytest.warns(DeprecationWarning, match="Workspace.experiment"):
+            result = run_experiment("int_add", conditions=CONDS,
+                                    n_train_cycles=100, n_test_cycles=60,
+                                    width=8, registry=registry)
         records = registry.list_models(fu="int_add")
         assert {r.kind for r in records} == {"tevot", "tevot_nh",
                                              "delay_based", "ter_based"}

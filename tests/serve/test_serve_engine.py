@@ -10,7 +10,7 @@ import pytest
 
 from repro.circuits import build_functional_unit
 from repro.core import TEVoT, build_training_set, make_tevot_nh
-from repro.flow import CampaignRunner
+from repro.flow import CampaignJob, CampaignRunner
 from repro.serve import (
     ModelRegistry,
     PredictionEngine,
@@ -37,7 +37,8 @@ def published(tmp_path_factory):
     fu = build_functional_unit("int_add", **FU_KW)
     stream = random_stream(70, operand_width=8, seed=0)
     stream.name = "eng_train"
-    trace = CampaignRunner(use_cache=False).characterize(fu, stream, CONDS)
+    trace = CampaignRunner(use_cache=False).run(
+        [CampaignJob(fu, stream, CONDS)])[0]
     tevot = TEVoT(operand_width=8)
     X, y = build_training_set(stream, CONDS, trace.delays, spec=tevot.spec)
     tevot.fit(X, y)
@@ -160,8 +161,8 @@ class TestFallbackAndErrors:
         fu = build_functional_unit("int_add")
         stream = random_stream(12, seed=8)
         stream.name = "fb"
-        trace = CampaignRunner(use_cache=False).characterize(
-            fu, stream, CONDS[:1])
+        trace = CampaignRunner(use_cache=False).run(
+            [CampaignJob(fu, stream, CONDS[:1])])[0]
         out = engine.predict_batch(_requests(stream, CONDS[0]))
         served = np.array([p.delay_ps for p in out[1:]], dtype=np.float32)
         np.testing.assert_array_equal(served, trace.delays[0])

@@ -7,7 +7,7 @@ import pytest
 
 from repro.circuits import build_functional_unit
 from repro.core import TEVoT, build_training_set
-from repro.flow import CampaignRunner
+from repro.flow import CampaignJob, CampaignRunner
 from repro.serve import (
     ModelRegistry,
     PredictionEngine,
@@ -27,7 +27,8 @@ def serving(tmp_path_factory):
     fu = build_functional_unit("int_add", width=8)
     stream = random_stream(60, operand_width=8, seed=0)
     stream.name = "srv_train"
-    trace = CampaignRunner(use_cache=False).characterize(fu, stream, [COND])
+    trace = CampaignRunner(use_cache=False).run(
+        [CampaignJob(fu, stream, [COND])])[0]
     model = TEVoT(operand_width=8)
     X, y = build_training_set(stream, [COND], trace.delays, spec=model.spec)
     model.fit(X, y)

@@ -77,6 +77,31 @@ class TestRegistry:
         for name in ("levelized", "bitpacked", "compiled", "event"):
             assert get_backend(name).supports_corner_sharding, name
 
+    def test_chunking_capability(self):
+        # the kernel-based engines honor an explicit chunk_cycles; the
+        # cycle-by-cycle event engine must refuse it loudly
+        for name in ("levelized", "bitpacked", "compiled",
+                     "levelized_ref", "bitpacked_ref"):
+            assert get_backend(name).supports_chunking, name
+        assert not get_backend("event").supports_chunking
+        fu, inputs = _fu_inputs("int_add", 4, width=8)
+        delays = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS[:1])
+        with pytest.raises(ValueError, match="chunk_cycles"):
+            get_backend("event").run_delays(fu.netlist, inputs, delays[0],
+                                            chunk_cycles=2)
+
+    def test_reference_backends_bit_identical(self):
+        # the *_ref registrations run the retained per-gate paths and
+        # must agree with the compiled kernels delay for delay
+        fu, inputs = _fu_inputs("int_add", 30, width=8)
+        delays = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
+        ref = get_backend("compiled").run_delays(fu.netlist, inputs,
+                                                 delays).delays
+        for name in ("levelized_ref", "bitpacked_ref"):
+            got = get_backend(name).run_delays(fu.netlist, inputs,
+                                               delays).delays
+            assert got.tobytes() == ref.tobytes(), name
+
     def test_event_backend_declares_all_flags_explicitly(self):
         # satellite regression: absent attrs used to be probed with
         # getattr defaults, so a typo'd flag silently disabled sharding

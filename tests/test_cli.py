@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    build_parser,
+    campaign_spec,
+    main,
+    predict_spec,
+    serve_spec,
+    train_spec,
+)
 
 
 class TestParser:
@@ -138,6 +145,168 @@ class TestStoreCommands:
         assert "dropped 1 throughput-history" in capsys.readouterr().out
         from repro.flow import TraceStore
         assert TraceStore(tmp_path).throughput_history() == {}
+
+
+CONFIG_TOML = """
+[corners]
+voltages = [0.9]
+temperatures = [25.0]
+
+[campaign]
+fus = ["int_add"]
+
+[campaign.stream]
+cycles = 90
+seed = 0
+
+[campaign.shards]
+shard_cycles = 30
+
+[train]
+fu = "int_add"
+max_rows = 500
+
+[train.stream]
+cycles = 60
+seed = 0
+
+[predict]
+fu = "int_add"
+speedup = 0.15
+
+[predict.stream]
+cycles = 40
+seed = 1
+
+[serve]
+port = 0
+max_batch = 16
+"""
+
+
+class TestConfigParity:
+    """--config and the equivalent flags must resolve identically."""
+
+    @pytest.fixture()
+    def config(self, tmp_path):
+        path = tmp_path / "run.toml"
+        path.write_text(CONFIG_TOML)
+        return str(path)
+
+    def _spec(self, resolver, argv):
+        return resolver(build_parser().parse_args(argv))
+
+    def test_campaign_spec_and_cache_key_parity(self, config):
+        from repro.api import Workspace
+
+        from_config = self._spec(campaign_spec,
+                                 ["campaign", "--config", config])
+        from_flags = self._spec(campaign_spec, [
+            "campaign", "--fu", "int_add", "--cycles", "90", "--seed", "0",
+            "--shard-cycles", "30", "--voltages", "0.9",
+            "--temperatures", "25"])
+        assert from_config == from_flags
+        assert from_config.fingerprint() == from_flags.fingerprint()
+        # and the TraceStore key — the acceptance criterion — matches
+        ws = Workspace()
+        (job_a,) = ws.jobs(from_config)
+        (job_b,) = ws.jobs(from_flags)
+        assert job_a.key() == job_b.key()
+
+    def test_train_and_predict_spec_parity(self, config):
+        t_config = self._spec(train_spec, ["train", "--config", config])
+        t_flags = self._spec(train_spec, [
+            "train", "--fu", "int_add", "--cycles", "60", "--seed", "0",
+            "--max-rows", "500", "--voltages", "0.9",
+            "--temperatures", "25"])
+        assert t_config == t_flags
+        p_config = self._spec(predict_spec,
+                              ["predict", "--config", config])
+        p_flags = self._spec(predict_spec, [
+            "predict", "--fu", "int_add", "--speedup", "0.15",
+            "--cycles", "40", "--seed", "1", "--voltages", "0.9",
+            "--temperatures", "25"])
+        assert p_config == p_flags
+
+    def test_serve_spec_parity(self, config):
+        s_config = self._spec(serve_spec, ["serve", "--config", config])
+        s_flags = self._spec(serve_spec, ["serve", "--port", "0",
+                                          "--max-batch", "16"])
+        assert s_config == s_flags
+
+    def test_flags_override_config_fields(self, config):
+        spec = self._spec(campaign_spec, [
+            "campaign", "--config", config, "--cycles", "123"])
+        assert spec.stream.cycles == 123
+        assert spec.stream.seed == 0          # untouched config value
+        assert spec.shards.shard_cycles == 30  # untouched config value
+
+    def test_campaign_runs_from_config(self, config, capsys, tmp_path,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["campaign", "--config", config]) == 0
+        out = capsys.readouterr().out
+        assert "spec[campaign]" in out      # effective spec echoed
+        assert "across 3 shard(s)" in out   # config shard pitch honored
+        # flag-equivalent rerun is a cache hit: byte-identical store key
+        assert main(["campaign", "--fu", "int_add", "--cycles", "90",
+                     "--shard-cycles", "30", "--voltages", "0.9",
+                     "--temperatures", "25"]) == 0
+        assert "1 cached, 0 simulated]" in capsys.readouterr().out
+
+    def test_bad_config_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "run.toml"
+        path.write_text("[compaign]\nfus = ['int_add']\n")
+        assert main(["campaign", "--config", str(path)]) == 2
+        assert "unknown config section" in capsys.readouterr().err
+
+    def test_train_and_predict_require_explicit_fu(self, tmp_path, capsys):
+        # a forgotten --fu must never silently fall back to a default FU
+        assert main(["train", "-o", str(tmp_path / "m.pkl")]) == 2
+        assert "--fu" in capsys.readouterr().err
+        assert main(["predict", "-m", str(tmp_path / "m.pkl")]) == 2
+        assert "--fu" in capsys.readouterr().err
+
+    def test_config_driven_publish(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        registry = tmp_path / "registry"
+        path = tmp_path / "run.toml"
+        path.write_text(f"""
+[corners]
+voltages = [0.9]
+temperatures = [25.0]
+
+[train]
+fu = "int_add"
+publish = true
+registry = "{registry}"
+
+[train.stream]
+cycles = 40
+seed = 0
+""")
+        assert main(["train", "--config", str(path),
+                     "-o", str(tmp_path / "m.pkl")]) == 0
+        assert "published int_add/tevot/v1" in capsys.readouterr().out
+        assert main(["models", "list", "--registry", str(registry)]) == 0
+        assert "int_add/tevot/v1" in capsys.readouterr().out
+
+    def test_pairs_config_rejects_single_axis_override(self, tmp_path,
+                                                       capsys):
+        path = tmp_path / "run.toml"
+        path.write_text("""
+[corners]
+voltages = []
+temperatures = []
+pairs = [[0.81, 0.0], [1.0, 100.0]]
+
+[campaign]
+fus = ["int_add"]
+""")
+        assert main(["campaign", "--config", str(path),
+                     "--temperatures", "25"]) == 2
+        err = capsys.readouterr().err
+        assert "both --voltages and --temperatures" in err
 
 
 class TestModelRegistryCommands:

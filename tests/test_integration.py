@@ -4,9 +4,9 @@ for each functional unit at a tiny scale."""
 import numpy as np
 import pytest
 
+from repro.api import CornerSpec, ExperimentSpec, StreamSpec, Workspace
 from repro.circuits import PAPER_UNITS, build_functional_unit
-from repro.core import run_experiment
-from repro.flow import CampaignRunner
+from repro.flow import CampaignJob, CampaignRunner
 from repro.timing import OperatingCondition, run_sta
 from repro.workloads import stream_for_unit
 
@@ -16,8 +16,12 @@ CONDS = [OperatingCondition(0.81, 0.0), OperatingCondition(1.00, 100.0)]
 @pytest.mark.parametrize("fu_name", PAPER_UNITS)
 def test_full_pipeline_per_unit(fu_name, tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    res = run_experiment(fu_name, conditions=CONDS,
-                         n_train_cycles=120, n_test_cycles=80)
+    spec = ExperimentSpec(
+        fu=fu_name,
+        train_stream=StreamSpec(cycles=120, seed=0, name="random_train"),
+        test_stream=StreamSpec(cycles=80, seed=1, name="random_test"),
+        corners=CornerSpec.from_conditions(CONDS))
+    res = Workspace().experiment(spec)
     summary = res.summary()
     assert set(summary) == {"TEVoT", "Delay-based", "TER-based", "TEVoT-NH"}
     for model, acc in summary.items():
@@ -34,7 +38,8 @@ def test_dynamic_delay_never_exceeds_static(fu_name, tmp_path):
     fu = build_functional_unit(fu_name)
     stream = stream_for_unit(fu_name, 60, seed=5)
     stream.name = f"integ_{fu_name}"
-    trace = CampaignRunner(store=tmp_path).characterize(fu, stream, CONDS)
+    trace = CampaignRunner(store=tmp_path).run(
+        [CampaignJob(fu, stream, CONDS)])[0]
     for k, cond in enumerate(CONDS):
         static = run_sta(fu.netlist, cond).critical_delay
         assert np.all(trace.delays[k] <= static + 1e-2), (fu_name, cond)
