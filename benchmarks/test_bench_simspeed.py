@@ -22,11 +22,20 @@ kernel PR on:
 * **settled-value table** — ``run_values`` throughput (the functional-
   verification pass), where bit-packed level-parallel evaluation wins
   by an order of magnitude.
-* **sharding table** — wall time of one huge single-stream campaign
-  job across worker/shard-grid configurations (cycle shards, corner
-  shards, and mixed), asserting byte-identical stitched delay
-  matrices whatever the configuration.  Scaling is reported, not
-  asserted: CI boxes may have a single core.
+* **sharding table** — cold and warm wall time of one huge
+  single-stream campaign job across worker/shard-grid/pool
+  configurations (persistent warm pool vs the legacy fork-per-batch
+  executor; cycle shards, corner shards, and mixed), reporting the
+  planner's chosen grid and per-shard cold/warm timings, and
+  asserting byte-identical stitched delay matrices whatever the
+  configuration.  Scaling is reported, not asserted: CI boxes may
+  have a single core, where the interesting number is how close the
+  warm pool gets to the inline baseline (the legacy executor
+  historically lost 2-4x here).
+* **packing table** — a 3-job campaign planned per-job vs as one
+  packed batch (:func:`repro.flow.plan_campaign`): with throughput
+  history the packed planner spends the batch shard budget on the
+  long jobs only, cutting per-shard overhead on the short ones.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks every stream and skips the throughput
 floors (keeps the kernels imported, exercised, and parity-checked on
@@ -61,11 +70,12 @@ MIN_KERNEL_SPEEDUP = 5.0
 #: speedup is 4.5-5x on a quiet machine; the asserted floor leaves
 #: headroom because the compiled engine is memory-bandwidth-bound and
 #: shared-VM contention slows it asymmetrically vs the dispatch-bound
-#: per-gate reference.  Losing any one of the structural
+#: per-gate reference (observed as low as 3.5x on a loaded box with
+#: the kernels unchanged).  Losing any one of the structural
 #: optimizations (dead-cone exclusion, level-1 corner collapse,
 #: cache-sized sub-blocks) lands the ratio near 3x and trips this
 #: reliably.
-MIN_KERNEL_SPEEDUP_9C = 3.8
+MIN_KERNEL_SPEEDUP_9C = 3.3
 FLOOR_FU = "int_mul"
 LARGE_FUS = ("int_mul", "fp_mul")  # 3540 / 4182 gates
 
@@ -249,11 +259,26 @@ def _measure_values():
 def test_shard_grid_scaling(benchmark):
     rows = benchmark.pedantic(_measure_sharding, rounds=1, iterations=1)
     rows.insert(0, ["job", f"{SHARD_JOB_CYCLES} cycles",
-                    f"{os.cpu_count()} cpu(s)", "", "", ""])
+                    f"{os.cpu_count()} cpu(s)", "", "", "", "", ""])
     _record(
         "Simspeed - corner x cycle sharding of one int_mul job",
-        format_table(["workers", "shard cycles", "shard corners",
-                      "shards", "wall (s)", "speedup"], rows))
+        format_table(["workers", "pool", "grid", "shards", "cold (s)",
+                      "warm (s)", "speedup", "shard cold/warm (s)"],
+                     rows))
+
+
+def _shard_report(cold_stats, warm_stats):
+    """(grid, per-shard cold/warm) cells from the two runs' stats."""
+    grid = warm_stats.job_grids.get(0)
+    grid_cell = f"{grid[0]}c x {grid[1]}t" if grid else "-"
+    cold = [s.seconds for s in cold_stats.shard_log if s.warm is False]
+    warm = [s.seconds for s in warm_stats.shard_log if s.warm]
+    if not cold:  # legacy/inline paths cannot observe worker state
+        cold = [s.seconds for s in cold_stats.shard_log]
+    if not warm:
+        warm = [s.seconds for s in warm_stats.shard_log]
+    return grid_cell, (f"{sum(cold) / len(cold):.2f}/"
+                       f"{sum(warm) / len(warm):.2f}")
 
 
 def _measure_sharding():
@@ -264,23 +289,127 @@ def _measure_sharding():
 
     rows = []
     reference = None
-    configs = [(1, None, None), (2, None, None), (4, None, None),
-               (2, SHARD_JOB_CYCLES // 8, None),
-               (2, None, 1),                      # corner-parallel
-               (2, SHARD_JOB_CYCLES // 4, 1)]     # full 2-D grid
-    for n_workers, shard_cycles, shard_corners in configs:
-        runner = CampaignRunner(use_cache=False, n_workers=n_workers,
-                                shard_cycles=shard_cycles,
-                                shard_corners=shard_corners)
-        start = time.perf_counter()
-        trace = runner.run([CampaignJob(fu, stream, conditions)])[0]
-        wall = time.perf_counter() - start
+    base_warm = None
+    # (pool label, runner kwargs): the persistent warm pool against the
+    # inline baseline and the legacy fork-per-batch executor
+    configs = [
+        ("inline", dict(n_workers=1)),
+        ("warm", dict(n_workers=2)),
+        ("warm", dict(n_workers=4)),
+        ("fork/batch", dict(n_workers=2, persistent=False)),
+        ("warm", dict(n_workers=2, shard_corners=1)),   # corner-parallel
+        ("warm", dict(n_workers=2, shard_corners=2,
+                      shard_cycles=SHARD_JOB_CYCLES // 4)),  # 2-D grid
+    ]
+    for pool_label, kwargs in configs:
+        with CampaignRunner(use_cache=False, **kwargs) as runner:
+            start = time.perf_counter()
+            trace = runner.run([CampaignJob(fu, stream, conditions)])[0]
+            cold = time.perf_counter() - start
+            cold_stats = runner.stats
+            # second run through the same (now warm) pool: workers hold
+            # the compiled program and the registered payload, tasks are
+            # tiny descriptors
+            start = time.perf_counter()
+            warm_trace = runner.run(
+                [CampaignJob(fu, stream, conditions)])[0]
+            warm = time.perf_counter() - start
+            warm_stats = runner.stats
         if reference is None:
-            reference, base_wall = trace, wall
-        # byte-identical whatever the worker count or shard grid
+            reference, base_warm = trace, warm
+        # byte-identical whatever the worker count, shard grid, or pool
         assert trace.delays.tobytes() == reference.delays.tobytes()
-        rows.append([f"{n_workers}", str(shard_cycles or "auto"),
-                     str(shard_corners or "auto"),
-                     f"{runner.stats.total_shards}", f"{wall:.2f}",
+        assert warm_trace.delays.tobytes() == reference.delays.tobytes()
+        grid_cell, shard_cell = _shard_report(cold_stats, warm_stats)
+        rows.append([f"{kwargs['n_workers']}", pool_label, grid_cell,
+                     f"{warm_stats.total_shards}", f"{cold:.2f}",
+                     f"{warm:.2f}", f"{base_warm / warm:.2f}x",
+                     shard_cell])
+
+    # with throughput history the adaptive planner notices this job is
+    # under TARGET_SHARD_SECONDS and declines to shard it at all — the
+    # warm rerun runs inline even at n_workers=2 (this is what caps the
+    # pool's worst case at ~1x instead of the old 0.4x)
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        with CampaignRunner(store=tmp, n_workers=2) as runner:
+            start = time.perf_counter()
+            trace = runner.run([CampaignJob(fu, stream, conditions)])[0]
+            cold = time.perf_counter() - start
+            cold_stats = runner.stats
+            runner.store.gc(max_bytes=0)
+            start = time.perf_counter()
+            warm_trace = runner.run(
+                [CampaignJob(fu, stream, conditions)])[0]
+            warm = time.perf_counter() - start
+            warm_stats = runner.stats
+    assert trace.delays.tobytes() == reference.delays.tobytes()
+    assert warm_trace.delays.tobytes() == reference.delays.tobytes()
+    grid_cell, shard_cell = _shard_report(cold_stats, warm_stats)
+    rows.append(["2", "warm+hist", grid_cell,
+                 f"{warm_stats.total_shards}", f"{cold:.2f}",
+                 f"{warm:.2f}", f"{base_warm / warm:.2f}x", shard_cell])
+    return rows
+
+
+#: Per-job cycle count of the packing bench.  Sized so that with this
+#: box's throughput history each job's estimate lands between
+#: TARGET_SHARD_SECONDS and twice that: per-job planning then splits
+#: every job into ``n_workers`` shards, while the packed planner sees
+#: the whole batch and covers the pool with (mostly) unsplit jobs.
+PACK_CYCLES = 300 if SMOKE else 100_000
+
+
+@pytest.mark.benchmark(group="simspeed")
+def test_campaign_packing(benchmark):
+    rows = benchmark.pedantic(_measure_packing, rounds=1, iterations=1)
+    rows.insert(0, ["3 jobs", f"int_mul 3 x {PACK_CYCLES} cycles",
+                    f"{os.cpu_count()} cpu(s)", "", ""])
+    _record(
+        "Simspeed - cross-job shard packing of a 3-job campaign",
+        format_table(["workers", "planning", "shards", "wall (s)",
+                      "speedup"], rows))
+
+
+def _measure_packing():
+    import tempfile
+
+    fu = build_functional_unit("int_mul")
+    streams = []
+    for k in range(3):
+        s = stream_for_unit("int_mul", PACK_CYCLES, seed=50 + k)
+        s.name = f"bench_pack_{k}"
+        streams.append(s)
+    conditions = SCALING_CORNER_SETS[3]
+
+    def jobs():
+        return [CampaignJob(fu, s, conditions) for s in streams]
+
+    rows = []
+    reference = None
+    base_wall = None
+    configs = [("per-job", dict(n_workers=1)),
+               ("per-job", dict(n_workers=2, pack_jobs=False)),
+               ("packed", dict(n_workers=2))]
+    for label, kwargs in configs:
+        with tempfile.TemporaryDirectory() as tmp:
+            with CampaignRunner(store=tmp, **kwargs) as runner:
+                # prime: records throughput history (what the packed
+                # planner feeds on) and warms the pool, then evict the
+                # traces so the timed run re-simulates
+                runner.run(jobs())
+                runner.store.gc(max_bytes=0)
+                start = time.perf_counter()
+                traces = runner.run(jobs())
+                wall = time.perf_counter() - start
+                stats = runner.stats
+        blobs = [t.delays.tobytes() for t in traces]
+        if reference is None:
+            reference, base_wall = blobs, wall
+        assert blobs == reference  # packing never affects results
+        if label == "packed":
+            assert stats.packed, "history present, batch must pack"
+        rows.append([f"{kwargs['n_workers']}", label,
+                     f"{stats.total_shards}", f"{wall:.2f}",
                      f"{base_wall / wall:.2f}x"])
     return rows

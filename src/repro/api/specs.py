@@ -434,7 +434,14 @@ class SimSpec(Spec):
 
 @dataclass(frozen=True)
 class ShardSpec(Spec):
-    """Worker-pool and shard-grid configuration for campaigns."""
+    """Worker-pool and shard-grid configuration for campaigns.
+
+    ``persistent`` (default True) runs multi-worker campaigns on the
+    Workspace's long-lived warm :class:`~repro.flow.pool.WorkerPool`
+    instead of a per-batch process pool; ``threads`` adds in-worker
+    thread parallelism over independent logic levels on backends with
+    ``supports_threads``.  Neither ever affects results.
+    """
 
     _SECTION = "shards"
 
@@ -442,12 +449,16 @@ class ShardSpec(Spec):
     shard_cycles: Optional[int] = None
     shard_corners: Optional[int] = None
     adaptive_history: bool = True
+    persistent: bool = True
+    threads: int = 1
 
     def __post_init__(self) -> None:
         _require_positive_int("workers", self.workers)
         _optional_positive_int("shard_cycles", self.shard_cycles)
         _optional_positive_int("shard_corners", self.shard_corners)
         _require_bool("adaptive_history", self.adaptive_history)
+        _require_bool("persistent", self.persistent)
+        _require_positive_int("threads", self.threads)
 
 
 # -- command specs ------------------------------------------------------------

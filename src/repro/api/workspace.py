@@ -39,6 +39,7 @@ from ..flow.campaign import (
     CampaignStats,
     error_free_clocks,
 )
+from ..flow.pool import WorkerPool
 from ..flow.tracestore import TraceStore
 from ..sim.dta import DelayTrace
 from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
@@ -104,6 +105,12 @@ class PredictResult:
 class Workspace:
     """Owns stores + runners; executes specs.
 
+    Also owns the persistent warm :class:`~repro.flow.pool.WorkerPool`
+    used by multi-worker campaigns (``ShardSpec(persistent=True)``),
+    shared across every spec run so worker program caches stay warm
+    between calls.  Use the workspace as a context manager (or call
+    :meth:`close`) to reap the workers deterministically.
+
     Parameters
     ----------
     root:
@@ -132,6 +139,38 @@ class Workspace:
         self._registry = registry
         self.library = library
         self._fus: Dict[str, FunctionalUnit] = {}
+        self._pools: Dict[int, WorkerPool] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def pool(self, workers: int) -> WorkerPool:
+        """The workspace-owned persistent :class:`WorkerPool` of this
+        width (created on first use, shared by every spec run until
+        :meth:`close`).  Sharing the pool across campaigns is what
+        keeps worker program caches warm between ``characterize`` /
+        ``train`` / ``predict`` calls on the same FUs."""
+        pool = self._pools.get(workers)
+        if pool is None or pool.closed:
+            pool = WorkerPool(workers)
+            self._pools[workers] = pool
+        return pool
+
+    def close(self) -> None:
+        """Reap every workspace-owned worker pool (idempotent).
+
+        Also runs on ``with Workspace(...) as ws:`` exit; pools are
+        additionally backstopped by a GC finalizer, so leaking a
+        Workspace cannot orphan worker processes.
+        """
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- owned components -----------------------------------------------------
 
@@ -177,6 +216,8 @@ class Workspace:
         sim = sim or SimSpec()
         shards = shards or ShardSpec()
         runner_store = store if store is not None else self._store
+        pool = (self.pool(shards.workers)
+                if shards.persistent and shards.workers > 1 else None)
         # compiled=False is an audit of the fast kernels: reading a
         # (bit-identical, compiled-produced) cache entry would skip the
         # reference simulation entirely, so audits always run fresh
@@ -188,7 +229,10 @@ class Workspace:
             shard_cycles=shards.shard_cycles,
             shard_corners=shards.shard_corners,
             chunk_cycles=sim.chunk_cycles,
-            adaptive_history=shards.adaptive_history)
+            adaptive_history=shards.adaptive_history,
+            persistent=shards.persistent,
+            threads=shards.threads,
+            pool=pool)
 
     # -- campaign -------------------------------------------------------------
 

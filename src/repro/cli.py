@@ -113,6 +113,15 @@ def _add_shard_args(parser: argparse.ArgumentParser) -> None:
                         const=True, default=None,
                         help="plan shard grids statically, ignoring the "
                              "trace store's throughput history")
+    parser.add_argument("--threads", type=_positive_int, default=None,
+                        help="in-worker thread count for the arrival "
+                             "kernel on backends that support it "
+                             "(never affects results)")
+    parser.add_argument("--no-persistent-pool", action="store_const",
+                        const=True, default=None,
+                        help="run multi-worker campaigns on a per-batch "
+                             "process pool instead of the persistent "
+                             "warm worker pool")
 
 
 # -- flag -> spec override application ----------------------------------------
@@ -170,6 +179,10 @@ def _apply_shards(spec, args):
         changes["shard_corners"] = args.shard_corners
     if args.no_adaptive_history:
         changes["adaptive_history"] = False
+    if args.threads is not None:
+        changes["threads"] = args.threads
+    if args.no_persistent_pool:
+        changes["persistent"] = False
     return spec.replace(shards=spec.shards.replace(**changes)) \
         if changes else spec
 
@@ -301,7 +314,8 @@ def cmd_sta(args) -> int:
 def cmd_characterize(args) -> int:
     spec = characterize_spec(args)
     _echo_spec("characterize", spec)
-    result = Workspace().characterize(spec)
+    with Workspace() as workspace:
+        result = workspace.characterize(spec)
     trace = result.traces[0]
     fu_name = spec.resolved_fus()[0]
     print(f"dynamic delay of {fu_name} over {spec.stream.cycles} "
@@ -315,13 +329,16 @@ def cmd_characterize(args) -> int:
 def cmd_campaign(args) -> int:
     spec = campaign_spec(args)
     _echo_spec("campaign", spec)
-    result = Workspace().characterize(spec)
+    with Workspace() as workspace:
+        result = workspace.characterize(spec)
     stats = result.stats
     summary = f"[{stats.hits} cached, {stats.misses} simulated"
     if stats.misses:
         summary += (f" in {stats.wall_seconds:.2f}s wall / "
                     f"{stats.sim_seconds:.2f}s sim across "
                     f"{stats.total_shards} shard(s)")
+        if stats.packed:
+            summary += ", cross-job packed"
     summary += "]"
     print(f"campaign: {len(result.jobs)} job(s), "
           f"{spec.corners.n_corners} corner(s), "
@@ -351,7 +368,8 @@ def cmd_train(args) -> int:
               "config)", file=sys.stderr)
         return 2
     _echo_spec("train", spec)
-    result = Workspace().train(spec)
+    with Workspace() as workspace:
+        result = workspace.train(spec)
     print(f"trained on {result.n_rows} rows; saved to {result.path}")
     if result.record is not None:
         print(f"published {result.record.model_id} to {spec.registry}")
@@ -365,7 +383,8 @@ def cmd_predict(args) -> int:
               "config)", file=sys.stderr)
         return 2
     _echo_spec("predict", spec)
-    result = Workspace().predict(spec)
+    with Workspace() as workspace:
+        result = workspace.predict(spec)
     print(f"estimated TER at +{spec.speedup:.0%} overclock:")
     for cond, ter in result.ters.items():
         print(f"  {cond.label}: {ter*100:6.2f}%")

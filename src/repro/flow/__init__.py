@@ -8,12 +8,15 @@ from .campaign import (
     CampaignJob,
     CampaignRunner,
     CampaignStats,
+    ShardExec,
     characterize,
     error_free_clocks,
+    plan_campaign,
     plan_cycle_shards,
     plan_shards,
 )
 from .manifest import read_manifest, stable_fingerprint, write_manifest
+from .pool import JobProgram, PoolRunResult, TaskResult, WorkerPool
 from .tracestore import (
     GCReport,
     TraceStore,
@@ -29,13 +32,19 @@ __all__ = [
     "DEFAULT_BACKEND",
     "GCReport",
     "ImplementedDesign",
+    "JobProgram",
     "MIN_SHARD_CYCLES",
+    "PoolRunResult",
+    "ShardExec",
+    "TaskResult",
     "TraceStore",
+    "WorkerPool",
     "characterize",
     "default_cache_dir",
     "error_free_clocks",
     "implement",
     "library_fingerprint",
+    "plan_campaign",
     "plan_cycle_shards",
     "plan_shards",
     "TARGET_SHARD_SECONDS",

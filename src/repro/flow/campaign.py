@@ -9,21 +9,25 @@ and a :class:`CampaignRunner` executes a batch of jobs:
 * results persist in a versioned
   :class:`~repro.flow.tracestore.TraceStore` keyed by netlist, stream,
   corners, **and library**, so reruns are cache hits;
-* cache misses fan out over a ``concurrent.futures`` process pool when
-  ``n_workers > 1`` — across jobs *and*, within a job, across a 2-D
-  **corner × cycle shard grid** (:func:`plan_shards`): cycle ``t`` of
-  the DTA arrival pass depends only on input rows ``t`` and ``t+1``,
-  and corner rows of the delay matrix are computed independently, so a
-  job splits along either axis (corners keep wide grids parallel even
-  when streams are short) and the per-shard delay matrices are
-  stitched back into place — results are bit-identical for every
-  ``n_workers``/shard-shape configuration;
+* cache misses fan out over a persistent warm
+  :class:`~repro.flow.pool.WorkerPool` when ``n_workers > 1`` (a
+  per-batch ``concurrent.futures`` pool behind ``persistent=False``) —
+  across jobs *and*, within a job, across a 2-D **corner × cycle shard
+  grid** (:func:`plan_shards`): cycle ``t`` of the DTA arrival pass
+  depends only on input rows ``t`` and ``t+1``, and corner rows of the
+  delay matrix are computed independently, so a job splits along
+  either axis (corners keep wide grids parallel even when streams are
+  short) and the per-shard delay matrices are stitched back into place
+  — results are bit-identical for every ``n_workers``/shard-shape/
+  pool configuration;
 * the auto-sizer is **adaptive**: per-(FU, backend, corner-count)
   throughput observed on earlier runs is persisted in the trace-store
   manifest (:meth:`TraceStore.record_throughput`) and used to pick a
   shard count that equalizes worker runtimes; with no usable history
   (cold store, corrupted section, cache disabled) it falls back to the
-  static heuristic;
+  static heuristic; multi-job batches with history for every job are
+  planned as one unit (:func:`plan_campaign`), packing the batch-wide
+  shard budget onto the longest jobs;
 * the simulation backend is pluggable
   (:func:`repro.sim.engine.get_backend`); the default is the compiled
   level-parallel engine, which is delay-identical to ``levelized`` and
@@ -39,6 +43,8 @@ thin single-job compatibility shims emitting
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -55,6 +61,7 @@ from ..sim.engine import DEFAULT_BACKEND, get_backend
 from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
 from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
+from .pool import JobProgram, WorkerPool
 from .tracestore import TraceStore, trace_key
 
 __all__ = [
@@ -63,9 +70,11 @@ __all__ = [
     "CampaignRunner",
     "CampaignStats",
     "MIN_SHARD_CYCLES",
+    "ShardExec",
     "TARGET_SHARD_SECONDS",
     "characterize",
     "error_free_clocks",
+    "plan_campaign",
     "plan_cycle_shards",
     "plan_shards",
 ]
@@ -102,6 +111,31 @@ def _even_bounds(length: int, parts: int) -> List[Tuple[int, int]]:
         bounds.append((start, stop))
         start = stop
     return bounds
+
+
+def _grid_for_target(n_cycles: int, n_corners: int, target: int, *,
+                     cycle_shardable: bool = True,
+                     corner_shardable: bool = True) -> List[Shard]:
+    """A corner × cycle grid of (at most) ``target`` shards.
+
+    Shared gridding policy of the per-job and cross-job planners:
+    cycle splits are preferred (corner shards repeat the corner-
+    independent settled-value pass) and never go below
+    :data:`MIN_SHARD_CYCLES`; floor division keeps the grid at or
+    under ``target``.
+    """
+    max_cycle_splits = (max(1, n_cycles // MIN_SHARD_CYCLES)
+                        if cycle_shardable else 1)
+    max_corner_splits = n_corners if corner_shardable else 1
+    target = min(target, max_cycle_splits * max_corner_splits)
+    if target <= 1:
+        return [(0, n_corners, 0, n_cycles)]
+    cycle_splits = min(target, max_cycle_splits)
+    corner_splits = min(max_corner_splits, max(1, target // cycle_splits))
+    cycle_bounds = _even_bounds(n_cycles, cycle_splits)
+    corner_bounds = _even_bounds(n_corners, corner_splits)
+    return [(c0, c1, t0, t1) for c0, c1 in corner_bounds
+            for t0, t1 in cycle_bounds]
 
 
 def plan_shards(n_cycles: int, n_corners: int = 1, *,
@@ -180,19 +214,13 @@ def plan_shards(n_cycles: int, n_corners: int = 1, *,
                          max(1, round(est_seconds / TARGET_SHARD_SECONDS)))
         if target > 1:  # aim at a multiple of n_workers so runtimes equalize
             target = -(-target // n_workers) * n_workers
-        target = min(target, max_cycle_splits * max_corner_splits)
-        if target <= 1:
-            return [(0, n_corners, 0, n_cycles)]
-        cycle_splits = min(target, max_cycle_splits)
-        # floor division keeps the grid at or under target (the hard
-        # shards-per-worker cap); a 2-D grid cannot always hit an exact
-        # worker multiple, undershooting only costs a little slack
-        corner_splits = min(max_corner_splits,
-                            max(1, target // cycle_splits))
-        cycle_bounds = _even_bounds(n_cycles, cycle_splits)
-        corner_bounds = _even_bounds(n_corners, corner_splits)
-        return [(c0, c1, t0, t1) for c0, c1 in corner_bounds
-                for t0, t1 in cycle_bounds]
+        # floor division inside the gridder keeps the grid at or under
+        # target (the hard shards-per-worker cap); a 2-D grid cannot
+        # always hit an exact worker multiple, undershooting only costs
+        # a little slack
+        return _grid_for_target(n_cycles, n_corners, target,
+                                cycle_shardable=cycle_shardable,
+                                corner_shardable=corner_shardable)
 
     # static heuristic (cold): legacy fixed-pitch cycle shards, corner
     # splits only when the cycle axis alone cannot feed the pool
@@ -223,6 +251,79 @@ def plan_cycle_shards(n_cycles: int, shard_cycles: Optional[int],
                         n_workers=n_workers)]
 
 
+def plan_campaign(jobs: Sequence[Tuple[int, int]], n_workers: int, *,
+                  corner_cycles_per_s: Sequence[Optional[float]],
+                  cycle_shardable: bool = True,
+                  corner_shardable: bool = True) -> List[List[Shard]]:
+    """Cross-job packed shard plans for a whole campaign batch.
+
+    ``jobs`` lists each pending job's ``(n_cycles, n_corners)`` grid;
+    ``corner_cycles_per_s`` its persisted throughput history (the
+    adaptive planner's EWMA).  With usable history for *every* job the
+    batch is planned as one unit: the estimated total runtime sets a
+    batch-wide shard budget targeting :data:`TARGET_SHARD_SECONDS` per
+    shard (capped at ``4 * n_workers``, floored so an estimated-busy
+    pool has at least one shard per worker), which is then apportioned
+    greedily — always splitting the job with the largest remaining
+    per-shard estimate — so short jobs stay whole and long jobs absorb
+    the splits.  A batch estimated under ``2 *
+    TARGET_SHARD_SECONDS`` never splits at all: the jobs themselves
+    are the parallelism.
+
+    Any job without usable history falls back to per-job
+    :func:`plan_shards` planning (which handles its own cold
+    heuristic), keeping the two planners' behavior continuous.
+    Returns one shard list per job, aligned with ``jobs``.
+    """
+    grids = [(int(t), int(c)) for t, c in jobs]
+    for t, c in grids:
+        if t < 1:
+            raise ValueError("n_cycles must be >= 1")
+        if c < 1:
+            raise ValueError("n_corners must be >= 1")
+    cps = list(corner_cycles_per_s)
+    if len(cps) != len(grids):
+        raise ValueError("corner_cycles_per_s must align with jobs")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if n_workers == 1:
+        return [[(0, c, 0, t)] for t, c in grids]
+    if not all(v is not None and v > 0 and np.isfinite(v) for v in cps):
+        return [plan_shards(t, c, n_workers=n_workers,
+                            corner_cycles_per_s=v,
+                            cycle_shardable=cycle_shardable,
+                            corner_shardable=corner_shardable and c > 1)
+                for (t, c), v in zip(grids, cps)]
+
+    est = [t * c / v for (t, c), v in zip(grids, cps)]
+    total = float(sum(est))
+    caps = []
+    for t, c in grids:
+        max_cy = max(1, t // MIN_SHARD_CYCLES) if cycle_shardable else 1
+        max_co = c if corner_shardable else 1
+        caps.append(max_cy * max_co)
+    counts = [1] * len(grids)
+    if total >= 2 * TARGET_SHARD_SECONDS:
+        target_total = min(_MAX_SHARDS_PER_WORKER * n_workers,
+                           max(1, round(total / TARGET_SHARD_SECONDS)))
+        target_total = max(target_total, min(n_workers, sum(caps)))
+        while sum(counts) < target_total:
+            best, best_load = -1, 0.0
+            for j in range(len(grids)):
+                if counts[j] >= caps[j]:
+                    continue
+                load = est[j] / counts[j]
+                if load > best_load:
+                    best, best_load = j, load
+            if best < 0:
+                break  # every job at its axis cap
+            counts[best] += 1
+    return [_grid_for_target(t, c, counts[j],
+                             cycle_shardable=cycle_shardable,
+                             corner_shardable=corner_shardable)
+            for j, (t, c) in enumerate(grids)]
+
+
 @dataclass
 class CampaignJob:
     """One characterization work item."""
@@ -235,6 +336,25 @@ class CampaignJob:
     def key(self, delay_model: str = "dta") -> str:
         return trace_key(self.fu, self.stream, list(self.conditions),
                          self.library, delay_model)
+
+
+@dataclass
+class ShardExec:
+    """Execution record of one shard (an entry of
+    :attr:`CampaignStats.shard_log`)."""
+
+    #: job index in the ``run()`` batch.
+    job: int
+    #: shard bounds (corner_start, corner_stop, cycle_start, cycle_stop).
+    shard: Shard
+    #: worker-side simulation seconds for this shard.
+    seconds: float
+    #: whether the executing worker already held the netlist's compiled
+    #: program (persistent-pool runs only; None on the legacy/inline
+    #: paths, which cannot observe worker state).
+    warm: Optional[bool] = None
+    #: pool slot that ran the shard (persistent-pool runs only).
+    worker: Optional[int] = None
 
 
 @dataclass
@@ -262,6 +382,13 @@ class CampaignStats:
     job_cycles: Dict[int, int] = field(default_factory=dict)
     #: job index -> corner-grid size.
     job_corners: Dict[int, int] = field(default_factory=dict)
+    #: job index -> (corner_splits, cycle_splits) of the planned grid.
+    job_grids: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: per-shard execution records, in dispatch order.
+    shard_log: List[ShardExec] = field(default_factory=list)
+    #: True when the batch was planned by the cross-job packer
+    #: (:func:`plan_campaign`) instead of per-job :func:`plan_shards`.
+    packed: bool = False
 
     @property
     def total(self) -> int:
@@ -282,18 +409,20 @@ class CampaignStats:
 
 
 def _run_payload(payload: Tuple[Netlist, np.ndarray, np.ndarray, str,
-                                Optional[int]]
+                                Optional[int], Optional[int]]
                  ) -> Tuple[np.ndarray, float]:
     """Worker body: simulate one shard and return (delays, seconds).
 
     Module-level (and free of FU reference models, which close over
     lambdas) so it pickles across process boundaries.
     """
-    netlist, inputs, delay_matrix, backend_name, chunk_cycles = payload
+    netlist, inputs, delay_matrix, backend_name, chunk_cycles, \
+        threads = payload
     start = time.perf_counter()
     backend = get_backend(backend_name)
     delays = backend.run_delays(netlist, inputs, delay_matrix,
-                                chunk_cycles=chunk_cycles).delays
+                                chunk_cycles=chunk_cycles,
+                                threads=threads).delays
     return delays, time.perf_counter() - start
 
 
@@ -332,6 +461,29 @@ class CampaignRunner:
         throughput history (and records none), always planning with
         the static heuristic — for reproducible shard grids across
         machines.
+    persistent:
+        Execute multi-worker batches on a persistent
+        :class:`~repro.flow.pool.WorkerPool` (warm program caches,
+        shared-memory result return) instead of a per-batch
+        ``ProcessPoolExecutor``.  The pool outlives ``run()`` calls —
+        use ``close()`` (or the runner as a context manager, or a
+        pool-owning :class:`~repro.api.Workspace`) to reap workers.
+        False restores the legacy executor path.  Never affects
+        results.
+    threads:
+        In-worker thread count for the arrival kernel, forwarded to
+        the backend's ``run_delays`` (backends with
+        ``supports_threads``); 1 (default) runs single-threaded.
+        Never affects results.
+    pack_jobs:
+        Plan multi-job batches as one unit with :func:`plan_campaign`
+        (cross-job shard packing) whenever every pending job has
+        usable throughput history; False always plans per job.
+    pool:
+        An externally owned :class:`~repro.flow.pool.WorkerPool` to
+        run on (e.g. shared across runners by a Workspace).  The
+        runner never closes a pool it was given; without one it
+        lazily creates and owns a pool sized ``n_workers``.
     """
 
     def __init__(self, backend: str = DEFAULT_BACKEND,
@@ -340,7 +492,11 @@ class CampaignRunner:
                  shard_cycles: Optional[int] = None,
                  shard_corners: Optional[int] = None,
                  chunk_cycles: Optional[int] = None,
-                 adaptive_history: bool = True) -> None:
+                 adaptive_history: bool = True,
+                 persistent: bool = True,
+                 threads: int = 1,
+                 pack_jobs: bool = True,
+                 pool: Optional[WorkerPool] = None) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if shard_cycles is not None and shard_cycles < 1:
@@ -349,12 +505,18 @@ class CampaignRunner:
             raise ValueError("shard_corners must be >= 1")
         if chunk_cycles is not None and chunk_cycles < 1:
             raise ValueError("chunk_cycles must be >= 1")
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
         self.backend_name = backend
         self.backend = get_backend(backend)
         if chunk_cycles is not None and not self.backend.supports_chunking:
             raise ValueError(
                 f"backend {backend!r} does not honor chunk_cycles "
                 f"(supports_chunking=False)")
+        if threads > 1 and not self.backend.supports_threads:
+            raise ValueError(
+                f"backend {backend!r} does not honor threads "
+                f"(supports_threads=False)")
         if not use_cache:
             self.store: Optional[TraceStore] = None
         elif isinstance(store, TraceStore):
@@ -366,7 +528,37 @@ class CampaignRunner:
         self.shard_corners = shard_corners
         self.chunk_cycles = chunk_cycles
         self.adaptive_history = adaptive_history
+        self.persistent = persistent
+        self.threads = threads
+        self.pack_jobs = pack_jobs
+        self._pool = pool
+        self._owns_pool = False
         self.stats = CampaignStats()
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool(self.n_workers)
+            self._owns_pool = True
+        return self._pool
+
+    def close(self) -> None:
+        """Reap the runner-owned worker pool, if any (idempotent).
+
+        Externally supplied pools are left running — their owner
+        closes them.
+        """
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+        self._pool = None
+        self._owns_pool = False
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _plan_job(self, n_cycles: int, n_corners: int,
                   fu_name: str) -> List[Shard]:
@@ -389,6 +581,30 @@ class CampaignRunner:
             corner_cycles_per_s=history,
             cycle_shardable=cycle_ok,
             corner_shardable=corner_ok)
+
+    def _plan_batch(self, grids: List[Tuple[int, int]],
+                    fu_names: List[str]
+                    ) -> Tuple[List[List[Shard]], bool]:
+        """Shard plans for every pending job: cross-job packed
+        (:func:`plan_campaign`) when enabled and every job has usable
+        throughput history, per-job :func:`plan_shards` otherwise.
+        Returns ``(plans, packed)``."""
+        if (self.pack_jobs and len(grids) > 1 and self.n_workers > 1
+                and self.shard_cycles is None
+                and self.shard_corners is None
+                and self.adaptive_history and self.store is not None):
+            history = self.store.get_throughput_many(
+                [(name, self.backend_name, c)
+                 for name, (_, c) in zip(fu_names, grids)])
+            if all(h is not None for h in history):
+                plans = plan_campaign(
+                    grids, self.n_workers,
+                    corner_cycles_per_s=history,
+                    cycle_shardable=self.backend.supports_cycle_sharding,
+                    corner_shardable=self.backend.supports_corner_sharding)
+                return plans, True
+        return ([self._plan_job(t, c, name)
+                 for (t, c), name in zip(grids, fu_names)], False)
 
     def run(self, jobs: Sequence[CampaignJob]) -> List[DelayTrace]:
         """Execute a batch of jobs, in order, returning their traces.
@@ -420,43 +636,58 @@ class CampaignRunner:
 
         if pending:
             batch_start = time.perf_counter()
-            # one task per (job, shard); results stitched below
-            tasks: List[Tuple[int, Tuple[Netlist, np.ndarray,
-                                         np.ndarray, str]]] = []
-            job_plans: List[List[Shard]] = []
-            job_grids: List[Tuple[int, int]] = []
-            for pos, (i, job, key, inputs) in enumerate(pending):
+            delay_matrices: List[np.ndarray] = []
+            grids: List[Tuple[int, int]] = []  # (n_cycles, n_corners)
+            for i, job, key, inputs in pending:
                 delay_matrix = job.library.delay_matrix(
                     job.fu.netlist, list(job.conditions))
-                n_cycles = inputs.shape[0] - 1
-                n_corners = delay_matrix.shape[0]
-                shards = self._plan_job(n_cycles, n_corners, job.fu.name)
-                job_plans.append(shards)
-                job_grids.append((n_corners, n_cycles))
-                for c0, c1, t0, t1 in shards:
-                    tasks.append((pos, (job.fu.netlist,
-                                        inputs[t0:t1 + 1],
-                                        delay_matrix[c0:c1],
-                                        self.backend_name,
-                                        self.chunk_cycles)))
+                delay_matrices.append(delay_matrix)
+                grids.append((inputs.shape[0] - 1, delay_matrix.shape[0]))
+            job_plans, self.stats.packed = self._plan_batch(
+                grids, [job.fu.name for _, job, _, _ in pending])
 
-            payloads = [payload for _, payload in tasks]
-            if self.n_workers > 1 and len(payloads) > 1:
-                workers = min(self.n_workers, len(payloads))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    outcomes = list(pool.map(_run_payload, payloads))
-            else:
-                outcomes = [_run_payload(p) for p in payloads]
+            # one task per (job, shard); results stitched below
+            tasks: List[Tuple[int, int, Shard]] = []  # (pos, shard_idx, shard)
+            for pos, shards in enumerate(job_plans):
+                for s_idx, shard in enumerate(shards):
+                    tasks.append((pos, s_idx, shard))
 
-            parts: List[List[np.ndarray]] = [[] for _ in pending]
+            parts: List[List[Optional[np.ndarray]]] = [
+                [None] * len(shards) for shards in job_plans]
+            whole: List[Optional[np.ndarray]] = [None] * len(pending)
             seconds = [0.0] * len(pending)
-            for (pos, _), (delays, secs) in zip(tasks, outcomes):
-                parts[pos].append(delays)  # tasks are in plan order
-                seconds[pos] += secs
+            multi = self.n_workers > 1 and len(tasks) > 1
+
+            if multi and self.persistent:
+                self._run_on_pool(pending, delay_matrices, tasks,
+                                  parts, whole, seconds)
+            else:
+                payloads = []
+                for pos, _, (c0, c1, t0, t1) in tasks:
+                    _, job, _, inputs = pending[pos]
+                    payloads.append((job.fu.netlist, inputs[t0:t1 + 1],
+                                     delay_matrices[pos][c0:c1],
+                                     self.backend_name, self.chunk_cycles,
+                                     self.threads))
+                if multi:
+                    workers = min(self.n_workers, len(payloads))
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        outcomes = list(pool.map(_run_payload, payloads))
+                else:
+                    outcomes = [_run_payload(p) for p in payloads]
+                for (pos, s_idx, shard), (delays, secs) in zip(tasks,
+                                                               outcomes):
+                    parts[pos][s_idx] = delays
+                    seconds[pos] += secs
+                    self.stats.shard_log.append(ShardExec(
+                        job=pending[pos][0], shard=shard, seconds=secs))
+
             for pos, (i, job, key, inputs) in enumerate(pending):
                 shards = job_plans[pos]
-                n_corners, n_cycles = job_grids[pos]
-                if len(shards) == 1:
+                n_cycles, n_corners = grids[pos]
+                if whole[pos] is not None:
+                    delays = whole[pos]
+                elif len(shards) == 1:
                     delays = parts[pos][0]
                 else:
                     delays = np.empty((n_corners, n_cycles),
@@ -481,9 +712,69 @@ class CampaignRunner:
                 self.stats.job_shards[i] = len(shards)
                 self.stats.job_cycles[i] = n_cycles
                 self.stats.job_corners[i] = n_corners
+                self.stats.job_grids[i] = (
+                    len({(c0, c1) for c0, c1, _, _ in shards}),
+                    len({(t0, t1) for _, _, t0, t1 in shards}))
             self.stats.sim_seconds = sum(seconds)
             self.stats.wall_seconds = time.perf_counter() - batch_start
         return results  # type: ignore[return-value]
+
+    def _run_on_pool(self, pending, delay_matrices, tasks, parts, whole,
+                     seconds) -> None:
+        """Execute the task list on the persistent warm pool.
+
+        Registers each pending job once (content-fingerprinted so
+        reruns hit the workers' warm caches), dispatches shard
+        descriptors longest-first (LPT keeps stragglers off the tail),
+        and collects results into ``parts``/``whole``/``seconds`` —
+        exactly the structures the legacy path fills, so stitching is
+        shared.
+        """
+        pool = self._ensure_pool()
+        progs: Dict[str, JobProgram] = {}
+        pos_key: List[str] = []
+        nl_cache: Dict[int, Tuple[str, bytes]] = {}
+        for pos, (i, job, key, inputs) in enumerate(pending):
+            netlist = job.fu.netlist
+            cached = nl_cache.get(id(netlist))
+            if cached is None:
+                blob = pickle.dumps(netlist,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+                cached = (hashlib.sha1(blob).hexdigest(), blob)
+                nl_cache[id(netlist)] = cached
+            nl_key, nl_bytes = cached
+            job_key = (f"{key}:{self.backend_name}:"
+                       f"{self.chunk_cycles}:{self.threads}")
+            pos_key.append(job_key)
+            if job_key not in progs:  # duplicate jobs share one program
+                progs[job_key] = JobProgram(
+                    netlist=netlist, netlist_key=nl_key,
+                    inputs=inputs, delay_matrix=delay_matrices[pos],
+                    backend=self.backend_name,
+                    chunk_cycles=self.chunk_cycles,
+                    threads=self.threads,
+                    netlist_bytes=nl_bytes)
+
+        # longest-processing-time-first dispatch order
+        order = sorted(
+            range(len(tasks)),
+            key=lambda k: -((tasks[k][2][1] - tasks[k][2][0])
+                            * (tasks[k][2][3] - tasks[k][2][2])))
+        res = pool.run_tasks(progs,
+                             [(pos_key[tasks[k][0]], tasks[k][2])
+                              for k in order])
+        for j, k in enumerate(order):
+            pos, s_idx, shard = tasks[k]
+            tr = res.tasks[j]
+            parts[pos][s_idx] = tr.delays
+            seconds[pos] += tr.seconds
+            self.stats.shard_log.append(ShardExec(
+                job=pending[pos][0], shard=shard, seconds=tr.seconds,
+                warm=tr.warm, worker=tr.worker))
+        for pos, job_key in enumerate(pos_key):
+            stitched = res.job_delays.get(job_key)
+            if stitched is not None:
+                whole[pos] = stitched
 
     def characterize(self, fu: FunctionalUnit, stream: OperandStream,
                      conditions: Sequence[OperatingCondition],

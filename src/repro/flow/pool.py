@@ -1,0 +1,625 @@
+"""Persistent warm worker pool for campaign shard execution.
+
+The legacy ``ProcessPoolExecutor`` path re-pickles the netlist, the
+whole input stream, and the delay matrix for *every* shard, and each
+worker re-lowers the program from scratch — which is why the simspeed
+sharding bench historically showed every multi-worker config *losing*
+to a single worker.  This module replaces it with long-lived workers
+that amortize all of that:
+
+* **Warm program state.**  Workers are forked once per pool and cache
+  the unpickled netlist (and therefore the lowered
+  :class:`~repro.sim.compile.CompiledNetlist`, its delay tiles, and its
+  corner-major arrival scratch — all single-slot-cached on the program)
+  per *netlist fingerprint*, and the shard payload (input stream +
+  delay matrix) per *job fingerprint*.  Registrations are delivered
+  lazily, once per (worker, fingerprint); after that a task is a tiny
+  ``(job_key, corner_range, cycle_range)`` descriptor.
+* **Shared-memory results.**  The parent preallocates one
+  ``multiprocessing.shared_memory`` segment per job holding the full
+  stitched ``(n_corners, n_cycles)`` float32 delay matrix; each worker
+  writes its shard directly at its corner × cycle offset, so stitching
+  is a single parent-side copy instead of per-shard pickle + assemble.
+  Registration payloads ride the same transport (one write, N reads).
+* **Pickle fallback.**  When shared memory is unavailable (no
+  ``fork`` start method, ``/dev/shm`` unusable, ``REPRO_POOL_NO_SHM``)
+  or a payload is below the crossover threshold, blobs travel through
+  the worker pipes and shard results return pickled — bit-identical
+  either way.
+* **Crash robustness.**  A worker that dies mid-task (OOM-killed,
+  segfault) is respawned in place and its task reissued; a fresh
+  worker starts with an empty registration set, so re-registration is
+  automatic.  A task that repeatedly kills workers raises instead of
+  looping.  ``close()`` (also via ``with`` or garbage collection —
+  a ``weakref.finalize`` backstop) reaps every worker and unlinks
+  every segment, so nothing survives the parent.
+
+The pool is deliberately backend-agnostic: a task runs
+``get_backend(name).run_delays`` on the registered payload slice, so
+every capability-gated backend (including the event engine's
+corner-only sharding) works unchanged.  Fork-started workers also
+inherit any programs already compiled in the parent, making the first
+shard of a parent-warm netlist warm too.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import secrets
+import time
+import traceback
+import weakref
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from multiprocessing import connection, get_context
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - stdlib since 3.8, but keep a soft gate
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+
+__all__ = [
+    "JobProgram",
+    "PoolRunResult",
+    "TaskResult",
+    "WorkerPool",
+]
+
+#: Result matrices smaller than this return via the pickle path even
+#: when shared memory is available — below the crossover the one-copy
+#: win cannot repay segment create/attach/unlink syscalls.
+SHM_MIN_RESULT_BYTES = 64 * 1024
+
+#: Registration blobs smaller than this travel through the worker pipe
+#: (same crossover reasoning as :data:`SHM_MIN_RESULT_BYTES`).
+SHM_MIN_BLOB_BYTES = 64 * 1024
+
+#: A task that sees its worker die this many times is abandoned with a
+#: RuntimeError — the task itself is almost certainly the killer.
+MAX_REISSUES = 2
+
+#: Per-worker registration caches (LRU, parent-coordinated): enough to
+#: keep a whole paper campaign warm without letting a long-lived pool
+#: accumulate every stream it ever saw.
+_WORKER_JOB_CACHE = 8
+_PARENT_BLOB_CACHE = 8
+
+#: Env var naming a crash-token file: a worker that consumes a token at
+#: task receipt hard-kills itself mid-task.  The file holds a decimal
+#: token count (any other content means 1); consuming the last token
+#: removes the file (atomically — concurrent consumers race on the
+#: ``os.remove`` and exactly one wins).  Deterministic test hook for
+#: the respawn/reissue path — see tests/flow/test_pool.py.
+CRASH_FILE_ENV = "REPRO_POOL_CRASH_FILE"
+
+#: ``/dev/shm`` segment name prefix; CI's leak check globs for it.
+SHM_PREFIX = "repro_pool_"
+
+Shard = Tuple[int, int, int, int]
+
+
+@dataclass
+class JobProgram:
+    """Everything a worker needs to simulate shards of one job.
+
+    ``netlist_key`` fingerprints the netlist alone (lowering is
+    library-independent), so jobs sharing a netlist share the worker's
+    compiled program; the job key used in :meth:`WorkerPool.run_tasks`
+    fingerprints the full (netlist, stream, corners, library, backend)
+    tuple.
+    """
+
+    netlist: object  # repro.circuits.netlist.Netlist
+    netlist_key: str
+    inputs: np.ndarray        # (n_cycles + 1, n_inputs) uint8
+    delay_matrix: np.ndarray  # (n_corners, n_gates) float
+    backend: str
+    chunk_cycles: Optional[int] = None
+    threads: Optional[int] = None
+    #: pre-pickled netlist (callers that fingerprinted the pickle pass
+    #: it along so registration does not pickle a second time).
+    netlist_bytes: Optional[bytes] = None
+
+    @property
+    def n_cycles(self) -> int:
+        return self.inputs.shape[0] - 1
+
+    @property
+    def n_corners(self) -> int:
+        return self.delay_matrix.shape[0]
+
+
+@dataclass
+class TaskResult:
+    """Execution record of one shard task."""
+
+    job_key: str
+    shard: Shard
+    seconds: float
+    #: the worker already held this netlist's compiled program when the
+    #: task arrived (False exactly for a worker's first contact with a
+    #: netlist after spawn/respawn).
+    warm: bool
+    #: pool slot that ran the shard.
+    worker: int
+    #: shard delay matrix — only on the pickle return path (None when
+    #: the worker wrote straight into the job's shared-memory buffer).
+    delays: Optional[np.ndarray] = None
+
+
+@dataclass
+class PoolRunResult:
+    """One :meth:`WorkerPool.run_tasks` batch.
+
+    ``job_delays`` holds the fully stitched ``(n_corners, n_cycles)``
+    matrix for every job that used the shared-memory return path;
+    pickle-path jobs are stitched by the caller from
+    ``tasks[i].delays``.
+    """
+
+    job_delays: Dict[str, np.ndarray]
+    tasks: List[TaskResult]
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _read_blob(transport) -> bytes:
+    if transport[0] == "raw":
+        return transport[1]
+    _, name, nbytes = transport
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(seg.buf[:nbytes])
+    finally:
+        seg.close()
+
+
+def _consume_crash_token(path: str) -> bool:
+    """Take one crash token from ``path`` (see :data:`CRASH_FILE_ENV`)."""
+    try:
+        with open(path) as fh:
+            raw = fh.read().strip()
+        count = int(raw) if raw.isdigit() else 1
+        if count <= 1:
+            os.remove(path)  # atomic: concurrent consumers race, one wins
+        else:
+            with open(path, "w") as fh:
+                fh.write(str(count - 1))
+    except OSError:
+        return False
+    return True
+
+
+def _pool_worker_main(conn) -> None:
+    """Worker loop: registration + task messages until stop/EOF.
+
+    State lives for the worker's lifetime: ``netlists`` pins the
+    unpickled netlist objects (and thereby their cached compiled
+    programs, delay tiles, and scratch), ``jobs`` the per-job payloads.
+    The parent coordinates eviction (``release``), so the two sides
+    never disagree about what is registered.
+    """
+    netlists: Dict[str, object] = {}
+    warm_keys = set()  # netlist keys this worker has simulated before
+    jobs: Dict[str, Dict] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "stop":
+                break
+            if kind == "netlist":
+                _, nl_key, transport = msg
+                netlists[nl_key] = pickle.loads(_read_blob(transport))
+            elif kind == "job":
+                _, job_key, nl_key, transport = msg
+                payload = pickle.loads(_read_blob(transport))
+                payload["nl_key"] = nl_key
+                jobs[job_key] = payload
+            elif kind == "release":
+                jobs.pop(msg[1], None)
+            elif kind == "run":
+                _, task_id, job_key, shard, out = msg
+                crash = os.environ.get(CRASH_FILE_ENV)
+                if crash and _consume_crash_token(crash):
+                    os._exit(17)  # simulated hard mid-task death
+                try:
+                    result = _run_shard(netlists, warm_keys, jobs,
+                                        job_key, shard, out)
+                    conn.send(("done", task_id) + result)
+                except BaseException:
+                    conn.send(("err", task_id, traceback.format_exc()))
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _run_shard(netlists: Dict[str, object], warm_keys: set,
+               jobs: Dict[str, Dict], job_key: str, shard: Shard, out
+               ) -> Tuple[float, bool, Optional[np.ndarray]]:
+    from ..sim.engine import get_backend
+
+    job = jobs[job_key]
+    nl_key = job["nl_key"]
+    warm = nl_key in warm_keys
+    c0, c1, t0, t1 = shard
+    start = time.perf_counter()
+    backend = get_backend(job["backend"])
+    # shard (c0, c1, t0, t1) simulates input rows [t0, t1 + 1) (one
+    # leading state row) against delay rows c0:c1 — identical slicing
+    # to the parent-side legacy path, hence bit-identical stitches
+    delays = backend.run_delays(
+        netlists[nl_key], job["inputs"][t0:t1 + 1],
+        job["delay_matrix"][c0:c1],
+        chunk_cycles=job["chunk_cycles"],
+        threads=job["threads"]).delays
+    seconds = time.perf_counter() - start
+    warm_keys.add(nl_key)
+    if out is not None:
+        name, n_corners, n_cycles, dtype = out
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            full = np.ndarray((n_corners, n_cycles), dtype=dtype,
+                              buffer=seg.buf)
+            full[c0:c1, t0:t1] = delays
+        finally:
+            seg.close()  # parent owns the segment; never unlink here
+        return seconds, warm, None
+    return seconds, warm, delays
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class _Blob:
+    """A pickled registration payload, in shared memory or raw bytes."""
+
+    __slots__ = ("raw", "seg", "nbytes")
+
+    def __init__(self, raw: Optional[bytes], seg, nbytes: int) -> None:
+        self.raw = raw
+        self.seg = seg
+        self.nbytes = nbytes
+
+    def transport(self):
+        if self.seg is not None:
+            return ("shm", self.seg.name, self.nbytes)
+        return ("raw", self.raw)
+
+    def unlink(self) -> None:
+        if self.seg is not None:
+            try:
+                self.seg.close()
+                self.seg.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+            self.seg = None
+
+
+class _Worker:
+    """Parent-side handle for one pool slot."""
+
+    __slots__ = ("slot", "process", "conn", "netlists", "jobs", "current")
+
+    def __init__(self, slot: int, process, conn) -> None:
+        self.slot = slot
+        self.process = process
+        self.conn = conn
+        self.netlists = set()              # registered netlist keys
+        self.jobs = OrderedDict()          # registered job keys (LRU)
+        self.current: Optional[int] = None  # in-flight task index
+
+
+def _shutdown_workers(workers: List[_Worker],
+                      blob_maps: List[Dict[str, _Blob]]) -> None:
+    """Finalizer body: reap workers, unlink segments.  Idempotent and
+    free of references to the pool object (weakref.finalize contract).
+    """
+    for w in workers:
+        try:
+            if w.process.is_alive():
+                w.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+    for w in workers:
+        w.process.join(timeout=1.0)
+        if w.process.is_alive():
+            w.process.terminate()
+            w.process.join(timeout=1.0)
+        try:
+            w.conn.close()
+        except OSError:
+            pass
+    workers.clear()
+    for blobs in blob_maps:
+        for blob in blobs.values():
+            blob.unlink()
+        blobs.clear()
+
+
+class WorkerPool:
+    """A fixed-width pool of persistent warm simulation workers.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker processes (spawned eagerly, ``fork`` start
+        method when available so children inherit parent-warm program
+        caches and the shared resource tracker).
+    use_shm:
+        Force the shared-memory transport on/off; None (default)
+        auto-detects (requires ``fork`` + a working
+        ``multiprocessing.shared_memory``; the ``REPRO_POOL_NO_SHM``
+        env var vetoes).  Falls back to pickle per payload below the
+        crossover thresholds either way.
+    """
+
+    def __init__(self, n_workers: int,
+                 use_shm: Optional[bool] = None) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        try:
+            self._ctx = get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            self._ctx = get_context()
+        fork = self._ctx.get_start_method() == "fork"
+        no_shm_env = os.environ.get("REPRO_POOL_NO_SHM", "") not in ("", "0")
+        auto = fork and shared_memory is not None and not no_shm_env
+        self.use_shm = auto if use_shm is None else (use_shm and auto)
+        if self.use_shm:
+            # start the parent's resource tracker *before* forking so
+            # every worker inherits it: a worker-local tracker would
+            # try to clean segments the parent still owns at worker
+            # exit (harmless but noisy); one shared tracker's
+            # registration set is idempotent across processes
+            from multiprocessing import resource_tracker
+            resource_tracker.ensure_running()
+        self._uid = secrets.token_hex(4)
+        self._seq = 0
+        self._workers: List[_Worker] = []
+        self._netlist_blobs: "OrderedDict[str, _Blob]" = OrderedDict()
+        self._job_blobs: "OrderedDict[str, _Blob]" = OrderedDict()
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, self._workers,
+            [self._netlist_blobs, self._job_blobs])
+        for slot in range(n_workers):
+            self._workers.append(self._spawn(slot))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Reap every worker and unlink every segment (idempotent)."""
+        self._finalizer()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def n_alive(self) -> int:
+        """Live worker processes (tests/leak checks)."""
+        return sum(1 for w in self._workers if w.process.is_alive())
+
+    def _spawn(self, slot: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_pool_worker_main, args=(child_conn,),
+            name=f"repro-pool-{self._uid}-{slot}", daemon=True)
+        process.start()
+        child_conn.close()
+        return _Worker(slot, process, parent_conn)
+
+    def _respawn(self, worker: _Worker) -> _Worker:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():  # pragma: no cover - defensive
+            worker.process.terminate()
+        worker.process.join(timeout=1.0)
+        fresh = self._spawn(worker.slot)
+        self._workers[worker.slot] = fresh
+        return fresh
+
+    # -- registration transport ---------------------------------------------
+
+    def _shm_name(self) -> str:
+        self._seq += 1
+        return f"{SHM_PREFIX}{os.getpid()}_{self._uid}_{self._seq}"
+
+    def _make_blob(self, data: bytes) -> _Blob:
+        if self.use_shm and len(data) >= SHM_MIN_BLOB_BYTES:
+            try:
+                seg = shared_memory.SharedMemory(
+                    create=True, name=self._shm_name(),
+                    size=max(1, len(data)))
+            except OSError:
+                self.use_shm = False  # /dev/shm unusable: pickle-only
+            else:
+                seg.buf[:len(data)] = data
+                return _Blob(None, seg, len(data))
+        return _Blob(data, None, len(data))
+
+    def _cached_blob(self, cache: "OrderedDict[str, _Blob]", key: str,
+                     build) -> _Blob:
+        blob = cache.get(key)
+        if blob is None:
+            blob = self._make_blob(build())
+            cache[key] = blob
+            while len(cache) > _PARENT_BLOB_CACHE:
+                cache.popitem(last=False)[1].unlink()
+        cache.move_to_end(key)
+        return blob
+
+    def _ensure_registered(self, worker: _Worker, job_key: str,
+                           progs: Dict[str, JobProgram]) -> None:
+        prog = progs[job_key]
+        nl_key = prog.netlist_key
+        if nl_key not in worker.netlists:
+            blob = self._cached_blob(
+                self._netlist_blobs, nl_key,
+                lambda: prog.netlist_bytes if prog.netlist_bytes is not None
+                else pickle.dumps(prog.netlist,
+                                  protocol=pickle.HIGHEST_PROTOCOL))
+            worker.conn.send(("netlist", nl_key, blob.transport()))
+            worker.netlists.add(nl_key)
+        if job_key not in worker.jobs:
+            blob = self._cached_blob(
+                self._job_blobs, job_key,
+                lambda: pickle.dumps(
+                    {"inputs": prog.inputs,
+                     "delay_matrix": prog.delay_matrix,
+                     "backend": prog.backend,
+                     "chunk_cycles": prog.chunk_cycles,
+                     "threads": prog.threads},
+                    protocol=pickle.HIGHEST_PROTOCOL))
+            worker.conn.send(("job", job_key, nl_key, blob.transport()))
+            worker.jobs[job_key] = True
+            while len(worker.jobs) > _WORKER_JOB_CACHE:
+                evicted, _ = worker.jobs.popitem(last=False)
+                worker.conn.send(("release", evicted))
+        else:
+            worker.jobs.move_to_end(job_key)
+
+    # -- execution ----------------------------------------------------------
+
+    def run_tasks(self, progs: Dict[str, JobProgram],
+                  tasks: Sequence[Tuple[str, Shard]]) -> PoolRunResult:
+        """Execute shard tasks across the pool.
+
+        ``tasks`` is an ordered list of ``(job_key, shard)`` pairs
+        (keys index ``progs``); the returned ``tasks`` list is aligned
+        with it.  Jobs whose stitched result crosses the shared-memory
+        threshold come back fully assembled in ``job_delays``; others
+        return per-task ``delays`` for the caller to stitch.
+        """
+        if self.closed:
+            raise RuntimeError("WorkerPool is closed")
+        tasks = list(tasks)
+        if not tasks:
+            return PoolRunResult({}, [])
+        for key, _ in tasks:
+            if key not in progs:
+                raise KeyError(f"task references unknown job {key!r}")
+
+        out_segs: Dict[str, object] = {}
+        out_meta: Dict[str, Tuple[int, int]] = {}
+        results: List[Optional[TaskResult]] = [None] * len(tasks)
+        try:
+            if self.use_shm:
+                for key, prog in progs.items():
+                    nbytes = prog.n_corners * prog.n_cycles * 4
+                    if nbytes < SHM_MIN_RESULT_BYTES:
+                        continue
+                    try:
+                        seg = shared_memory.SharedMemory(
+                            create=True, name=self._shm_name(),
+                            size=nbytes)
+                    except OSError:
+                        continue  # per-job fallback to pickle return
+                    out_segs[key] = seg
+                    out_meta[key] = (prog.n_corners, prog.n_cycles)
+
+            pending = deque(range(len(tasks)))
+            reissues: Dict[int, int] = {}
+            error: Optional[str] = None
+
+            def fail(idx: int, why: str) -> Optional[int]:
+                """Requeue a task whose worker died, or give up."""
+                reissues[idx] = reissues.get(idx, 0) + 1
+                if reissues[idx] > MAX_REISSUES:
+                    return idx
+                pending.appendleft(idx)
+                return None
+
+            while True:
+                if error is None:
+                    for w in list(self._workers):
+                        if not pending:
+                            break
+                        if w.current is not None:
+                            continue
+                        idx = pending.popleft()
+                        key, shard = tasks[idx]
+                        try:
+                            self._ensure_registered(w, key, progs)
+                            seg = out_segs.get(key)
+                            out = None
+                            if seg is not None:
+                                nc, nt = out_meta[key]
+                                out = (seg.name, nc, nt, "float32")
+                            w.conn.send(("run", idx, key,
+                                         tuple(shard), out))
+                            w.current = idx
+                        except (BrokenPipeError, OSError):
+                            # worker died between tasks: respawn (fresh
+                            # registration state) and retry elsewhere
+                            if fail(idx, "dispatch") is not None:
+                                error = (f"worker died {MAX_REISSUES + 1}x "
+                                         f"dispatching task {idx}")
+                            self._respawn(w)
+                busy = [w for w in self._workers if w.current is not None]
+                if not busy:
+                    if pending and error is None:
+                        continue
+                    break
+                for conn_ in connection.wait([w.conn for w in busy]):
+                    w = next(x for x in busy if x.conn is conn_)
+                    try:
+                        msg = w.conn.recv()
+                    except (EOFError, OSError):
+                        idx = w.current
+                        w.current = None
+                        self._respawn(w)
+                        if idx is not None and error is None:
+                            if fail(idx, "crash") is not None:
+                                error = (
+                                    f"task {idx} ({tasks[idx][0]!r} shard "
+                                    f"{tasks[idx][1]}) killed its worker "
+                                    f"{MAX_REISSUES + 1} times")
+                        continue
+                    if msg[0] == "done":
+                        _, idx, seconds, warm, delays = msg
+                        key, shard = tasks[idx]
+                        results[idx] = TaskResult(
+                            job_key=key, shard=tuple(shard),
+                            seconds=seconds, warm=warm,
+                            worker=w.slot, delays=delays)
+                        w.current = None
+                    elif msg[0] == "err":
+                        _, idx, tb = msg
+                        w.current = None
+                        if error is None:
+                            error = tb
+            if error is not None:
+                raise RuntimeError(f"worker pool task failed: {error}")
+
+            job_delays: Dict[str, np.ndarray] = {}
+            for key, seg in out_segs.items():
+                nc, nt = out_meta[key]
+                job_delays[key] = np.ndarray(
+                    (nc, nt), dtype=np.float32, buffer=seg.buf).copy()
+            return PoolRunResult(job_delays, results)  # type: ignore[arg-type]
+        finally:
+            for seg in out_segs.values():
+                try:
+                    seg.close()
+                    seg.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover
+                    pass

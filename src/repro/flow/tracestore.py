@@ -27,7 +27,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -190,6 +190,17 @@ class TraceStore:
         section = self._throughput_section(self._read_manifest())
         return self._entry_cps(
             section.get(self._throughput_key(fu_name, backend, n_corners)))
+
+    def get_throughput_many(
+            self, keys: Sequence[Tuple[str, str, int]]
+            ) -> List[Optional[float]]:
+        """Bulk :meth:`get_throughput` — one manifest read for a whole
+        campaign batch.  ``keys`` holds ``(fu_name, backend,
+        n_corners)`` tuples; the result aligns with it."""
+        section = self._throughput_section(self._read_manifest())
+        return [self._entry_cps(section.get(
+                    self._throughput_key(fu_name, backend, n_corners)))
+                for fu_name, backend, n_corners in keys]
 
     def throughput_history(self) -> Dict[str, Dict]:
         """The raw persisted throughput section (copy)."""

@@ -261,14 +261,16 @@ class BitPackedBackend(SimBackend):
     supports_corner_sharding = True
     models_glitches = False
     supports_chunking = True
+    supports_threads = True
 
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
                    gate_delays: np.ndarray,
                    collect_outputs: bool = False,
-                   chunk_cycles: Optional[int] = None) -> DelayTraceResult:
+                   chunk_cycles: Optional[int] = None,
+                   threads: Optional[int] = None) -> DelayTraceResult:
         return compile_netlist(netlist).run(
             input_matrix, gate_delays, collect_outputs=collect_outputs,
-            chunk_cycles=chunk_cycles, packed=True)
+            chunk_cycles=chunk_cycles, packed=True, threads=threads)
 
     def run_values(self, netlist: Netlist,
                    input_matrix: np.ndarray) -> np.ndarray:
@@ -292,11 +294,17 @@ class ReferenceBitPackedBackend(SimBackend):
     supports_corner_sharding = True
     models_glitches = False
     supports_chunking = True
+    supports_threads = False
 
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
                    gate_delays: np.ndarray,
                    collect_outputs: bool = False,
-                   chunk_cycles: Optional[int] = None) -> DelayTraceResult:
+                   chunk_cycles: Optional[int] = None,
+                   threads: Optional[int] = None) -> DelayTraceResult:
+        if threads is not None and threads > 1:
+            raise ValueError(
+                "the per-gate reference path has no threadable kernel "
+                "and does not honor threads (supports_threads=False)")
         return BitPackedSimulator(netlist, compiled=False).run(
             input_matrix, gate_delays, collect_outputs=collect_outputs,
             chunk_cycles=chunk_cycles)

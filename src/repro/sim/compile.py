@@ -71,7 +71,9 @@ for validation, levelization, and lowering exactly once per process.
 
 from __future__ import annotations
 
+import os
 import weakref
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -217,8 +219,14 @@ class ArrivalBlock:
 class ArrivalStep:
     """One cache-sized slice of an :class:`ArrivalBlock`, with the
     delay tile for a concrete ``(delay matrix, chunk)`` pair baked in.
+
+    Steps of the same ``level`` are mutually independent: they write
+    disjoint output row ranges and read only strictly-lower-level rows,
+    so a run may execute them concurrently (see the ``threads`` knob of
+    :meth:`CompiledNetlist.run`) with bit-identical results.
     """
 
+    level: int
     start: int
     stop: int
     #: ``(width * n,)`` fanin rows, pin-major flattened — one fancy
@@ -541,6 +549,7 @@ class CompiledNetlist:
                     delays_t[gi][:, :, None],
                     (hi - lo, n_corners, chunk_cycles)))
                 steps.append(ArrivalStep(
+                    level=b.level,
                     start=b.start + lo, stop=b.start + hi,
                     fanin_flat=np.ascontiguousarray(
                         b.fanin[:, lo:hi].reshape(-1)),
@@ -611,12 +620,18 @@ class CompiledNetlist:
 
     def _arrival_chunk(self, quiet: np.ndarray, plan: List[ArrivalStep],
                        arr: np.ndarray, n_cycles: int,
-                       active: Optional[np.ndarray]) -> None:
+                       active: Optional[np.ndarray],
+                       executor: Optional[ThreadPoolExecutor] = None
+                       ) -> None:
         """Run the planned level loop for one chunk into ``arr``.
 
         ``arr`` is ``(n_live_rows, n_corners, chunk)`` with ``chunk >=
         n_cycles`` (the ragged final chunk slices); ``quiet`` has
-        ``n_cycles`` columns.
+        ``n_cycles`` columns.  With an ``executor``, the independent
+        steps of each level run concurrently (numpy releases the GIL
+        for the array ops); levels stay strictly ordered, which keeps
+        results bit-identical — each step writes its own disjoint row
+        range and reads only strictly-lower-level rows.
         """
         full = arr.shape[2] == n_cycles
         arr = arr if full else arr[:, :, :n_cycles]
@@ -633,13 +648,15 @@ class CompiledNetlist:
                 active.view(np.uint8), starts)
         else:
             step_active = None
-        for si, st in enumerate(plan):
+
+        def run_step(si: int) -> None:
+            st = plan[si]
             if step_active is not None and not step_active[si]:
                 # nothing in this row range toggles anywhere in the
                 # chunk: every output is quiet, any huge negative value
                 # is as good as the computed one (see arrival_delays)
                 arr[st.start:st.stop] = -_QUIET_SENTINEL
-                continue
+                return
             n = st.stop - st.start
             dtile = st.dtile if full else st.dtile[:, :, :n_cycles]
             seg = arr[st.start:st.stop]
@@ -662,6 +679,23 @@ class CompiledNetlist:
                     np.maximum(seg, g[k * n:(k + 1) * n], out=seg)
                 seg += dtile
                 seg += quiet[st.start:st.stop][:, None, :]
+
+        if executor is None:
+            for si in range(len(plan)):
+                run_step(si)
+            return
+        i = 0
+        n_steps = len(plan)
+        while i < n_steps:  # per-level barrier
+            j = i + 1
+            while j < n_steps and plan[j].level == plan[i].level:
+                j += 1
+            if j - i == 1:
+                run_step(i)
+            else:
+                for _ in executor.map(run_step, range(i, j)):
+                    pass  # drain so worker exceptions propagate
+            i = j
 
     def _settled_outputs(self, values: np.ndarray, n_rows: int,
                          packed: bool) -> np.ndarray:
@@ -692,14 +726,20 @@ class CompiledNetlist:
     def run(self, input_matrix: np.ndarray, gate_delays: np.ndarray,
             collect_outputs: bool = False,
             chunk_cycles: Optional[int] = None,
-            packed: bool = True) -> DelayTraceResult:
+            packed: bool = True,
+            threads: Optional[int] = None) -> DelayTraceResult:
         """Simulate a stream of input vectors across corners.
 
         Same contract (and bit-identical delays/outputs) as
         :meth:`repro.sim.levelized.LevelizedSimulator.run`; chunk
         boundaries never affect results because cycle ``t`` only reads
-        input rows ``t`` and ``t+1``.
+        input rows ``t`` and ``t+1``.  ``threads > 1`` executes the
+        independent arrival steps within each level concurrently —
+        also never affecting results (see :meth:`_arrival_chunk`).
         """
+        if threads is not None and threads < 1:
+            raise ValueError("threads must be >= 1")
+        executor = _thread_pool(threads) if threads and threads > 1 else None
         inputs = np.asarray(input_matrix, dtype=np.uint8)
         if inputs.ndim != 2 or inputs.shape[1] != self.n_inputs:
             raise ValueError(
@@ -767,7 +807,7 @@ class CompiledNetlist:
             quiet, row_active = self._quiet_and_active(
                 values, chunk_rows - 1, packed)
             self._arrival_chunk(quiet, plan, arr_buf, chunk_rows - 1,
-                                row_active)
+                                row_active, executor=executor)
             if self.n_outputs:
                 arr = arr_buf[:, :, :chunk_rows - 1]
                 worst = arr[self.po_rows].max(axis=0)
@@ -791,6 +831,26 @@ class CompiledNetlist:
 #: id(netlist) -> (weakref to netlist, program); evicted when the
 #: netlist is garbage collected so id reuse can never alias programs.
 _PROGRAM_CACHE: Dict[int, Tuple[weakref.ref, CompiledNetlist]] = {}
+
+#: thread count -> shared executor for the per-level arrival steps.
+#: Keyed per process: forked children (the campaign worker pool) would
+#: otherwise inherit executors whose threads died with the fork —
+#: submitting to one deadlocks, so the cache resets on pid change.
+_THREAD_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_THREAD_POOLS_PID = os.getpid()
+
+
+def _thread_pool(threads: int) -> ThreadPoolExecutor:
+    global _THREAD_POOLS_PID
+    if os.getpid() != _THREAD_POOLS_PID:
+        _THREAD_POOLS.clear()
+        _THREAD_POOLS_PID = os.getpid()
+    executor = _THREAD_POOLS.get(threads)
+    if executor is None:
+        executor = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-arrival")
+        _THREAD_POOLS[threads] = executor
+    return executor
 
 
 def compile_netlist(netlist: Netlist) -> CompiledNetlist:
@@ -832,14 +892,16 @@ class CompiledBackend(SimBackend):
     supports_corner_sharding = True
     models_glitches = False
     supports_chunking = True
+    supports_threads = True
 
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
                    gate_delays: np.ndarray,
                    collect_outputs: bool = False,
-                   chunk_cycles: Optional[int] = None) -> DelayTraceResult:
+                   chunk_cycles: Optional[int] = None,
+                   threads: Optional[int] = None) -> DelayTraceResult:
         return compile_netlist(netlist).run(
             input_matrix, gate_delays, collect_outputs=collect_outputs,
-            chunk_cycles=chunk_cycles)
+            chunk_cycles=chunk_cycles, threads=threads)
 
     def run_values(self, netlist: Netlist,
                    input_matrix: np.ndarray) -> np.ndarray:

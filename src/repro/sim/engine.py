@@ -127,6 +127,12 @@ class SimBackend(abc.ABC):
     #: leave this False; passing ``chunk_cycles`` to them is an error
     #: rather than a silent no-op.
     supports_chunking: bool = False
+    #: ``run_delays`` honors an explicit ``threads`` count (intra-call
+    #: thread parallelism over independent work units, never affecting
+    #: results).  Backends without a threadable kernel must leave this
+    #: False; passing ``threads`` to them is an error rather than a
+    #: silent no-op — mirroring ``supports_chunking``.
+    supports_threads: bool = False
 
     #: Capability attributes the registry validates on every instance.
     #: The campaign layer reads these as plain attributes (never via
@@ -135,7 +141,7 @@ class SimBackend(abc.ABC):
     #: sharding.
     CAPABILITY_FLAGS = ("supports_multi_corner", "supports_cycle_sharding",
                         "supports_corner_sharding", "models_glitches",
-                        "supports_chunking")
+                        "supports_chunking", "supports_threads")
 
     @property
     def delay_model(self) -> str:
@@ -151,7 +157,8 @@ class SimBackend(abc.ABC):
     def run_delays(self, netlist: Netlist, input_matrix: np.ndarray,
                    gate_delays: np.ndarray,
                    collect_outputs: bool = False,
-                   chunk_cycles: Optional[int] = None) -> DelayTraceResult:
+                   chunk_cycles: Optional[int] = None,
+                   threads: Optional[int] = None) -> DelayTraceResult:
         """Per-cycle dynamic delays for an input stream.
 
         Parameters
@@ -171,6 +178,11 @@ class SimBackend(abc.ABC):
             Cycle-axis working-set chunk.  ``None`` lets the backend
             pick a cache-sized default; an explicit value requires
             :attr:`supports_chunking` and never affects results.
+        threads:
+            Intra-call thread parallelism over independent work units
+            (numpy releases the GIL during array ops).  ``None``/1 runs
+            single-threaded; an explicit value > 1 requires
+            :attr:`supports_threads` and never affects results.
         """
 
     @abc.abstractmethod

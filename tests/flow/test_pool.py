@@ -1,0 +1,301 @@
+"""Tests for the persistent warm worker pool and its campaign wiring.
+
+Covers the ISSUE-6 acceptance surface: byte-identical results across
+the shared-memory and pickle return paths (including 1-cycle streams
+and 1-corner grids), pool-lifecycle robustness (mid-task worker death,
+respawn + reissue, orphan-free shutdown), capability gating through
+the pool, and Workspace pool ownership.
+"""
+
+import glob
+import hashlib
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import ShardSpec, Workspace
+from repro.circuits import build_functional_unit
+from repro.flow import CampaignJob, CampaignRunner, JobProgram, WorkerPool
+from repro.flow.pool import CRASH_FILE_ENV, MAX_REISSUES, SHM_PREFIX
+from repro.sim import get_backend
+from repro.timing import DEFAULT_LIBRARY, OperatingCondition
+from repro.workloads import random_stream
+
+CONDS = [OperatingCondition(0.81, 0.0), OperatingCondition(1.00, 100.0)]
+
+
+def _pool_children():
+    """Live pool worker processes of this test process."""
+    return [p for p in multiprocessing.active_children()
+            if p.name.startswith("repro-pool-")]
+
+
+def _shm_segments():
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+
+
+@pytest.fixture(autouse=True)
+def no_leaks():
+    """Every test must leave zero pool workers and zero segments."""
+    yield
+    assert _pool_children() == []
+    assert _shm_segments() == []
+
+
+def _prog(fu, stream, backend="bitpacked", conds=CONDS, threads=None):
+    inputs = stream.bit_matrix(fu)
+    delay_matrix = DEFAULT_LIBRARY.delay_matrix(fu.netlist, list(conds))
+    blob = pickle.dumps(fu.netlist)
+    return JobProgram(netlist=fu.netlist,
+                      netlist_key=hashlib.sha1(blob).hexdigest(),
+                      inputs=inputs, delay_matrix=delay_matrix,
+                      backend=backend, threads=threads,
+                      netlist_bytes=blob)
+
+
+def _reference(prog):
+    return get_backend(prog.backend).run_delays(
+        prog.netlist, prog.inputs, prog.delay_matrix).delays
+
+
+def _whole(prog):
+    return (0, prog.n_corners, 0, prog.n_cycles)
+
+
+def _halves(prog):
+    mid = prog.n_cycles // 2
+    return [(0, prog.n_corners, 0, mid),
+            (0, prog.n_corners, mid, prog.n_cycles)]
+
+
+def _stitch(prog, tasks):
+    out = np.empty((prog.n_corners, prog.n_cycles), dtype=np.float32)
+    for tr in tasks:
+        c0, c1, t0, t1 = tr.shard
+        out[c0:c1, t0:t1] = tr.delays
+    return out
+
+
+class TestWorkerPool:
+    def test_shm_and_pickle_paths_byte_identical(self):
+        # big job crosses SHM_MIN_RESULT_BYTES (2 corners x 9000 cycles
+        # x 4 B = 72 KB), small job stays on the pickle return path —
+        # both must match the inline reference exactly
+        fu = build_functional_unit("int_add", width=8)
+        big = _prog(fu, random_stream(9000, operand_width=8, seed=0))
+        small = _prog(fu, random_stream(40, operand_width=8, seed=1))
+        with WorkerPool(2) as pool:
+            tasks = ([("big", s) for s in _halves(big)]
+                     + [("small", _whole(small))])
+            res = pool.run_tasks({"big": big, "small": small}, tasks)
+        if pool.use_shm:
+            assert "big" in res.job_delays
+            assert all(t.delays is None for t in res.tasks[:2])
+            np.testing.assert_array_equal(res.job_delays["big"],
+                                          _reference(big))
+        else:  # host without usable shm still must be correct
+            np.testing.assert_array_equal(_stitch(big, res.tasks[:2]),
+                                          _reference(big))
+        assert "small" not in res.job_delays
+        np.testing.assert_array_equal(res.tasks[2].delays,
+                                      _reference(small))
+
+    def test_no_shm_env_forces_pickle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_NO_SHM", "1")
+        fu = build_functional_unit("int_add", width=8)
+        prog = _prog(fu, random_stream(9000, operand_width=8, seed=2))
+        with WorkerPool(2) as pool:
+            assert not pool.use_shm
+            res = pool.run_tasks({"j": prog},
+                                 [("j", s) for s in _halves(prog)])
+        assert res.job_delays == {}
+        np.testing.assert_array_equal(_stitch(prog, res.tasks),
+                                      _reference(prog))
+
+    def test_single_cycle_stream_and_single_corner(self):
+        fu = build_functional_unit("int_add", width=8)
+        one_cycle = _prog(fu, random_stream(1, operand_width=8, seed=3))
+        one_corner = _prog(fu, random_stream(50, operand_width=8, seed=4),
+                           conds=CONDS[:1])
+        with WorkerPool(2) as pool:
+            res = pool.run_tasks(
+                {"cyc": one_cycle, "cor": one_corner},
+                [("cyc", _whole(one_cycle)), ("cor", _whole(one_corner))])
+        np.testing.assert_array_equal(res.tasks[0].delays,
+                                      _reference(one_cycle))
+        np.testing.assert_array_equal(res.tasks[1].delays,
+                                      _reference(one_corner))
+
+    def test_warm_flags_track_program_reuse(self):
+        fu = build_functional_unit("int_add", width=8)
+        prog = _prog(fu, random_stream(60, operand_width=8, seed=5))
+        with WorkerPool(1) as pool:
+            first = pool.run_tasks({"j": prog}, [("j", _whole(prog))])
+            again = pool.run_tasks({"j": prog}, [("j", _whole(prog))])
+        assert [t.warm for t in first.tasks] == [False]
+        assert [t.warm for t in again.tasks] == [True]
+
+    def test_close_is_idempotent_and_reaps(self):
+        pool = WorkerPool(2)
+        assert pool.n_alive() == 2
+        assert len(_pool_children()) == 2
+        pool.close()
+        assert pool.closed
+        assert pool.n_alive() == 0
+        pool.close()  # second close is a no-op
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run_tasks({}, [("j", (0, 1, 0, 1))])
+
+    def test_unknown_job_key_rejected(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(KeyError, match="unknown job"):
+                pool.run_tasks({}, [("nope", (0, 1, 0, 1))])
+
+    def test_killed_worker_respawned_between_runs(self):
+        fu = build_functional_unit("int_add", width=8)
+        prog = _prog(fu, random_stream(60, operand_width=8, seed=6))
+        with WorkerPool(2) as pool:
+            pool.run_tasks({"j": prog}, [("j", _whole(prog))])
+            os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while (pool._workers[0].process.is_alive()
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            res = pool.run_tasks({"j": prog},
+                                 [("j", s) for s in _halves(prog)])
+            np.testing.assert_array_equal(_stitch(prog, res.tasks),
+                                          _reference(prog))
+            assert pool.n_alive() == 2  # slot was respawned
+
+    def test_mid_task_crash_reissued_and_completes(self, monkeypatch,
+                                                   tmp_path):
+        crash = tmp_path / "crash-once"
+        crash.write_text("boom")
+        monkeypatch.setenv(CRASH_FILE_ENV, str(crash))
+        fu = build_functional_unit("int_add", width=8)
+        prog = _prog(fu, random_stream(120, operand_width=8, seed=7))
+        with WorkerPool(2) as pool:  # workers inherit the env at fork
+            res = pool.run_tasks({"j": prog},
+                                 [("j", s) for s in _halves(prog)])
+            np.testing.assert_array_equal(_stitch(prog, res.tasks),
+                                          _reference(prog))
+            assert pool.n_alive() == 2
+        assert not crash.exists()  # exactly one worker consumed it
+
+    def test_repeatedly_killed_task_raises(self, monkeypatch, tmp_path):
+        # enough crash tokens that every allowed dispatch of the task
+        # kills its worker — the pool must give up with a RuntimeError
+        # after MAX_REISSUES instead of looping forever
+        crash = tmp_path / "crash-always"
+        crash.write_text(str(MAX_REISSUES + 1))
+        monkeypatch.setenv(CRASH_FILE_ENV, str(crash))
+        fu = build_functional_unit("int_add", width=8)
+        prog = _prog(fu, random_stream(40, operand_width=8, seed=8))
+        with WorkerPool(1) as pool:
+            with pytest.raises(RuntimeError, match="worker pool task"):
+                pool.run_tasks({"j": prog}, [("j", _whole(prog))])
+        assert not crash.exists()  # all tokens consumed
+
+
+class TestPersistentRunner:
+    def _trace(self, **kwargs):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(300, operand_width=8, seed=9)
+        runner = CampaignRunner(use_cache=False, **kwargs)
+        with runner:
+            return runner.run([CampaignJob(fu, stream, CONDS)])[0]
+
+    def test_pool_matches_unsharded_and_legacy(self):
+        ref = self._trace(n_workers=1)
+        pooled = self._trace(n_workers=2, shard_cycles=64)
+        legacy = self._trace(n_workers=2, shard_cycles=64,
+                             persistent=False)
+        np.testing.assert_array_equal(pooled.delays, ref.delays)
+        np.testing.assert_array_equal(legacy.delays, ref.delays)
+
+    def test_pool_no_shm_matches(self, monkeypatch):
+        ref = self._trace(n_workers=1)
+        monkeypatch.setenv("REPRO_POOL_NO_SHM", "1")
+        pooled = self._trace(n_workers=2, shard_cycles=64)
+        np.testing.assert_array_equal(pooled.delays, ref.delays)
+
+    def test_threads_through_runner_bit_identical(self):
+        ref = self._trace(n_workers=1)
+        threaded = self._trace(n_workers=2, shard_cycles=64, threads=2)
+        inline_threaded = self._trace(n_workers=1, threads=2)
+        np.testing.assert_array_equal(threaded.delays, ref.delays)
+        np.testing.assert_array_equal(inline_threaded.delays, ref.delays)
+
+    def test_threads_rejected_without_capability(self):
+        with pytest.raises(ValueError, match="supports_threads"):
+            CampaignRunner(backend="event", threads=2)
+
+    def test_event_backend_corner_shards_through_pool(self):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(40, operand_width=8, seed=10)
+        ref = CampaignRunner(backend="event", use_cache=False).run(
+            [CampaignJob(fu, stream, CONDS)])[0]
+        with CampaignRunner(backend="event", use_cache=False,
+                            n_workers=2, shard_corners=1) as runner:
+            pooled = runner.run([CampaignJob(fu, stream, CONDS)])[0]
+            assert runner.stats.job_shards == {0: 2}
+        np.testing.assert_array_equal(pooled.delays, ref.delays)
+
+    def test_stats_shard_log_and_grids(self):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(100, operand_width=8, seed=11)
+        with CampaignRunner(use_cache=False, n_workers=2,
+                            shard_cycles=50, shard_corners=1) as runner:
+            runner.run([CampaignJob(fu, stream, CONDS)])
+            stats = runner.stats
+        assert stats.job_grids == {0: (2, 2)}
+        assert len(stats.shard_log) == 4
+        assert {s.shard for s in stats.shard_log} == {
+            (0, 1, 0, 50), (0, 1, 50, 100),
+            (1, 2, 0, 50), (1, 2, 50, 100)}
+        assert all(s.worker in (0, 1) for s in stats.shard_log)
+        assert all(s.warm in (True, False) for s in stats.shard_log)
+
+    def test_runner_reuses_pool_across_runs(self):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(200, operand_width=8, seed=12)
+        with CampaignRunner(use_cache=False, n_workers=2,
+                            shard_cycles=50) as runner:
+            runner.run([CampaignJob(fu, stream, CONDS)])
+            first_pool = runner._pool
+            runner.run([CampaignJob(fu, stream, CONDS)])
+            assert runner._pool is first_pool
+            # second run reuses warm workers: every shard warm
+            assert all(s.warm for s in runner.stats.shard_log)
+
+    def test_external_pool_not_closed_by_runner(self):
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(100, operand_width=8, seed=13)
+        with WorkerPool(2) as pool:
+            with CampaignRunner(use_cache=False, n_workers=2,
+                                shard_cycles=50, pool=pool) as runner:
+                runner.run([CampaignJob(fu, stream, CONDS)])
+            assert not pool.closed  # runner.close() left it alone
+            assert pool.n_alive() == 2
+
+
+class TestWorkspacePool:
+    def test_workspace_owns_shares_and_reaps(self, tmp_path):
+        with Workspace(tmp_path) as ws:
+            pool = ws.pool(2)
+            assert ws.pool(2) is pool  # shared across calls
+            runner = ws.runner(shards=ShardSpec(workers=2))
+            assert runner._pool is pool
+            assert len(_pool_children()) == 2
+        assert pool.closed
+        assert _pool_children() == []
+
+    def test_non_persistent_spec_skips_pool(self, tmp_path):
+        with Workspace(tmp_path) as ws:
+            ws.runner(shards=ShardSpec(workers=2, persistent=False))
+            assert ws._pools == {}

@@ -90,6 +90,31 @@ class TestRegistry:
             get_backend("event").run_delays(fu.netlist, inputs, delays[0],
                                             chunk_cycles=2)
 
+    def test_threads_capability(self):
+        # the level-parallel kernels can fan independent L2 sub-blocks
+        # of a level across threads; the serial event queue and the
+        # per-gate reference loops must refuse threads > 1 loudly
+        for name in ("levelized", "bitpacked", "compiled"):
+            assert get_backend(name).supports_threads, name
+        for name in ("event", "levelized_ref", "bitpacked_ref"):
+            assert not get_backend(name).supports_threads, name
+            fu, inputs = _fu_inputs("int_add", 4, width=8)
+            delays = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS[:1])
+            with pytest.raises(ValueError, match="supports_threads"):
+                get_backend(name).run_delays(fu.netlist, inputs,
+                                             delays, threads=2)
+
+    def test_threads_bit_identical(self):
+        fu, inputs = _fu_inputs("int_add", 40, width=8)
+        delays = DEFAULT_LIBRARY.delay_matrix(fu.netlist, CONDS)
+        for name in ("levelized", "bitpacked", "compiled"):
+            ref = get_backend(name).run_delays(fu.netlist, inputs,
+                                               delays).delays
+            for threads in (2, 4):
+                got = get_backend(name).run_delays(
+                    fu.netlist, inputs, delays, threads=threads).delays
+                assert got.tobytes() == ref.tobytes(), (name, threads)
+
     def test_reference_backends_bit_identical(self):
         # the *_ref registrations run the retained per-gate paths and
         # must agree with the compiled kernels delay for delay
