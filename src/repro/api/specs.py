@@ -603,6 +603,8 @@ class ServeSpec(Spec):
     kind: str = "tevot"
     batch_window_ms: float = 2.0
     max_batch: int = 64
+    workers: int = 1
+    request_log: Optional[str] = None
     fallback: bool = True
     verbose: bool = False
     sim: SimSpec = field(default_factory=_default_sim)
@@ -620,6 +622,9 @@ class ServeSpec(Spec):
         if self.batch_window_ms < 0:
             raise SpecError("batch_window_ms must be >= 0")
         _require_positive_int("max_batch", self.max_batch)
+        _require_positive_int("workers", self.workers)
+        if self.request_log is not None:
+            _require_str("request_log", self.request_log)
         _require_bool("fallback", self.fallback)
         _require_bool("verbose", self.verbose)
 

@@ -200,6 +200,13 @@ class Workspace:
             return ModelRegistry(path)
         return self.registry
 
+    def resolve_path(self, path: Union[str, Path]) -> Path:
+        """Anchor a relative spec path at the workspace root (if any)."""
+        path = Path(path)
+        if self.root is not None and not path.is_absolute():
+            return self.root / path
+        return path
+
     def functional_unit(self, name: str) -> FunctionalUnit:
         """Build (and memoize) an FU by name."""
         fu = self._fus.get(name)
@@ -349,10 +356,25 @@ class Workspace:
     # -- serving --------------------------------------------------------------
 
     def engine(self, spec: ServeSpec):
-        """A :class:`~repro.serve.engine.PredictionEngine` for a spec."""
+        """An engine for a spec: single-process or a worker cluster.
+
+        ``spec.workers > 1`` builds a
+        :class:`~repro.serve.cluster.ClusterEngine` fanning batches
+        over that many worker processes (each replicating the registry
+        manifest); otherwise a plain in-process
+        :class:`~repro.serve.engine.PredictionEngine`.  Both are
+        bit-exact for the same registry.
+        """
         from ..serve.engine import PredictionEngine
 
         registry = self._registry_for(spec.registry)
+        if spec.workers > 1:
+            from ..serve.cluster import ClusterEngine
+
+            return ClusterEngine(registry=registry, workers=spec.workers,
+                                 kind=spec.kind,
+                                 sim_fallback=spec.fallback,
+                                 backend=spec.sim.backend_name())
         return PredictionEngine(registry=registry, kind=spec.kind,
                                 sim_fallback=spec.fallback,
                                 backend=spec.sim.backend_name())
@@ -361,12 +383,43 @@ class Workspace:
         """A ready-to-run :class:`~repro.serve.server.PredictionServer`.
 
         The server is constructed (socket bound) but not serving;
-        call ``serve_forever()`` or ``start_background()`` on it.
+        call ``serve_forever()`` or ``start_background()`` on it and
+        stop it with ``close()`` (drains queued requests, then closes
+        cluster workers and the socket).  ``spec.request_log`` opens a
+        :class:`~repro.serve.requestlog.RequestLog` recording every
+        executed batch for :meth:`replay`.
         """
+        from ..serve.requestlog import RequestLog
         from ..serve.server import PredictionServer
 
+        request_log = None
+        if spec.request_log is not None:
+            request_log = RequestLog(
+                self.resolve_path(spec.request_log),
+                config={"kind": spec.kind, "workers": spec.workers,
+                        "fallback": spec.fallback,
+                        "registry": spec.registry})
         return PredictionServer(self.engine(spec), host=spec.host,
                                 port=spec.port,
                                 batch_window_ms=spec.batch_window_ms,
                                 max_batch=spec.max_batch,
-                                verbose=spec.verbose)
+                                verbose=spec.verbose,
+                                request_log=request_log)
+
+    def replay(self, spec: ServeSpec, path):
+        """Re-drive a recorded request log; see
+        :func:`repro.serve.requestlog.replay_log`.
+
+        Builds a fresh engine per the spec (cluster when
+        ``spec.workers > 1``), replays the log bit-exact against it,
+        and returns the :class:`~repro.serve.requestlog.ReplayReport`.
+        """
+        from ..serve.requestlog import replay_log
+
+        engine = self.engine(spec)
+        try:
+            return replay_log(self.resolve_path(path), engine.predict_batch)
+        finally:
+            close = getattr(engine, "close", None)
+            if callable(close):
+                close()

@@ -30,6 +30,7 @@ subcommand, so the subparsers can never drift apart.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
@@ -278,6 +279,10 @@ def serve_spec(args) -> ServeSpec:
         changes["batch_window_ms"] = args.batch_window_ms
     if args.max_batch is not None:
         changes["max_batch"] = args.max_batch
+    if args.workers is not None:
+        changes["workers"] = args.workers
+    if args.request_log is not None:
+        changes["request_log"] = args.request_log
     if args.no_fallback:
         changes["fallback"] = False
     if args.verbose:
@@ -398,22 +403,35 @@ def cmd_serve(args) -> int:
     spec = serve_spec(args)
     _echo_spec("serve", spec)
     workspace = Workspace()
+    if args.replay is not None:
+        report = workspace.replay(spec, args.replay)
+        print(f"repro serve --replay {args.replay}: {report.summary()}")
+        for mismatch in report.mismatches:
+            print(f"  {mismatch.describe()}")
+        return 0 if report.ok else 1
     server = workspace.serve(spec)
     engine = server.engine
     host, port = server.address
     published = 0 if engine.registry is None else len(engine.registry)
     print(f"repro serve on http://{host}:{port}  "
           f"[registry={spec.registry or '-'}, {published} model(s), "
+          f"workers={spec.workers}, "
           f"fallback={spec.sim.backend_name() if spec.fallback else 'off'}, "
-          f"window={spec.batch_window_ms}ms, max_batch={spec.max_batch}]",
+          f"window={spec.batch_window_ms}ms, max_batch={spec.max_batch}"
+          f"{', log=' + spec.request_log if spec.request_log else ''}]",
           flush=True)
+
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt  # route SIGTERM through the graceful path
+
+    previous = signal.signal(signal.SIGTERM, _sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.shutdown()
-        server.server_close()
+        signal.signal(signal.SIGTERM, previous)
+        server.close()
     return 0
 
 
@@ -569,6 +587,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-window-ms", type=_nonnegative_float,
                    default=None, help="micro-batch collection window")
     p.add_argument("--max-batch", type=_positive_int, default=None)
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="worker processes (>1 runs a prediction cluster)")
+    p.add_argument("--request-log", default=None, metavar="FILE",
+                   help="append every executed batch to this JSONL log")
+    p.add_argument("--replay", default=None, metavar="LOG",
+                   help="re-drive a recorded request log instead of "
+                        "serving; exits non-zero on any response mismatch")
     p.add_argument("--no-fallback", action="store_true",
                    help="disable the gate-level simulation fallback")
     p.add_argument("--verbose", action="store_true",

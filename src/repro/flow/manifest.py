@@ -38,6 +38,39 @@ def stable_fingerprint(data, *, tag: str = "", length: int = 16) -> str:
     return h.hexdigest()[:length]
 
 
+def seal_record(record: Dict, *, tag: str, length: int = 16) -> Dict:
+    """Return ``record`` with a ``"fp"`` content fingerprint added.
+
+    Used by append-only JSONL logs (the serving request log): each
+    line carries the fingerprint of its own payload so a truncated or
+    hand-edited record is detected on read instead of silently
+    replayed.  The input must not already carry an ``"fp"`` key.
+    """
+    if "fp" in record:
+        raise ValueError("record already sealed (has an 'fp' key)")
+    sealed = dict(record)
+    sealed["fp"] = stable_fingerprint(record, tag=tag, length=length)
+    return sealed
+
+
+def check_record(record: Dict, *, tag: str) -> Dict:
+    """Verify a sealed record's fingerprint; return it without ``fp``.
+
+    Raises :class:`ValueError` on a missing or mismatching
+    fingerprint — the caller decides whether that is fatal.
+    """
+    if not isinstance(record, dict) or "fp" not in record:
+        raise ValueError("record carries no fingerprint")
+    payload = {k: v for k, v in record.items() if k != "fp"}
+    expected = stable_fingerprint(payload, tag=tag,
+                                  length=len(record["fp"]))
+    if record["fp"] != expected:
+        raise ValueError(
+            f"record fingerprint mismatch: manifest says "
+            f"{record['fp']!r}, payload hashes to {expected!r}")
+    return payload
+
+
 def read_manifest(path: Path, *, version_key: str, version: int,
                   entries_key: str) -> Dict:
     """Load a versioned manifest, or a fresh empty one.

@@ -10,16 +10,25 @@ The offline pipeline trains delay regressors; this package serves them:
   keeping models hot, chaining per-stream history, micro-batching
   mixed-corner requests into single forest passes, and falling back to
   gate-level simulation for unpublished FUs;
+* :mod:`repro.serve.cluster` — :class:`ClusterEngine` fanning batches
+  over N worker processes, each holding a replicated registry engine;
+  FU-affinity routing, dead-worker respawn with in-flight reissue,
+  bit-exact with the single-process engine;
+* :mod:`repro.serve.requestlog` — append-only sealed JSONL
+  :class:`RequestLog` of every executed batch, and :func:`replay_log`
+  (``repro serve --replay``) re-driving it bit-exact;
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` — stdlib
-  HTTP/JSON server (``repro serve``) and client.
+  HTTP/JSON server (``repro serve``) and retrying client.
 """
 
 from .client import ServeClient, ServeError
+from .cluster import ClusterEngine, ClusterStats
 from .engine import (
     EngineStats,
     Prediction,
     PredictionEngine,
     PredictRequest,
+    validate_request,
 )
 from .registry import (
     MODEL_KINDS,
@@ -31,9 +40,19 @@ from .registry import (
     model_key,
     stream_fingerprint,
 )
-from .server import MicroBatcher, PredictionServer
+from .requestlog import (
+    ReplayMismatch,
+    ReplayReport,
+    RequestLog,
+    read_request_log,
+    replay_log,
+)
+from .server import ConfigError, MicroBatcher, PredictionServer
 
 __all__ = [
+    "ClusterEngine",
+    "ClusterStats",
+    "ConfigError",
     "EngineStats",
     "MODEL_KINDS",
     "MicroBatcher",
@@ -44,10 +63,16 @@ __all__ = [
     "PredictionServer",
     "PredictRequest",
     "RegistryGCReport",
+    "ReplayMismatch",
+    "ReplayReport",
+    "RequestLog",
     "ServeClient",
     "ServeError",
     "corner_fingerprint",
     "fu_fingerprint",
     "model_key",
+    "read_request_log",
+    "replay_log",
     "stream_fingerprint",
+    "validate_request",
 ]

@@ -12,7 +12,10 @@ query the server without any third-party HTTP dependency:
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
+import time
 import urllib.error
 import urllib.request
 from typing import Dict, List, Optional, Sequence
@@ -28,13 +31,44 @@ class ServeError(RuntimeError):
         self.payload = payload or {}
 
 
+#: Transport-level failures worth one more try: the connection died
+#: before/mid response (server restarting a worker, listen backlog
+#: momentarily full).  Timeouts and HTTP error statuses are NOT here —
+#: a slow or failing request must surface, not silently re-run.
+_RETRYABLE = (ConnectionResetError, ConnectionRefusedError,
+              BrokenPipeError, ConnectionAbortedError,
+              http.client.RemoteDisconnected, http.client.BadStatusLine)
+
+
+def _retryable_reason(exc: Exception) -> bool:
+    if isinstance(exc, _RETRYABLE):
+        return True
+    if isinstance(exc, urllib.error.URLError):
+        reason = getattr(exc, "reason", None)
+        return isinstance(reason, _RETRYABLE)
+    return False
+
+
 class ServeClient:
-    """JSON client bound to one server address."""
+    """JSON client bound to one server address.
+
+    Every call carries a per-request ``timeout``; transport resets are
+    retried up to ``retries`` times with exponential backoff starting
+    at ``backoff_s``.  HTTP error statuses and timeouts are never
+    retried.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8000,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, retries: int = 2,
+                 backoff_s: float = 0.05) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
 
     # -- transport ------------------------------------------------------------
 
@@ -45,24 +79,44 @@ class ServeClient:
         if payload is not None:
             data = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                body = json.loads(response.read())
-        except urllib.error.HTTPError as exc:
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            request = urllib.request.Request(url, data=data, headers=headers)
             try:
-                body = json.loads(exc.read())
-            except (json.JSONDecodeError, ValueError):
-                body = {}
-            # 422 carries per-request results; surface them to the caller
-            if exc.code == 422 and "predictions" in body:
-                return body
-            raise ServeError(body.get("error", str(exc)), status=exc.code,
-                             payload=body) from None
-        except urllib.error.URLError as exc:
-            raise ServeError(f"cannot reach {url}: {exc.reason}") from None
-        return body
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as exc:
+                try:
+                    body = json.loads(exc.read())
+                except (json.JSONDecodeError, ValueError):
+                    body = {}
+                # 422 carries per-request results; surface them to the caller
+                if exc.code == 422 and "predictions" in body:
+                    return body
+                raise ServeError(body.get("error", str(exc)), status=exc.code,
+                                 payload=body) from None
+            except socket.timeout:
+                raise ServeError(
+                    f"request to {url} timed out "
+                    f"after {self.timeout}s") from None
+            except urllib.error.URLError as exc:
+                if isinstance(exc.reason, socket.timeout):
+                    raise ServeError(
+                        f"request to {url} timed out "
+                        f"after {self.timeout}s") from None
+                if not _retryable_reason(exc):
+                    raise ServeError(
+                        f"cannot reach {url}: {exc.reason}") from None
+                last = exc
+            except _RETRYABLE as exc:
+                last = exc
+        reason = getattr(last, "reason", last)
+        raise ServeError(
+            f"cannot reach {url} after {self.retries + 1} attempt(s): "
+            f"{reason}") from None
 
     # -- endpoints ------------------------------------------------------------
 

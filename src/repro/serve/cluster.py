@@ -1,0 +1,527 @@
+"""Distributed serving: one front end fanned out over worker processes.
+
+The single-process server runs one :class:`~repro.serve.engine.
+PredictionEngine` behind one :class:`~repro.serve.server.MicroBatcher`.
+This module scales that shape out without changing its semantics: a
+:class:`ClusterEngine` exposes the same ``predict_batch`` /
+``refresh`` / ``stats_dict`` surface the batcher and HTTP server
+already consume, but executes batches on ``N`` long-lived worker
+processes — the bliss/conductor pattern (small coordination server
+owning config and data flow, stateless workers) applied to serving.
+
+Design points:
+
+* **Workers replicate the registry.**  Each worker builds its own
+  :class:`~repro.serve.engine.PredictionEngine` over the registry
+  *directory* and pre-resolves every published model of the served
+  kind into its hot LRU before reporting ready, so the first request
+  never pays an unpickle.  A ``refresh`` control message (HTTP
+  ``POST /models/refresh``) makes every replica drop and re-warm —
+  that is how a newly published version rolls out.
+* **Model-affinity routing.**  Each FU is pinned to one worker slot
+  (least-loaded at first sight, sticky afterwards), so a worker's
+  hot-model LRU and compiled sim-fallback programs stay warm instead
+  of every worker faulting in every model.
+* **The front end owns per-stream history.**  The Eq.-3 features need
+  ``x[t-1]``; the cluster chains it *before* dispatch and sends every
+  request with explicit ``prev_a``/``prev_b``, making workers
+  stateless per request.  A respawned worker therefore serves
+  bit-identical answers — and the whole cluster is bit-exact with the
+  single-process engine, which applies the very same chaining rule
+  (see :func:`repro.serve.engine.validate_request` for the shared
+  validation that keeps failed requests from advancing history on
+  either side).
+* **Crash robustness.**  A worker that dies mid-batch (kill -9, OOM)
+  is respawned in place and its in-flight sub-batch reissued — the
+  same reissue discipline as :class:`repro.flow.pool.WorkerPool`.
+  Because requests carry explicit history, a reissue cannot skew
+  results.  A sub-batch that repeatedly kills workers fails loudly
+  (per-request ``ok=False``) instead of looping forever.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .engine import (
+    Prediction,
+    PredictionEngine,
+    PredictRequest,
+    validate_request,
+)
+from .registry import ModelRegistry
+
+__all__ = [
+    "CLUSTER_MAX_REISSUES",
+    "ClusterEngine",
+    "ClusterStats",
+]
+
+#: A sub-batch that sees its worker die this many times is failed with
+#: per-request errors — the batch itself is almost certainly the killer.
+CLUSTER_MAX_REISSUES = 2
+
+#: Env var naming a crash-token file: a worker that consumes a token at
+#: batch receipt hard-kills itself mid-batch.  Deterministic test hook
+#: for the respawn/reissue path (same file format as the pool's).
+CRASH_FILE_ENV = "REPRO_CLUSTER_CRASH_FILE"
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _warm_replica(engine: PredictionEngine) -> Tuple[str, int]:
+    """Replicate the registry manifest into the worker's hot LRU.
+
+    Resolves every published FU of the served kind (up to the LRU
+    capacity) so requests never pay a cold unpickle, and returns the
+    manifest fingerprint + hot-model count for the ready report.
+    """
+    registry = engine.registry
+    if registry is None:
+        return "-", 0
+    fus: List[str] = []
+    for record in registry.list_models(kind=engine.kind):
+        if record.fu not in fus:
+            fus.append(record.fu)
+    warmed = 0
+    for fu in fus[:engine.max_hot_models]:
+        try:
+            if engine._resolve_model(fu) is not None:
+                warmed += 1
+        except Exception:  # a corrupt artifact must not kill the worker
+            continue
+    return registry.manifest_fingerprint(), warmed
+
+
+def _consume_crash_token(path: str) -> bool:
+    """Take one crash token from ``path`` (see :data:`CRASH_FILE_ENV`)."""
+    try:
+        with open(path) as fh:
+            raw = fh.read().strip()
+        count = int(raw) if raw.isdigit() else 1
+        if count <= 1:
+            os.remove(path)  # atomic: concurrent consumers race, one wins
+        else:
+            with open(path, "w") as fh:
+                fh.write(str(count - 1))
+    except OSError:
+        return False
+    return True
+
+
+def _cluster_worker_main(conn, registry_root: Optional[str], kind: str,
+                         sim_fallback: bool, backend: str,
+                         max_hot_models: int) -> None:
+    """Worker loop: replicate the registry, then serve predict batches.
+
+    Messages: ``("predict", task_id, [PredictRequest, ...])`` answered
+    with ``("done", task_id, [Prediction, ...])`` or ``("err",
+    task_id, traceback)``; ``("refresh",)`` re-replicates (no reply —
+    pipe ordering serializes it before any later batch); ``("stop",)``
+    or EOF exits.
+    """
+    try:
+        engine = PredictionEngine(
+            registry=registry_root, kind=kind, sim_fallback=sim_fallback,
+            backend=backend, max_hot_models=max_hot_models)
+        fingerprint, warmed = _warm_replica(engine)
+        conn.send(("ready", fingerprint, warmed))
+    except Exception:
+        try:
+            conn.send(("init_err", traceback.format_exc()))
+        except OSError:
+            pass
+        return
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind_ = msg[0]
+            if kind_ == "stop":
+                break
+            if kind_ == "refresh":
+                engine.refresh()
+                fingerprint, warmed = _warm_replica(engine)
+                conn.send(("refreshed", fingerprint, warmed))
+            elif kind_ == "predict":
+                _, task_id, requests = msg
+                crash = os.environ.get(CRASH_FILE_ENV)
+                if crash and _consume_crash_token(crash):
+                    os._exit(17)  # simulated hard mid-batch death
+                try:
+                    results = engine.predict_batch(requests)
+                    conn.send(("done", task_id, results))
+                except BaseException:
+                    conn.send(("err", task_id, traceback.format_exc()))
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+@dataclass
+class ClusterStats:
+    """Front-end counters since cluster construction."""
+
+    requests: int = 0
+    batches: int = 0
+    failed: int = 0
+    respawns: int = 0
+    reissues: int = 0
+    refreshes: int = 0
+    per_worker: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {"requests": self.requests, "batches": self.batches,
+                "failed": self.failed, "respawns": self.respawns,
+                "reissues": self.reissues, "refreshes": self.refreshes,
+                "per_worker": {str(k): v
+                               for k, v in sorted(self.per_worker.items())}}
+
+
+class _ClusterWorker:
+    """Parent-side handle for one serving worker slot."""
+
+    __slots__ = ("slot", "process", "conn", "manifest", "hot_models",
+                 "started")
+
+    def __init__(self, slot: int, process, conn) -> None:
+        self.slot = slot
+        self.process = process
+        self.conn = conn
+        self.manifest = "-"
+        self.hot_models = 0
+        self.started = time.monotonic()
+
+
+def _shutdown_cluster(workers: List[_ClusterWorker]) -> None:
+    """Finalizer body: reap workers.  Idempotent, no self-references
+    (weakref.finalize contract)."""
+    for w in workers:
+        try:
+            if w.process.is_alive():
+                w.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+    for w in workers:
+        w.process.join(timeout=2.0)
+        if w.process.is_alive():
+            w.process.terminate()
+            w.process.join(timeout=1.0)
+        try:
+            w.conn.close()
+        except OSError:
+            pass
+    workers.clear()
+
+
+class ClusterEngine:
+    """Batch executor fanning one front end over N serving workers.
+
+    Drop-in for :class:`~repro.serve.engine.PredictionEngine` wherever
+    only the serving surface is needed (``predict_batch``,
+    ``refresh``, ``stats_dict``, ``registry``/``kind``/
+    ``sim_fallback`` attributes) — in particular behind
+    :class:`~repro.serve.server.MicroBatcher` and
+    :class:`~repro.serve.server.PredictionServer`.
+
+    Parameters
+    ----------
+    registry:
+        Registry directory (or :class:`ModelRegistry`, or None).
+        Workers replicate it by *path* — each builds its own reader.
+    workers:
+        Worker-process count (>= 1; 1 is a valid degenerate cluster).
+    kind / sim_fallback / backend / max_hot_models:
+        Forwarded to every worker's engine, same meaning as on
+        :class:`PredictionEngine`.
+    max_streams:
+        LRU capacity of the front end's per-stream history (mirrors
+        the engine default so eviction behavior is identical).
+    """
+
+    def __init__(self, registry: Union[ModelRegistry, str, Path, None],
+                 workers: int = 2, kind: str = "tevot",
+                 sim_fallback: bool = True, backend: Optional[str] = None,
+                 max_hot_models: int = 8, max_streams: int = 4096) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_streams < 1:
+            raise ValueError("max_streams must be >= 1")
+        if registry is None or isinstance(registry, ModelRegistry):
+            self.registry = registry
+        else:
+            self.registry = ModelRegistry(registry)
+        self._registry_root = (None if self.registry is None
+                               else str(self.registry.root))
+        self.n_workers = workers
+        self.kind = kind
+        self.sim_fallback = sim_fallback
+        if backend is None:
+            from ..flow.campaign import DEFAULT_BACKEND
+            backend = DEFAULT_BACKEND
+        self.backend = backend
+        self.max_hot_models = max_hot_models
+        self.max_streams = max_streams
+        from multiprocessing import get_context
+        try:
+            self._ctx = get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            self._ctx = get_context()
+        import threading
+
+        self._lock = threading.Lock()
+        self._task_seq = 0
+        self._affinity: Dict[str, int] = {}
+        self._fus: Dict[str, object] = {}
+        self._history: "OrderedDict[Tuple[str, str], Tuple[int, int]]" \
+            = OrderedDict()
+        self.stats = ClusterStats()
+        self._workers: List[_ClusterWorker] = []
+        self._finalizer = weakref.finalize(
+            self, _shutdown_cluster, self._workers)
+        for slot in range(workers):
+            self._workers.append(self._spawn(slot))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Reap every worker (idempotent; also runs at GC / exit)."""
+        self._finalizer()
+
+    def __enter__(self) -> "ClusterEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def n_alive(self) -> int:
+        """Live worker processes (tests / leak checks)."""
+        return sum(1 for w in self._workers if w.process.is_alive())
+
+    def _spawn(self, slot: int) -> _ClusterWorker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_cluster_worker_main,
+            args=(child_conn, self._registry_root, self.kind,
+                  self.sim_fallback, self.backend, self.max_hot_models),
+            name=f"repro-serve-worker-{slot}", daemon=True)
+        process.start()
+        child_conn.close()
+        worker = _ClusterWorker(slot, process, parent_conn)
+        self._await_ready(worker)
+        return worker
+
+    def _await_ready(self, worker: _ClusterWorker) -> None:
+        try:
+            msg = worker.conn.recv()
+        except (EOFError, OSError):
+            raise RuntimeError(
+                f"serving worker {worker.slot} died during startup")
+        if msg[0] == "init_err":
+            raise RuntimeError(
+                f"serving worker {worker.slot} failed to start:\n{msg[1]}")
+        _, worker.manifest, worker.hot_models = msg
+
+    def _respawn(self, worker: _ClusterWorker) -> _ClusterWorker:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():  # pragma: no cover - defensive
+            worker.process.terminate()
+        worker.process.join(timeout=2.0)
+        fresh = self._spawn(worker.slot)
+        self._workers[worker.slot] = fresh
+        self.stats.respawns += 1
+        return fresh
+
+    # -- history + routing ----------------------------------------------------
+
+    def _functional_unit(self, fu_name: str):
+        fu = self._fus.get(fu_name)
+        if fu is None:
+            from ..circuits.functional_units import build_functional_unit
+            fu = build_functional_unit(fu_name)
+            self._fus[fu_name] = fu
+        return fu
+
+    def _chain(self, req: PredictRequest) -> PredictRequest:
+        """Copy of ``req`` with history made explicit, advancing state.
+
+        Mirrors :meth:`PredictionEngine._chain_history` exactly —
+        explicit ``prev_*`` wins, else the stored cross-batch state,
+        else the request's own operands (a steady input).  Raw operand
+        values are stored; the worker's engine masks at use, which is
+        idempotent, so served bits cannot differ from single-process.
+        """
+        key = (req.fu, req.stream_id)
+        if req.prev_a is not None or req.prev_b is not None:
+            prev_a = req.prev_a if req.prev_a is not None else req.a
+            prev_b = req.prev_b if req.prev_b is not None else req.b
+        else:
+            prev_a, prev_b = self._history.get(key, (req.a, req.b))
+        self._history[key] = (req.a, req.b)
+        self._history.move_to_end(key)
+        while len(self._history) > self.max_streams:
+            self._history.popitem(last=False)
+        return replace(req, prev_a=prev_a, prev_b=prev_b)
+
+    def _worker_for(self, fu_name: str) -> int:
+        """Sticky FU -> worker-slot affinity (least-loaded on first
+        sight) so each worker's hot-model LRU stays warm."""
+        slot = self._affinity.get(fu_name)
+        if slot is None:
+            loads = [0] * self.n_workers
+            for s in self._affinity.values():
+                loads[s] += 1
+            slot = loads.index(min(loads))
+            self._affinity[fu_name] = slot
+        return slot
+
+    # -- inference ------------------------------------------------------------
+
+    def predict_one(self, request: PredictRequest) -> Prediction:
+        """Single-request convenience; raises on failure."""
+        result = self.predict_batch([request])[0]
+        if not result.ok:
+            raise ValueError(result.message or "prediction failed")
+        return result
+
+    def predict_batch(self, requests: Sequence[PredictRequest]
+                      ) -> List[Prediction]:
+        """Dispatch one micro-batch across the workers.
+
+        Results align with ``requests``; the answer stream is
+        bit-identical to :meth:`PredictionEngine.predict_batch` on the
+        same sequence of batches.
+        """
+        if self.closed:
+            raise RuntimeError("ClusterEngine is closed")
+        requests = list(requests)
+        with self._lock:
+            return self._predict_batch_locked(requests)
+
+    def _predict_batch_locked(self, requests: List[PredictRequest]
+                              ) -> List[Prediction]:
+        self.stats.batches += 1
+        self.stats.requests += len(requests)
+        results: List[Optional[Prediction]] = [None] * len(requests)
+
+        # validate + chain history in batch order (the engine's order),
+        # then group chained copies per affinity worker
+        sub_batches: Dict[int, List[Tuple[int, PredictRequest]]] = {}
+        for i, req in enumerate(requests):
+            failure = validate_request(req, self._functional_unit)
+            if failure is not None:
+                results[i] = Prediction(ok=False, message=failure)
+                self.stats.failed += 1
+                continue
+            chained = self._chain(req)
+            slot = self._worker_for(req.fu)
+            sub_batches.setdefault(slot, []).append((i, chained))
+
+        for slot, entries in sub_batches.items():
+            idxs = [i for i, _ in entries]
+            batch = [r for _, r in entries]
+            predictions = self._dispatch(slot, batch)
+            for i, pred in zip(idxs, predictions):
+                results[i] = pred
+            self.stats.per_worker[slot] = (
+                self.stats.per_worker.get(slot, 0) + len(batch))
+        return results  # type: ignore[return-value]
+
+    def _dispatch(self, slot: int, batch: List[PredictRequest]
+                  ) -> List[Prediction]:
+        """Run one sub-batch on one worker, respawning + reissuing on
+        worker death (requests carry explicit history, so a reissue is
+        idempotent)."""
+        self._task_seq += 1
+        task_id = self._task_seq
+        for attempt in range(CLUSTER_MAX_REISSUES + 1):
+            worker = self._workers[slot]
+            if attempt:
+                self.stats.reissues += 1
+            try:
+                worker.conn.send(("predict", task_id, batch))
+                while True:
+                    msg = worker.conn.recv()
+                    if msg[0] == "done" and msg[1] == task_id:
+                        return msg[2]
+                    if msg[0] == "err" and msg[1] == task_id:
+                        self.stats.failed += len(batch)
+                        return [Prediction(
+                            ok=False,
+                            message=f"worker error: {msg[2].splitlines()[-1]}")
+                            for _ in batch]
+                    # stale reply from an abandoned task: drop it
+            except (BrokenPipeError, EOFError, OSError):
+                self._respawn(worker)
+        self.stats.failed += len(batch)
+        return [Prediction(
+            ok=False,
+            message=(f"worker {slot} died {CLUSTER_MAX_REISSUES + 1} times "
+                     f"serving this batch"))
+            for _ in batch]
+
+    # -- control --------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Re-replicate the registry on every worker (the
+        ``POST /models/refresh`` control message): each replica drops
+        hot models + negative cache and re-warms from the manifest."""
+        with self._lock:
+            self.stats.refreshes += 1
+            for worker in list(self._workers):
+                try:
+                    worker.conn.send(("refresh",))
+                    msg = worker.conn.recv()
+                    if msg[0] == "refreshed":
+                        _, worker.manifest, worker.hot_models = msg
+                except (BrokenPipeError, EOFError, OSError):
+                    # a fresh worker replicates the new manifest anyway
+                    self._respawn(worker)
+
+    def reset_stream(self, fu: Optional[str] = None,
+                     stream_id: Optional[str] = None) -> None:
+        """Forget front-end history (all streams, or one FU/stream);
+        mirrors :meth:`PredictionEngine.reset_stream`."""
+        with self._lock:
+            self._history = OrderedDict(
+                (k, v) for k, v in self._history.items()
+                if (fu is not None and k[0] != fu)
+                or (stream_id is not None and k[1] != stream_id))
+
+    # -- introspection --------------------------------------------------------
+
+    def workers_dict(self) -> List[Dict]:
+        """Per-replica status rows for ``/stats``."""
+        return [{"slot": w.slot, "alive": w.process.is_alive(),
+                 "manifest": w.manifest, "hot_models": w.hot_models,
+                 "uptime_s": round(time.monotonic() - w.started, 3)}
+                for w in self._workers]
+
+    def stats_dict(self) -> Dict:
+        with self._lock:
+            out = self.stats.as_dict()
+            out["workers"] = self.workers_dict()
+            out["affinity"] = dict(sorted(self._affinity.items()))
+            return out

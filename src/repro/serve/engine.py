@@ -65,6 +65,14 @@ class PredictRequest:
     def condition(self) -> OperatingCondition:
         return OperatingCondition(self.voltage, self.temperature)
 
+    def as_dict(self) -> Dict:
+        """Plain-JSON payload; ``from_dict`` reconstructs it exactly."""
+        return {"fu": self.fu, "a": self.a, "b": self.b,
+                "voltage": self.voltage, "temperature": self.temperature,
+                "clock_period": self.clock_period,
+                "stream_id": self.stream_id,
+                "prev_a": self.prev_a, "prev_b": self.prev_b}
+
     @classmethod
     def from_dict(cls, data: Dict) -> "PredictRequest":
         try:
@@ -120,6 +128,24 @@ class EngineStats:
                 "model_cache_hits": self.model_cache_hits,
                 "model_cache_misses": self.model_cache_misses,
                 "per_fu": dict(self.per_fu)}
+
+
+def validate_request(request: PredictRequest, fu_lookup) -> Optional[str]:
+    """Validate one request; return the failure message or None.
+
+    Shared between :class:`PredictionEngine` and the cluster front end
+    (:mod:`repro.serve.cluster`), so both reject the same requests with
+    the same messages — and, crucially, neither advances per-stream
+    history for a request the other would have failed.
+    """
+    try:
+        request.condition()  # validates the (V, T) ranges
+        fu_lookup(request.fu)
+        if request.clock_period is not None and request.clock_period <= 0:
+            raise ValueError("clock_period must be positive")
+    except (ValueError, KeyError) as exc:
+        return str(exc)
+    return None
 
 
 class PredictionEngine:
@@ -260,13 +286,9 @@ class PredictionEngine:
         # validate + group by FU, preserving request order per group
         groups: Dict[str, List[int]] = {}
         for i, req in enumerate(requests):
-            try:
-                req.condition()  # validates the (V, T) ranges
-                self._functional_unit(req.fu)
-                if req.clock_period is not None and req.clock_period <= 0:
-                    raise ValueError("clock_period must be positive")
-            except (ValueError, KeyError) as exc:
-                results[i] = Prediction(ok=False, message=str(exc))
+            failure = validate_request(req, self._functional_unit)
+            if failure is not None:
+                results[i] = Prediction(ok=False, message=failure)
                 self.stats.failed += 1
                 continue
             groups.setdefault(req.fu, []).append(i)

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..circuits.functional_units import FunctionalUnit
 from ..core.model import load_model, save_model
-from ..flow.manifest import read_manifest, write_manifest
+from ..flow.manifest import read_manifest, stable_fingerprint, write_manifest
 from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
 
@@ -172,6 +172,16 @@ class ModelRegistry:
 
     def __len__(self) -> int:
         return len(self._read()["models"])
+
+    def manifest_fingerprint(self, length: int = 16) -> str:
+        """Content hash of the manifest's model table.
+
+        Cluster workers report this after replicating the registry on
+        startup/refresh, so ``/stats`` can show whether every replica
+        serves the same published set.
+        """
+        return stable_fingerprint(self._read()["models"],
+                                  tag="registry-manifest", length=length)
 
     # -- publish / resolve ----------------------------------------------------
 

@@ -1,0 +1,216 @@
+"""Persistent, replayable request log for the serving tier.
+
+Load tests become reproducible artifacts: every ``/predict`` body the
+:class:`~repro.serve.server.MicroBatcher` executes is appended to a
+JSONL file in the workspace — one record per *executed batch*, so the
+log preserves the batch boundaries the live traffic actually produced
+(micro-batch composition affects nothing bit-wise, but replaying the
+true boundaries keeps the replay an honest re-run of the recorded
+load, and the graph-supported dynamic-configuration framing of
+PAPERS.md needs the real arrival/batch structure to tune against).
+
+Each record is sealed with a content fingerprint
+(:func:`repro.flow.manifest.seal_record`), so truncated or hand-edited
+lines are detected on read instead of silently replayed.  The first
+line is a header record naming the server configuration that produced
+the log.
+
+``repro serve --replay LOG`` drives :func:`replay_log`: rebuild the
+requests batch by batch, push them through a fresh engine (single
+process or cluster — both are bit-exact with the recording engine for
+the same registry), and compare every response against the recorded
+one.  Per-stream history starts empty on both sides (the log starts at
+server start), so a clean replay asserts byte-identical response
+streams.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..flow.manifest import check_record, seal_record
+from .engine import Prediction, PredictRequest
+
+__all__ = [
+    "ReplayMismatch",
+    "ReplayReport",
+    "RequestLog",
+    "read_request_log",
+    "replay_log",
+]
+
+#: Bump when the record layout changes.
+LOG_VERSION = 1
+
+#: Fingerprint namespace for sealed log records.
+LOG_TAG = "serve-request-log"
+
+
+class RequestLog:
+    """Append-only JSONL log of executed prediction batches.
+
+    Opened by the server at startup; :meth:`append_batch` is called by
+    the micro-batcher's single consumer thread (no locking needed) and
+    flushes per record, so a SIGTERM'd server loses at most the batch
+    in flight.  Appending to an existing log continues its batch
+    numbering — replay treats the whole file as one session only when
+    the header count is 1.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 config: Optional[Dict] = None) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._n_batches = 0
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._write({"kind": "header", "version": LOG_VERSION,
+                     "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                     "config": dict(config or {})})
+
+    def _write(self, record: Dict) -> None:
+        line = json.dumps(seal_record(record, tag=LOG_TAG),
+                          sort_keys=True, separators=(",", ":"))
+        self._fh.write(line + "\n")
+        self._fh.flush()
+
+    def append_batch(self, requests: Sequence[PredictRequest],
+                     predictions: Sequence[Prediction]) -> None:
+        """Record one executed batch (requests as received, pre-chain)."""
+        self._n_batches += 1
+        self._write({"kind": "batch", "batch": self._n_batches,
+                     "ts": round(time.time(), 6),
+                     "requests": [r.as_dict() for r in requests],
+                     "predictions": [p.as_dict() for p in predictions]})
+
+    @property
+    def n_batches(self) -> int:
+        return self._n_batches
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RequestLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_request_log(path: Union[str, Path]) -> Iterator[Dict]:
+    """Yield verified records (header(s) included) from a log file.
+
+    Raises :class:`ValueError` on unparsable JSON, a missing/bad
+    fingerprint, or an unsupported log version — a corrupt log must
+    fail loudly, never replay partially.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: unparsable log line: {exc}") from None
+            try:
+                record = check_record(raw, tag=LOG_TAG)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            if record.get("kind") == "header" \
+                    and record.get("version") != LOG_VERSION:
+                raise ValueError(
+                    f"{path}:{lineno}: unsupported log version "
+                    f"{record.get('version')!r} (expected {LOG_VERSION})")
+            yield record
+
+
+@dataclass
+class ReplayMismatch:
+    """One replayed response that differs from the recording."""
+
+    batch: int
+    index: int
+    recorded: Dict
+    replayed: Dict
+
+    def describe(self) -> str:
+        return (f"batch {self.batch} request {self.index}: recorded "
+                f"{json.dumps(self.recorded, sort_keys=True)} != replayed "
+                f"{json.dumps(self.replayed, sort_keys=True)}")
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one :func:`replay_log` run."""
+
+    batches: int = 0
+    requests: int = 0
+    mismatches: List[ReplayMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        state = ("bit-exact" if self.ok
+                 else f"{len(self.mismatches)} mismatch(es)")
+        return (f"replayed {self.requests} request(s) in {self.batches} "
+                f"batch(es): {state}")
+
+
+def replay_log(path: Union[str, Path],
+               predict_batch: Callable[[List[PredictRequest]],
+                                       Sequence[Prediction]],
+               max_mismatches: int = 16) -> ReplayReport:
+    """Re-drive a recorded log and compare every response bit-exact.
+
+    ``predict_batch`` is any engine-shaped executor — a fresh
+    :class:`~repro.serve.engine.PredictionEngine` or
+    :class:`~repro.serve.cluster.ClusterEngine` ``predict_batch``
+    bound method.  Batches are replayed in recorded order with
+    recorded boundaries, so per-stream history chains exactly as it
+    did live.  Comparison is on the JSON payloads (floats round-trip
+    ``repr``-exact through JSON, so equality is bit-equality).
+    Collection stops after ``max_mismatches`` differences.
+    """
+    report = ReplayReport()
+    headers = 0
+    for record in read_request_log(path):
+        if record.get("kind") == "header":
+            headers += 1
+            if headers > 1:
+                # a second session appended to this file: its engine
+                # started with fresh history, ours would not have —
+                # replaying across the boundary cannot be bit-exact
+                raise ValueError(
+                    f"{path} holds {headers} recording sessions; replay "
+                    f"them separately (split at the header lines)")
+            continue
+        if record.get("kind") != "batch":
+            continue
+        report.batches += 1
+        requests = [PredictRequest.from_dict(r)
+                    for r in record["requests"]]
+        report.requests += len(requests)
+        replayed = [p.as_dict() for p in predict_batch(requests)]
+        recorded = record["predictions"]
+        if len(replayed) != len(recorded):  # pragma: no cover - defensive
+            raise ValueError(
+                f"batch {record['batch']}: replay produced "
+                f"{len(replayed)} response(s) for {len(recorded)} "
+                f"recorded")
+        for i, (rec, rep) in enumerate(zip(recorded, replayed)):
+            if rec != rep:
+                report.mismatches.append(ReplayMismatch(
+                    batch=record["batch"], index=i,
+                    recorded=rec, replayed=rep))
+                if len(report.mismatches) >= max_mismatches:
+                    return report
+    return report

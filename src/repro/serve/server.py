@@ -18,6 +18,20 @@ Endpoints (all JSON):
 * ``GET  /stats``   — engine + batching counters and current config.
 * ``POST /config``  — adjust ``batch_window_ms`` / ``max_batch`` at
   runtime (the dynamic-serving-parameter idea from PAPERS.md).
+* ``POST /models/refresh`` — re-resolve published models; on a
+  cluster engine this is the control message that makes every worker
+  replica re-replicate the registry manifest and re-warm.
+
+The server also accepts any *engine-shaped* executor (anything with
+``predict_batch`` / ``refresh`` / ``stats_dict`` and the
+``registry`` / ``kind`` / ``sim_fallback`` attributes) — that is how
+:class:`~repro.serve.cluster.ClusterEngine` slots in unchanged — and
+an optional :class:`~repro.serve.requestlog.RequestLog` that records
+every executed batch for deterministic replay.
+
+Shutdown is graceful: ``close()`` (or SIGTERM via ``repro serve``)
+stops accepting, drains the micro-batcher queue, answers every
+in-flight request, and only then closes the socket.
 """
 
 from __future__ import annotations
@@ -29,6 +43,35 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .engine import Prediction, PredictionEngine, PredictRequest
+
+
+class ConfigError(ValueError):
+    """A rejected runtime-config value; ``field`` names the culprit."""
+
+    def __init__(self, field: str, message: str) -> None:
+        super().__init__(message)
+        self.field = field
+
+
+def _check_window(value) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError("batch_window_ms",
+                          f"batch_window_ms must be a number, "
+                          f"got {value!r}")
+    if float(value) < 0:
+        raise ConfigError("batch_window_ms",
+                          f"batch_window_ms must be >= 0, got {value!r}")
+    return float(value)
+
+
+def _check_max_batch(value) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError("max_batch",
+                          f"max_batch must be an integer, got {value!r}")
+    if value < 1:
+        raise ConfigError("max_batch",
+                          f"max_batch must be >= 1, got {value!r}")
+    return value
 
 
 class _Pending:
@@ -46,8 +89,10 @@ class MicroBatcher:
     """Collects requests across threads into engine-sized batches."""
 
     def __init__(self, engine: PredictionEngine,
-                 batch_window_ms: float = 2.0, max_batch: int = 64) -> None:
+                 batch_window_ms: float = 2.0, max_batch: int = 64,
+                 request_log=None) -> None:
         self.engine = engine
+        self.request_log = request_log
         self.configure(batch_window_ms=batch_window_ms, max_batch=max_batch)
         self._cond = threading.Condition()
         self._queue: List[_Pending] = []
@@ -63,17 +108,18 @@ class MicroBatcher:
                   max_batch: Optional[int] = None) -> None:
         """Runtime-adjustable batching knobs.
 
-        Validates everything before applying anything, so a rejected
-        call never half-applies.
+        Validates everything before applying anything (raising
+        :class:`ConfigError` naming the offending field), so a
+        rejected call never half-applies.
         """
-        if batch_window_ms is not None and float(batch_window_ms) < 0:
-            raise ValueError("batch_window_ms must be >= 0")
-        if max_batch is not None and int(max_batch) < 1:
-            raise ValueError("max_batch must be >= 1")
         if batch_window_ms is not None:
-            self.batch_window_ms = float(batch_window_ms)
+            batch_window_ms = _check_window(batch_window_ms)
         if max_batch is not None:
-            self.max_batch = int(max_batch)
+            max_batch = _check_max_batch(max_batch)
+        if batch_window_ms is not None:
+            self.batch_window_ms = batch_window_ms
+        if max_batch is not None:
+            self.max_batch = max_batch
 
     def submit_many(self, requests: Sequence[PredictRequest]
                     ) -> List[Prediction]:
@@ -89,10 +135,15 @@ class MicroBatcher:
         return [p.result for p in pending]  # type: ignore[misc]
 
     def stop(self) -> None:
+        """Stop accepting and drain: every already-queued request is
+        answered before the consumer thread exits (new ``submit_many``
+        calls are rejected immediately)."""
         with self._cond:
             self._stopped = True
             self._cond.notify()
-        self._thread.join(timeout=5.0)
+        self._thread.join()
+        if self.request_log is not None:
+            self.request_log.close()
 
     def _drain(self) -> List[_Pending]:
         batch = self._queue[:self.max_batch]
@@ -121,6 +172,12 @@ class MicroBatcher:
             except Exception as exc:  # engine bug: fail the batch, live on
                 results = [Prediction(ok=False, message=f"engine error: {exc}")
                            for _ in batch]
+            if self.request_log is not None:
+                try:
+                    self.request_log.append_batch(
+                        [p.request for p in batch], results)
+                except OSError:  # a full disk must not take serving down
+                    pass
             self.n_batches += 1
             self.n_requests += len(batch)
             self.largest_batch = max(self.largest_batch, len(batch))
@@ -139,6 +196,10 @@ class MicroBatcher:
 
 class _Handler(BaseHTTPRequestHandler):
     server: "PredictionServer"
+
+    #: bound the time a silent connection can pin a handler thread, so
+    #: graceful close (which joins handler threads) cannot hang forever
+    timeout = 60.0
 
     # -- plumbing -------------------------------------------------------------
 
@@ -189,6 +250,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._predict(data)
         elif path == "/config":
             self._config(data)
+        elif path == "/models/refresh":
+            self.server.engine.refresh()
+            self._send_json({"ok": True})
         else:
             self._send_json({"error": f"unknown path {path!r}"}, 404)
 
@@ -201,7 +265,11 @@ class _Handler(BaseHTTPRequestHandler):
         except (TypeError, ValueError) as exc:
             self._send_json({"error": str(exc)}, 400)
             return
-        results = self.server.batcher.submit_many(requests)
+        try:
+            results = self.server.batcher.submit_many(requests)
+        except RuntimeError:  # shutting down: batcher drains, no new work
+            self._send_json({"error": "server is shutting down"}, 503)
+            return
         status = 200 if all(r.ok for r in results) else 422
         self._send_json(
             {"predictions": [r.as_dict() for r in results]}, status)
@@ -211,8 +279,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.server.batcher.configure(
                 batch_window_ms=data.get("batch_window_ms"),
                 max_batch=data.get("max_batch"))
-        except (TypeError, ValueError) as exc:
-            self._send_json({"error": str(exc)}, 400)
+        except ConfigError as exc:
+            self._send_json({"error": str(exc), "field": exc.field}, 400)
             return
         if data.get("refresh_models"):
             self.server.engine.refresh()
@@ -223,25 +291,41 @@ class _Handler(BaseHTTPRequestHandler):
 class PredictionServer(ThreadingHTTPServer):
     """HTTP server owning one engine + one micro-batcher.
 
-    ``port=0`` binds an ephemeral port (see :attr:`address`); call
+    ``engine`` may be a single-process
+    :class:`~repro.serve.engine.PredictionEngine` or a
+    :class:`~repro.serve.cluster.ClusterEngine` — anything exposing
+    the engine surface the batcher and endpoints consume.  ``port=0``
+    binds an ephemeral port (see :attr:`address`); call
     :meth:`serve_forever` (blocking) or :meth:`start_background`.
+    Stop with :meth:`close` (graceful: drains queued requests, then
+    closes the socket and any cluster workers).
     """
 
-    daemon_threads = True
+    # handler threads are joined on server_close so every accepted
+    # request gets its response written before the socket goes away
+    daemon_threads = False
+    block_on_close = True
 
     def __init__(self, engine: PredictionEngine, host: str = "127.0.0.1",
                  port: int = 8000, batch_window_ms: float = 2.0,
-                 max_batch: int = 64, verbose: bool = False) -> None:
+                 max_batch: int = 64, verbose: bool = False,
+                 request_log=None) -> None:
         self.engine = engine
         self.batcher = MicroBatcher(engine, batch_window_ms=batch_window_ms,
-                                    max_batch=max_batch)
+                                    max_batch=max_batch,
+                                    request_log=request_log)
         self.verbose = verbose
         self._started = time.monotonic()
+        self._closed = False
         super().__init__((host, port), _Handler)
 
     @property
     def address(self) -> Tuple[str, int]:
         return self.server_address[0], self.server_address[1]
+
+    @property
+    def request_log(self):
+        return self.batcher.request_log
 
     def start_background(self) -> threading.Thread:
         thread = threading.Thread(target=self.serve_forever, daemon=True,
@@ -250,8 +334,26 @@ class PredictionServer(ThreadingHTTPServer):
         return thread
 
     def shutdown(self) -> None:
+        """Stop accepting and drain in-flight + queued requests."""
         super().shutdown()
         self.batcher.stop()
+
+    def close(self) -> None:
+        """Graceful full stop (idempotent): drain, reap, close socket.
+
+        Order matters: stop accepting, answer everything queued
+        (:meth:`MicroBatcher.stop` drains), close cluster workers if
+        the engine owns any, then close the socket — joining handler
+        threads so already-computed responses are flushed to clients.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.shutdown()
+        engine_close = getattr(self.engine, "close", None)
+        if callable(engine_close):
+            engine_close()
+        self.server_close()
 
     # -- endpoint payloads ----------------------------------------------------
 
@@ -261,6 +363,7 @@ class PredictionServer(ThreadingHTTPServer):
                 "uptime_s": round(time.monotonic() - self._started, 3),
                 "models_published": 0 if registry is None else len(registry),
                 "sim_fallback": self.engine.sim_fallback,
+                "workers": getattr(self.engine, "n_workers", 1),
                 "kind": self.engine.kind}
 
     def model_records(self) -> List[Dict]:

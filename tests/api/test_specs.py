@@ -41,6 +41,7 @@ NON_DEFAULT = {
                       stream=StreamSpec(cycles=30, seed=9)),
     ServeSpec: dict(registry="r/", host="0.0.0.0", port=9000,
                     kind="tevot_nh", batch_window_ms=5.0, max_batch=16,
+                    workers=3, request_log="serve/requests.jsonl",
                     fallback=False, verbose=True),
     ExperimentSpec: dict(fu="fp_mul", max_rows=1000,
                          speedups=(0.05, 0.2), seed=7, publish=True,
@@ -160,6 +161,16 @@ class TestValidation:
     def test_serve_port_range(self):
         with pytest.raises(SpecError, match="port"):
             ServeSpec(port=70000)
+
+    def test_serve_workers_positive(self):
+        with pytest.raises(SpecError, match="workers"):
+            ServeSpec(workers=0)
+        with pytest.raises(SpecError, match="workers"):
+            ServeSpec(workers=True)
+
+    def test_serve_request_log_is_a_path(self):
+        with pytest.raises(SpecError, match="request_log"):
+            ServeSpec(request_log=7)
 
     def test_replace_revalidates(self):
         spec = StreamSpec(cycles=10)

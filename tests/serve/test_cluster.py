@@ -1,0 +1,271 @@
+"""Tests for the distributed serving cluster (front end + workers)."""
+
+import threading
+
+import pytest
+
+from repro.circuits import build_functional_unit
+from repro.core import TEVoT, build_training_set
+from repro.flow import CampaignJob, CampaignRunner
+from repro.serve import (
+    ClusterEngine,
+    ModelRegistry,
+    PredictionEngine,
+    PredictRequest,
+)
+from repro.serve.cluster import CRASH_FILE_ENV
+from repro.timing import OperatingCondition
+from repro.workloads import random_stream
+
+COND = OperatingCondition(0.90, 25.0)
+
+
+def _train_and_publish(registry, fu, stream):
+    trace = CampaignRunner(use_cache=False).run(
+        [CampaignJob(fu, stream, [COND])])[0]
+    model = TEVoT(operand_width=fu.operand_width)
+    X, y = build_training_set(stream, [COND], trace.delays, spec=model.spec)
+    model.fit(X, y)
+    return registry.publish(model, fu=fu, conditions=[COND],
+                            train_stream=stream)
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    """A registry with one published int_add model."""
+    reg = ModelRegistry(tmp_path_factory.mktemp("cluster_registry"))
+    fu = build_functional_unit("int_add", width=8)
+    stream = random_stream(60, operand_width=8, seed=0)
+    stream.name = "cl_train"
+    _train_and_publish(reg, fu, stream)
+    return reg
+
+
+def _requests(n, seed=11, streams=3, clock_every=0):
+    stream = random_stream(n, operand_width=8, seed=seed)
+    out = []
+    for i in range(n):
+        out.append(PredictRequest(
+            fu="int_add", a=int(stream.a[i]), b=int(stream.b[i]),
+            voltage=COND.voltage, temperature=COND.temperature,
+            stream_id=f"s{i % streams}",
+            clock_period=(520.0 if clock_every and i % clock_every == 0
+                          else None)))
+    return out
+
+
+class TestParity:
+    def test_bit_exact_with_single_process_across_batches(self, registry):
+        """Implicit history chains identically on both paths."""
+        reqs = _requests(48, clock_every=5)
+        single = PredictionEngine(registry=registry, sim_fallback=False)
+        base = [p.as_dict() for p in single.predict_batch(list(reqs))]
+        with ClusterEngine(registry=registry, workers=2,
+                           sim_fallback=False) as cluster:
+            got = []
+            for lo in range(0, len(reqs), 16):
+                got.extend(p.as_dict() for p in
+                           cluster.predict_batch(reqs[lo:lo + 16]))
+        assert got == base
+        assert all(g["ok"] and g["source"] == "model" for g in got)
+
+    def test_sim_fallback_parity(self, registry):
+        """Unpublished FUs fall back to simulation on every worker,
+        bit-exact with the in-process fallback."""
+        reqs = [PredictRequest(fu="int_mul", a=3 + i, b=5 + i,
+                               voltage=COND.voltage,
+                               temperature=COND.temperature,
+                               clock_period=2600.0, stream_id="mul")
+                for i in range(6)]
+        single = PredictionEngine(registry=registry, sim_fallback=True)
+        base = [p.as_dict() for p in single.predict_batch(list(reqs))]
+        with ClusterEngine(registry=registry, workers=2,
+                           sim_fallback=True) as cluster:
+            got = [p.as_dict() for p in cluster.predict_batch(list(reqs))]
+        assert got == base
+        assert all(g["source"] == "sim" for g in got)
+
+    def test_invalid_requests_fail_identically_and_skip_history(
+            self, registry):
+        reqs = _requests(6)
+        reqs[2] = PredictRequest(fu="no_such_fu", a=1, b=2,
+                                 voltage=COND.voltage,
+                                 temperature=COND.temperature)
+        reqs[4] = PredictRequest(fu="int_add", a=1, b=2, voltage=0.9,
+                                 temperature=25.0, clock_period=-5.0)
+        single = PredictionEngine(registry=registry, sim_fallback=False)
+        base = [p.as_dict() for p in single.predict_batch(list(reqs))]
+        with ClusterEngine(registry=registry, workers=2,
+                           sim_fallback=False) as cluster:
+            got = [p.as_dict() for p in cluster.predict_batch(list(reqs))]
+        assert got == base
+        assert not got[2]["ok"] and not got[4]["ok"]
+
+
+class TestRouting:
+    def test_affinity_is_sticky_and_balanced(self, registry):
+        with ClusterEngine(registry=registry, workers=2,
+                           sim_fallback=True) as cluster:
+            for fu in ("int_add", "int_sub", "int_mul", "int_add"):
+                cluster._worker_for(fu)
+            affinity = cluster.stats_dict()["affinity"]
+            assert set(affinity) == {"int_add", "int_sub", "int_mul"}
+            # least-loaded first sight: 3 FUs over 2 slots -> 2 + 1
+            slots = sorted(affinity.values())
+            assert slots in ([0, 0, 1], [0, 1, 1])
+            # sticky: repeated lookups never move an FU
+            assert cluster._worker_for("int_add") == affinity["int_add"]
+
+    def test_workers_report_identical_manifests(self, registry):
+        with ClusterEngine(registry=registry, workers=2,
+                           sim_fallback=False) as cluster:
+            rows = cluster.workers_dict()
+            assert len(rows) == 2
+            assert all(r["alive"] for r in rows)
+            manifests = {r["manifest"] for r in rows}
+            assert manifests == {registry.manifest_fingerprint()}
+            assert all(r["hot_models"] == 1 for r in rows)
+
+
+class TestRespawn:
+    def test_killed_worker_respawns_and_loses_no_requests(
+            self, registry, tmp_path, monkeypatch):
+        crash = tmp_path / "crash"
+        monkeypatch.setenv(CRASH_FILE_ENV, str(crash))
+        # one stream per thread: batch interleaving across threads is
+        # nondeterministic, but per-stream history order stays fixed,
+        # so every answer is still bit-exact with the sequential run
+        stream = random_stream(64, operand_width=8, seed=11)
+        reqs = [PredictRequest(
+            fu="int_add", a=int(stream.a[i]), b=int(stream.b[i]),
+            voltage=COND.voltage, temperature=COND.temperature,
+            stream_id=f"t{i // 16}") for i in range(64)]
+        single = PredictionEngine(registry=registry, sim_fallback=False)
+        base = [p.as_dict() for p in single.predict_batch(list(reqs))]
+        with ClusterEngine(registry=registry, workers=2,
+                           sim_fallback=False) as cluster:
+            crash.write_text("2")  # next two batch receipts hard-kill
+            results = [None] * 4
+            errors = []
+
+            def drive(t):
+                try:
+                    chunk = reqs[t * 16:(t + 1) * 16]
+                    results[t] = [p.as_dict() for p in
+                                  cluster.predict_batch(chunk)]
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=drive, args=(t,))
+                       for t in range(4)]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+            assert not errors
+            stats = cluster.stats_dict()
+            assert stats["respawns"] >= 1
+            assert stats["reissues"] >= 1
+            assert cluster.n_alive() == 2
+        flat = [r for chunk in results for r in chunk]
+        assert all(r["ok"] for r in flat), "requests were lost"
+        assert flat == base
+
+    def test_persistent_crasher_fails_loudly(self, registry, tmp_path,
+                                             monkeypatch):
+        crash = tmp_path / "crash"
+        monkeypatch.setenv(CRASH_FILE_ENV, str(crash))
+        with ClusterEngine(registry=registry, workers=1,
+                           sim_fallback=False) as cluster:
+            crash.write_text("99")  # every receipt dies
+            (pred,) = cluster.predict_batch(_requests(1))
+            assert not pred.ok
+            assert "died" in pred.message
+            crash.unlink()
+            # the slot recovered: next batch serves normally
+            (pred,) = cluster.predict_batch(_requests(1))
+            assert pred.ok
+
+
+class TestRefresh:
+    def test_refresh_rolls_out_new_version(self, tmp_path):
+        reg = ModelRegistry(tmp_path / "reg")
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(60, operand_width=8, seed=0)
+        stream.name = "v1_train"
+        _train_and_publish(reg, fu, stream)
+        with ClusterEngine(registry=reg, workers=2,
+                           sim_fallback=False) as cluster:
+            (pred,) = cluster.predict_batch(_requests(1))
+            assert pred.model_id == "int_add/tevot/v1"
+            before = {r["manifest"] for r in cluster.workers_dict()}
+
+            stream2 = random_stream(60, operand_width=8, seed=5)
+            stream2.name = "v2_train"
+            _train_and_publish(reg, fu, stream2)
+            cluster.refresh()
+
+            after = {r["manifest"] for r in cluster.workers_dict()}
+            assert after == {reg.manifest_fingerprint()} != before
+            (pred,) = cluster.predict_batch(_requests(1))
+            assert pred.model_id == "int_add/tevot/v2"
+            assert cluster.stats_dict()["refreshes"] == 1
+
+
+class TestLifecycle:
+    def test_close_reaps_all_workers(self, registry):
+        cluster = ClusterEngine(registry=registry, workers=2,
+                                sim_fallback=False)
+        procs = [w.process for w in cluster._workers]
+        assert cluster.n_alive() == 2
+        cluster.close()
+        assert cluster.closed
+        assert all(not p.is_alive() for p in procs)
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.predict_batch(_requests(1))
+
+    def test_workers_must_be_positive(self, registry):
+        with pytest.raises(ValueError, match="workers"):
+            ClusterEngine(registry=registry, workers=0)
+
+
+class TestClusterBehindHTTP:
+    def test_served_cluster_is_bit_exact_and_replayable(self, registry,
+                                                        tmp_path):
+        """Acceptance: 2-worker cluster behind the HTTP server answers
+        bit-exactly like the single-process engine, every batch lands
+        in the request log, and replaying the log reproduces the
+        identical response stream."""
+        from repro.serve import (
+            PredictionServer,
+            RequestLog,
+            ServeClient,
+            replay_log,
+        )
+
+        log_path = tmp_path / "requests.jsonl"
+        cluster = ClusterEngine(registry=registry, workers=2,
+                                sim_fallback=False)
+        server = PredictionServer(
+            cluster, port=0, batch_window_ms=1.0,
+            request_log=RequestLog(log_path, config={"workers": 2}))
+        server.start_background()
+        host, port = server.address
+        client = ServeClient(host, port)
+        assert client.health()["workers"] == 2
+
+        reqs = [r.as_dict() for r in _requests(30)]
+        served = []
+        for lo in range(0, len(reqs), 10):
+            served.extend(client.predict_many(reqs[lo:lo + 10]))
+        server.close()
+        assert cluster.closed, "server close must reap cluster workers"
+
+        single = PredictionEngine(registry=registry, sim_fallback=False)
+        base = [p.as_dict() for p in single.predict_batch(
+            [PredictRequest.from_dict(r) for r in reqs])]
+        assert served == base
+
+        fresh = PredictionEngine(registry=registry, sim_fallback=False)
+        report = replay_log(log_path, fresh.predict_batch)
+        assert report.ok and report.requests == 30

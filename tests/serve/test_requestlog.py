@@ -1,0 +1,141 @@
+"""Tests for the replayable serving request log."""
+
+import json
+
+import pytest
+
+from repro.circuits import build_functional_unit
+from repro.core import TEVoT, build_training_set
+from repro.flow import CampaignJob, CampaignRunner
+from repro.serve import (
+    ClusterEngine,
+    ModelRegistry,
+    PredictionEngine,
+    PredictRequest,
+    RequestLog,
+    read_request_log,
+    replay_log,
+)
+from repro.timing import OperatingCondition
+from repro.workloads import random_stream
+
+COND = OperatingCondition(0.90, 25.0)
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    reg = ModelRegistry(tmp_path_factory.mktemp("log_registry"))
+    fu = build_functional_unit("int_add", width=8)
+    stream = random_stream(60, operand_width=8, seed=0)
+    stream.name = "log_train"
+    trace = CampaignRunner(use_cache=False).run(
+        [CampaignJob(fu, stream, [COND])])[0]
+    model = TEVoT(operand_width=8)
+    X, y = build_training_set(stream, [COND], trace.delays, spec=model.spec)
+    model.fit(X, y)
+    reg.publish(model, fu=fu, conditions=[COND], train_stream=stream)
+    return reg
+
+
+def _requests(n, seed=21):
+    stream = random_stream(n, operand_width=8, seed=seed)
+    return [PredictRequest(
+        fu="int_add", a=int(stream.a[i]), b=int(stream.b[i]),
+        voltage=COND.voltage, temperature=COND.temperature,
+        stream_id=f"s{i % 2}",
+        clock_period=520.0 if i % 3 == 0 else None) for i in range(n)]
+
+
+def _record(registry, path, n=24, batch=8):
+    """Drive a fresh engine and log every executed batch."""
+    engine = PredictionEngine(registry=registry, sim_fallback=False)
+    reqs = _requests(n)
+    with RequestLog(path, config={"workers": 1}) as log:
+        for lo in range(0, n, batch):
+            chunk = reqs[lo:lo + batch]
+            log.append_batch(chunk, engine.predict_batch(list(chunk)))
+    return reqs
+
+
+class TestRoundTrip:
+    def test_log_preserves_batches_and_requests(self, registry, tmp_path):
+        path = tmp_path / "req.jsonl"
+        reqs = _record(registry, path, n=24, batch=8)
+        records = list(read_request_log(path))
+        assert records[0]["kind"] == "header"
+        assert records[0]["config"] == {"workers": 1}
+        batches = [r for r in records if r["kind"] == "batch"]
+        assert [len(b["requests"]) for b in batches] == [8, 8, 8]
+        rebuilt = [PredictRequest.from_dict(r)
+                   for b in batches for r in b["requests"]]
+        assert rebuilt == reqs
+
+    def test_corrupt_line_fails_loudly(self, registry, tmp_path):
+        path = tmp_path / "req.jsonl"
+        _record(registry, path)
+        lines = path.read_text().splitlines()
+        doc = json.loads(lines[1])
+        doc["predictions"][0]["delay_ps"] = 1.0  # tamper under the seal
+        lines[1] = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="fingerprint"):
+            list(read_request_log(path))
+
+    def test_unparsable_line_names_position(self, registry, tmp_path):
+        path = tmp_path / "req.jsonl"
+        _record(registry, path)
+        with open(path, "a") as fh:
+            fh.write("{truncated\n")
+        with pytest.raises(ValueError, match=r"req\.jsonl:5"):
+            list(read_request_log(path))
+
+
+class TestReplay:
+    def test_single_process_replay_is_bit_exact(self, registry, tmp_path):
+        path = tmp_path / "req.jsonl"
+        _record(registry, path)
+        fresh = PredictionEngine(registry=registry, sim_fallback=False)
+        report = replay_log(path, fresh.predict_batch)
+        assert report.ok
+        assert (report.batches, report.requests) == (3, 24)
+        assert "bit-exact" in report.summary()
+
+    def test_cluster_replay_is_bit_exact(self, registry, tmp_path):
+        """A 2-worker cluster replays a single-process recording
+        byte-identically (and vice versa would hold by parity)."""
+        path = tmp_path / "req.jsonl"
+        _record(registry, path)
+        with ClusterEngine(registry=registry, workers=2,
+                           sim_fallback=False) as cluster:
+            report = replay_log(path, cluster.predict_batch)
+        assert report.ok
+        assert report.requests == 24
+
+    def test_tampered_prediction_is_reported(self, registry, tmp_path):
+        path = tmp_path / "req.jsonl"
+        _record(registry, path)
+        lines = path.read_text().splitlines()
+        # re-seal a falsified record so only replay (not the seal
+        # check) can catch it — models a recording made by a buggy or
+        # differently-configured server
+        from repro.flow.manifest import check_record, seal_record
+        from repro.serve.requestlog import LOG_TAG
+        doc = check_record(json.loads(lines[2]), tag=LOG_TAG)
+        doc["predictions"][1]["delay_ps"] += 1.5
+        lines[2] = json.dumps(seal_record(doc, tag=LOG_TAG),
+                              sort_keys=True, separators=(",", ":"))
+        path.write_text("\n".join(lines) + "\n")
+        fresh = PredictionEngine(registry=registry, sim_fallback=False)
+        report = replay_log(path, fresh.predict_batch)
+        assert not report.ok
+        (mismatch,) = report.mismatches
+        assert (mismatch.batch, mismatch.index) == (2, 1)
+        assert "recorded" in mismatch.describe()
+
+    def test_multi_session_log_is_rejected(self, registry, tmp_path):
+        path = tmp_path / "req.jsonl"
+        _record(registry, path)
+        _record(registry, path)  # append mode: second header
+        fresh = PredictionEngine(registry=registry, sim_fallback=False)
+        with pytest.raises(ValueError, match="2 recording sessions"):
+            replay_log(path, fresh.predict_batch)

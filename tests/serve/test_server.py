@@ -169,3 +169,125 @@ class TestConfigAtomicity:
         after = client.stats()["batching"]
         assert after["batch_window_ms"] == before["batch_window_ms"]
         assert after["max_batch"] == before["max_batch"]
+
+
+class TestConfigValidation:
+    """POST /config rejects bad values with a 400 naming the field."""
+
+    @pytest.mark.parametrize("payload, field", [
+        ({"max_batch": 0}, "max_batch"),
+        ({"max_batch": -3}, "max_batch"),
+        ({"max_batch": "many"}, "max_batch"),
+        ({"max_batch": True}, "max_batch"),
+        ({"max_batch": 2.5}, "max_batch"),
+        ({"batch_window_ms": -1}, "batch_window_ms"),
+        ({"batch_window_ms": "fast"}, "batch_window_ms"),
+        ({"batch_window_ms": False}, "batch_window_ms"),
+    ])
+    def test_bad_value_is_400_naming_field(self, serving, payload, field):
+        client, _, _ = serving
+        with pytest.raises(ServeError) as err:
+            client._call("/config", payload)
+        assert err.value.status == 400
+        assert err.value.payload["field"] == field
+        assert field in str(err.value)
+
+
+class TestRefreshEndpoint:
+    def test_models_refresh_rewarns_engine(self, serving):
+        client, _, engine = serving
+        out = client._call("/models/refresh", {})
+        assert out == {"ok": True}
+        # refresh drops hot models; next request faults the model back in
+        before = engine.stats.model_cache_misses
+        client.predict(fu="int_add", a=1, b=2, voltage=COND.voltage,
+                       temperature=COND.temperature)
+        assert engine.stats.model_cache_misses == before + 1
+
+
+class _GatedEngine:
+    """Engine stub whose first batch blocks until the test releases it,
+    so a known number of requests pile up in the micro-batch queue."""
+
+    registry = None
+    sim_fallback = False
+    kind = "tevot"
+
+    def __init__(self):
+        self.served = 0
+        self.release = threading.Event()
+        self._first = True
+
+    def predict_batch(self, requests):
+        from repro.serve import Prediction
+        if self._first:
+            self._first = False
+            assert self.release.wait(timeout=30.0)
+        self.served += len(requests)
+        return [Prediction(ok=True, delay_ps=float(r.a + r.b),
+                           source="stub") for r in requests]
+
+
+class TestGracefulShutdown:
+    def test_close_answers_everything_already_queued(self):
+        """close() drains the micro-batch queue: every request accepted
+        before shutdown gets its real answer, none get a reset."""
+        from repro.serve import PredictionServer
+
+        import time
+
+        engine = _GatedEngine()
+        server = PredictionServer(engine, port=0, batch_window_ms=0.0,
+                                  max_batch=1)
+        server.start_background()
+        host, port = server.address
+        n = 8
+        results, errors = [], []
+
+        def drive(k):
+            try:
+                local = ServeClient(host, port, retries=0)
+                results.append(local.predict(
+                    fu="int_add", a=k, b=100, voltage=0.9,
+                    temperature=25.0))
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=drive, args=(k,))
+                   for k in range(n)]
+        for t in threads:
+            t.start()
+        # the first batch is gated inside the engine, so the other
+        # n - 1 requests must all be sitting in the micro-batch queue
+        # before close() runs — the drain then has real work to do
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline \
+                and len(server.batcher._queue) < n - 1:
+            time.sleep(0.002)
+        assert len(server.batcher._queue) == n - 1
+        engine.release.set()
+        server.close()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(results) == n
+        assert sorted(r["delay_ps"] for r in results) == \
+            [100.0 + k for k in range(n)]
+        assert engine.served == n
+
+    def test_close_is_idempotent_and_refuses_new_work(self):
+        from repro.serve import PredictionServer
+
+        engine = _GatedEngine()
+        engine.release.set()
+        server = PredictionServer(engine, port=0)
+        server.start_background()
+        host, port = server.address
+        server.close()
+        server.close()  # second close is a no-op
+        with pytest.raises(ServeError):
+            ServeClient(host, port, retries=0, timeout=2.0).health()
+
+    def test_health_reports_worker_count(self, serving):
+        client, _, _ = serving
+        assert client.health()["workers"] == 1
