@@ -125,11 +125,19 @@ class Workspace:
         :class:`~repro.serve.registry.ModelRegistry`).
     library:
         Cell library used for every characterization.
+    lock_timeout:
+        Seconds workspace-built stores wait on the inter-process store
+        lock before raising
+        :class:`~repro.flow.durable.StoreLockTimeout` (naming the
+        holder).  Raise it for workspaces shared by many concurrent
+        writers; ignored for already-constructed ``store``/``registry``
+        objects, which carry their own.
     """
 
     def __init__(self, root: Union[str, Path, None] = None, *,
                  store=None, registry=None,
-                 library: CellLibrary = DEFAULT_LIBRARY) -> None:
+                 library: CellLibrary = DEFAULT_LIBRARY,
+                 lock_timeout: float = 10.0) -> None:
         self.root = Path(root) if root is not None else None
         if store is None and self.root is not None:
             store = self.root / "traces"
@@ -138,6 +146,7 @@ class Workspace:
             registry = self.root / "registry"
         self._registry = registry
         self.library = library
+        self.lock_timeout = lock_timeout
         self._fus: Dict[str, FunctionalUnit] = {}
         self._pools: Dict[int, WorkerPool] = {}
 
@@ -178,7 +187,8 @@ class Workspace:
     def store(self) -> TraceStore:
         """The workspace trace store (built on first use)."""
         if not isinstance(self._store, TraceStore):
-            self._store = TraceStore(self._store)
+            self._store = TraceStore(self._store,
+                                     lock_timeout=self.lock_timeout)
         return self._store
 
     @property
@@ -189,7 +199,8 @@ class Workspace:
         if self._registry is None:
             return None
         if not isinstance(self._registry, ModelRegistry):
-            self._registry = ModelRegistry(self._registry)
+            self._registry = ModelRegistry(self._registry,
+                                           lock_timeout=self.lock_timeout)
         return self._registry
 
     def _registry_for(self, path: Optional[str]):
@@ -197,7 +208,7 @@ class Workspace:
         from ..serve.registry import ModelRegistry
 
         if path is not None:
-            return ModelRegistry(path)
+            return ModelRegistry(path, lock_timeout=self.lock_timeout)
         return self.registry
 
     def resolve_path(self, path: Union[str, Path]) -> Path:

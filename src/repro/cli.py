@@ -344,6 +344,8 @@ def cmd_campaign(args) -> int:
                     f"{stats.total_shards} shard(s)")
         if stats.packed:
             summary += ", cross-job packed"
+    if stats.resumed_shards:
+        summary += f", {stats.resumed_shards} shard(s) resumed"
     summary += "]"
     print(f"campaign: {len(result.jobs)} job(s), "
           f"{spec.corners.n_corners} corner(s), "
@@ -481,6 +483,10 @@ def cmd_store(args) -> int:
             total = store.size_bytes()
             print(f"trace store {store.root}: {len(entries)} entr(y/ies), "
                   f"{total / 1e6:.2f} MB")
+            quarantined = len(list(store.root.glob("*.corrupt-*")))
+            if quarantined:
+                print(f"  ({quarantined} quarantined corrupt file(s) — "
+                      f"inspect or delete *.corrupt-*)")
             for key, entry in sorted(entries.items(),
                                      key=lambda kv: kv[1].get("created", "")):
                 print(f"  {key}  {entry['fu']:8s} {entry['stream']:28s} "

@@ -10,6 +10,7 @@ speed.
 
 from __future__ import annotations
 
+import os
 import pickle
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
@@ -49,8 +50,19 @@ def save_model(model: Any, path: Union[str, Path],
         "metadata": dict(metadata or {}),
         "model": model,
     }
-    with Path(path).open("wb") as fh:
-        pickle.dump(payload, fh)
+    # tmp + fsync + rename: a crash mid-save leaves the previous
+    # artifact (or nothing), never a torn pickle
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        with tmp.open("wb") as fh:
+            pickle.dump(payload, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def load_model(path: Union[str, Path]) -> Tuple[Any, Dict]:

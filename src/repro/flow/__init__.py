@@ -15,6 +15,15 @@ from .campaign import (
     plan_cycle_shards,
     plan_shards,
 )
+from .durable import (
+    ManifestCorrupt,
+    StoreLock,
+    StoreLockTimeout,
+    atomic_replace,
+    quarantine,
+    read_envelope,
+    write_envelope,
+)
 from .manifest import read_manifest, stable_fingerprint, write_manifest
 from .pool import JobProgram, PoolRunResult, TaskResult, WorkerPool
 from .tracestore import (
@@ -34,6 +43,13 @@ __all__ = [
     "ImplementedDesign",
     "JobProgram",
     "MIN_SHARD_CYCLES",
+    "ManifestCorrupt",
+    "StoreLock",
+    "StoreLockTimeout",
+    "atomic_replace",
+    "quarantine",
+    "read_envelope",
+    "write_envelope",
     "PoolRunResult",
     "ShardExec",
     "TaskResult",

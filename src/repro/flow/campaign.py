@@ -44,6 +44,7 @@ thin single-job compatibility shims emitting
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 import time
 import warnings
@@ -61,6 +62,7 @@ from ..sim.engine import DEFAULT_BACKEND, get_backend
 from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
 from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
+from .durable import StoreLockTimeout
 from .pool import JobProgram, WorkerPool
 from .tracestore import TraceStore, trace_key
 
@@ -389,6 +391,9 @@ class CampaignStats:
     #: True when the batch was planned by the cross-job packer
     #: (:func:`plan_campaign`) instead of per-job :func:`plan_shards`.
     packed: bool = False
+    #: shards skipped because a journaled checkpoint from an earlier
+    #: (killed) run already held their results.
+    resumed_shards: int = 0
 
     @property
     def total(self) -> int:
@@ -484,6 +489,13 @@ class CampaignRunner:
         run on (e.g. shared across runners by a Workspace).  The
         runner never closes a pool it was given; without one it
         lazily creates and owns a pool sized ``n_workers``.
+    checkpoint:
+        Journal completed shards of multi-shard jobs through the
+        store (see :meth:`TraceStore.record_journal_shard`) so a
+        killed campaign's rerun resumes instead of re-simulating
+        (``CampaignStats.resumed_shards``).  Requires a store; never
+        affects results.  ``REPRO_CAMPAIGN_CHECKPOINT=0`` force-
+        disables it for benchmarking the journal overhead away.
     """
 
     def __init__(self, backend: str = DEFAULT_BACKEND,
@@ -496,7 +508,8 @@ class CampaignRunner:
                  persistent: bool = True,
                  threads: int = 1,
                  pack_jobs: bool = True,
-                 pool: Optional[WorkerPool] = None) -> None:
+                 pool: Optional[WorkerPool] = None,
+                 checkpoint: bool = True) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if shard_cycles is not None and shard_cycles < 1:
@@ -531,6 +544,8 @@ class CampaignRunner:
         self.persistent = persistent
         self.threads = threads
         self.pack_jobs = pack_jobs
+        self.checkpoint = (checkpoint and os.environ.get(
+            "REPRO_CAMPAIGN_CHECKPOINT", "1") != "0")
         self._pool = pool
         self._owns_pool = False
         self.stats = CampaignStats()
@@ -631,6 +646,9 @@ class CampaignRunner:
                 if cached is not None:
                     results[i] = cached
                     self.stats.hits += 1
+                    # a journal left by a run killed after the blob
+                    # landed (but before its own cleanup) is stale now
+                    self.store.clear_journal(key)
                     continue
             pending.append((i, job, key, inputs))
 
@@ -646,21 +664,62 @@ class CampaignRunner:
             job_plans, self.stats.packed = self._plan_batch(
                 grids, [job.fu.name for _, job, _, _ in pending])
 
-            # one task per (job, shard); results stitched below
+            # checkpoint/resume: a killed campaign's rerun reuses the
+            # journaled shard plan (a fresh plan need not tile the same
+            # way) and skips the shards whose parts survived
+            checkpointing = self.store is not None and self.checkpoint
+            done_parts: List[List[Tuple[Shard, np.ndarray]]] = [
+                [] for _ in pending]
+            if checkpointing:
+                for pos, (i, job, key, inputs) in enumerate(pending):
+                    n_cycles, n_corners = grids[pos]
+                    state = self.store.load_journal(
+                        key, backend=self.backend_name,
+                        n_corners=n_corners, n_cycles=n_cycles)
+                    if state is not None:
+                        job_plans[pos], done_parts[pos] = state
+            self.stats.resumed_shards = sum(len(d) for d in done_parts)
+            done_sets = [{s for s, _ in d} for d in done_parts]
+
+            # one task per (job, not-yet-done shard); stitched below
             tasks: List[Tuple[int, int, Shard]] = []  # (pos, shard_idx, shard)
             for pos, shards in enumerate(job_plans):
                 for s_idx, shard in enumerate(shards):
-                    tasks.append((pos, s_idx, shard))
+                    if shard not in done_sets[pos]:
+                        tasks.append((pos, s_idx, shard))
 
             parts: List[List[Optional[np.ndarray]]] = [
                 [None] * len(shards) for shards in job_plans]
+            for pos, done in enumerate(done_parts):
+                for shard, part in done:
+                    parts[pos][job_plans[pos].index(shard)] = part
             whole: List[Optional[np.ndarray]] = [None] * len(pending)
             seconds = [0.0] * len(pending)
             multi = self.n_workers > 1 and len(tasks) > 1
 
+            # journal only multi-shard jobs: a single-shard job's
+            # checkpoint could never save work over plain re-simulation
+            journal_pos = {pos for pos in range(len(pending))
+                           if checkpointing and len(job_plans[pos]) > 1}
+
+            def journal_shard(pos: int, shard: Shard,
+                              delays: Optional[np.ndarray]) -> None:
+                if pos not in journal_pos or delays is None:
+                    return
+                _, _, key_, _ = pending[pos]
+                n_cycles_, n_corners_ = grids[pos]
+                try:
+                    self.store.record_journal_shard(
+                        key_, plan=job_plans[pos], shard=shard,
+                        delays=delays, backend=self.backend_name,
+                        n_corners=n_corners_, n_cycles=n_cycles_)
+                except StoreLockTimeout:
+                    pass  # progress not saved; the run itself continues
+
             if multi and self.persistent:
                 self._run_on_pool(pending, delay_matrices, tasks,
-                                  parts, whole, seconds)
+                                  parts, whole, seconds,
+                                  journal_shard if journal_pos else None)
             else:
                 payloads = []
                 for pos, _, (c0, c1, t0, t1) in tasks:
@@ -669,24 +728,38 @@ class CampaignRunner:
                                      delay_matrices[pos][c0:c1],
                                      self.backend_name, self.chunk_cycles,
                                      self.threads))
-                if multi:
-                    workers = min(self.n_workers, len(payloads))
-                    with ProcessPoolExecutor(max_workers=workers) as pool:
-                        outcomes = list(pool.map(_run_payload, payloads))
-                else:
-                    outcomes = [_run_payload(p) for p in payloads]
-                for (pos, s_idx, shard), (delays, secs) in zip(tasks,
-                                                               outcomes):
+
+                def record(task: Tuple[int, int, Shard],
+                           outcome: Tuple[np.ndarray, float]) -> None:
+                    pos, s_idx, shard = task
+                    delays, secs = outcome
                     parts[pos][s_idx] = delays
                     seconds[pos] += secs
                     self.stats.shard_log.append(ShardExec(
                         job=pending[pos][0], shard=shard, seconds=secs))
+                    journal_shard(pos, shard, delays)
+
+                if multi:
+                    workers = min(self.n_workers, len(payloads))
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        # consume lazily so each shard journals as it
+                        # lands, not after the whole batch
+                        for task, outcome in zip(
+                                tasks, pool.map(_run_payload, payloads)):
+                            record(task, outcome)
+                else:
+                    for task, payload in zip(tasks, payloads):
+                        record(task, _run_payload(payload))
 
             for pos, (i, job, key, inputs) in enumerate(pending):
                 shards = job_plans[pos]
                 n_cycles, n_corners = grids[pos]
                 if whole[pos] is not None:
                     delays = whole[pos]
+                    # the pool's stitched shm buffer only saw dispatched
+                    # shards; resumed regions come from the journal
+                    for (c0, c1, t0, t1), part in done_parts[pos]:
+                        delays[c0:c1, t0:t1] = part
                 elif len(shards) == 1:
                     delays = parts[pos][0]
                 else:
@@ -702,6 +775,9 @@ class CampaignRunner:
                                    library=job.library,
                                    delay_model=delay_model,
                                    backend=self.backend_name)
+                    if checkpointing and (pos in journal_pos
+                                          or done_parts[pos]):
+                        self.store.clear_journal(key)
                     if seconds[pos] > 0 and self.adaptive_history:
                         self.store.record_throughput(
                             job.fu.name, self.backend_name, n_corners,
@@ -720,7 +796,7 @@ class CampaignRunner:
         return results  # type: ignore[return-value]
 
     def _run_on_pool(self, pending, delay_matrices, tasks, parts, whole,
-                     seconds) -> None:
+                     seconds, journal=None) -> None:
         """Execute the task list on the persistent warm pool.
 
         Registers each pending job once (content-fingerprinted so
@@ -728,7 +804,10 @@ class CampaignRunner:
         descriptors longest-first (LPT keeps stragglers off the tail),
         and collects results into ``parts``/``whole``/``seconds`` —
         exactly the structures the legacy path fills, so stitching is
-        shared.
+        shared.  ``journal(pos, shard, delays)`` fires as each shard
+        completes (checkpoint/resume journaling) — on the
+        shared-memory return path it receives a live view into the
+        job's stitched segment.
         """
         pool = self._ensure_pool()
         progs: Dict[str, JobProgram] = {}
@@ -760,9 +839,15 @@ class CampaignRunner:
             range(len(tasks)),
             key=lambda k: -((tasks[k][2][1] - tasks[k][2][0])
                             * (tasks[k][2][3] - tasks[k][2][2])))
+        on_result = None
+        if journal is not None:
+            def on_result(j, tres, delays):
+                pos, _, shard = tasks[order[j]]
+                journal(pos, shard, delays)
         res = pool.run_tasks(progs,
                              [(pos_key[tasks[k][0]], tasks[k][2])
-                              for k in order])
+                              for k in order],
+                             on_result=on_result)
         for j, k in enumerate(order):
             pos, s_idx, shard = tasks[k]
             tr = res.tasks[j]

@@ -3,20 +3,24 @@
 Both the characterization :class:`~repro.flow.tracestore.TraceStore`
 and the :class:`~repro.serve.registry.ModelRegistry` follow the same
 layout: a directory of blob files described by one ``manifest.json``
-carrying a schema version.  These helpers centralize the two fiddly
-parts — tolerating missing/corrupt/old manifests on read, and writing
-atomically so concurrent writers can never interleave bytes into a
-corrupt file (last rename wins; a lost entry only costs a re-derivable
-blob lookup).
+carrying a schema version.  Manifests are persisted through
+:mod:`repro.flow.durable` — checksummed, generation-counted envelopes
+written via tmp + fsync + rename — so a crash mid-write leaves the old
+manifest intact and a bit-flipped one is *detected* on read (and
+quarantined) instead of silently misread.  Concurrent read-modify-write
+cycles are the store's job to serialize (see
+:class:`~repro.flow.durable.StoreLock`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
+import warnings
 from pathlib import Path
-from typing import Dict
+from typing import Callable, Dict, Optional
+
+from .durable import ManifestCorrupt, quarantine, read_envelope, write_envelope
 
 
 def stable_fingerprint(data, *, tag: str = "", length: int = 16) -> str:
@@ -72,33 +76,47 @@ def check_record(record: Dict, *, tag: str) -> Dict:
 
 
 def read_manifest(path: Path, *, version_key: str, version: int,
-                  entries_key: str) -> Dict:
+                  entries_key: str,
+                  on_corrupt: Optional[Callable[[ManifestCorrupt], Dict]]
+                  = None) -> Dict:
     """Load a versioned manifest, or a fresh empty one.
 
-    A missing file, unparsable JSON, or a schema-version mismatch all
-    yield ``{version_key: version, entries_key: {}}`` — incompatible
-    layouts are ignored rather than misread.
+    A missing file or a schema-version mismatch yields
+    ``{version_key: version, entries_key: {}}`` — incompatible layouts
+    are ignored rather than misread.  A *corrupt* manifest (unparsable,
+    or failing its envelope checksum) is handed to ``on_corrupt`` for
+    store-specific recovery; without one it is quarantined with a
+    warning and read as fresh.
     """
+    fresh = {version_key: version, entries_key: {}}
     try:
-        with open(path, "r", encoding="utf-8") as fh:
-            manifest = json.load(fh)
-    except (FileNotFoundError, json.JSONDecodeError):
-        return {version_key: version, entries_key: {}}
+        manifest, _ = read_envelope(path)
+    except FileNotFoundError:
+        return fresh
+    except ManifestCorrupt as exc:
+        if on_corrupt is not None:
+            return on_corrupt(exc)
+        quarantined = quarantine(path)
+        warnings.warn(
+            f"corrupt manifest {path} quarantined to "
+            f"{quarantined.name if quarantined else '<gone>'}: {exc}",
+            RuntimeWarning, stacklevel=2)
+        return fresh
     if (not isinstance(manifest, dict)
             or manifest.get(version_key) != version
             or not isinstance(manifest.get(entries_key), dict)):
-        return {version_key: version, entries_key: {}}
+        return fresh
     return manifest
 
 
-def write_manifest(path: Path, manifest: Dict) -> None:
-    """Atomically replace ``path`` with ``manifest`` as indented JSON.
+def write_manifest(path: Path, manifest: Dict, *,
+                   site: Optional[str] = None) -> None:
+    """Atomically replace ``path`` with ``manifest`` in a checksummed
+    envelope (tmp + fsync + rename + dir fsync).
 
-    The temp name embeds the writer's pid: concurrent writers may still
-    lose one another's newest entry (last rename wins) but can never
-    corrupt the manifest itself.
+    Concurrent writers can never corrupt the manifest itself; callers
+    that must not lose each other's entries serialize the surrounding
+    read-modify-write with a :class:`~repro.flow.durable.StoreLock`.
+    ``site`` names the fault point armed for crash testing.
     """
-    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=1, sort_keys=True)
-    tmp.replace(path)
+    write_envelope(path, manifest, site=site)

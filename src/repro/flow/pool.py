@@ -62,6 +62,8 @@ try:  # pragma: no cover - stdlib since 3.8, but keep a soft gate
 except ImportError:  # pragma: no cover
     shared_memory = None  # type: ignore[assignment]
 
+from ..testing import faults
+
 __all__ = [
     "JobProgram",
     "PoolRunResult",
@@ -95,6 +97,10 @@ _PARENT_BLOB_CACHE = 8
 #: ``os.remove`` and exactly one wins).  Deterministic test hook for
 #: the respawn/reissue path — see tests/flow/test_pool.py.
 CRASH_FILE_ENV = "REPRO_POOL_CRASH_FILE"
+
+#: Fault point hit at task receipt in every worker (see
+#: :mod:`repro.testing.faults`; exercises the respawn/reissue path).
+SITE_TASK = faults.register_site("pool.worker.task")
 
 #: ``/dev/shm`` segment name prefix; CI's leak check globs for it.
 SHM_PREFIX = "repro_pool_"
@@ -179,22 +185,6 @@ def _read_blob(transport) -> bytes:
         seg.close()
 
 
-def _consume_crash_token(path: str) -> bool:
-    """Take one crash token from ``path`` (see :data:`CRASH_FILE_ENV`)."""
-    try:
-        with open(path) as fh:
-            raw = fh.read().strip()
-        count = int(raw) if raw.isdigit() else 1
-        if count <= 1:
-            os.remove(path)  # atomic: concurrent consumers race, one wins
-        else:
-            with open(path, "w") as fh:
-                fh.write(str(count - 1))
-    except OSError:
-        return False
-    return True
-
-
 def _pool_worker_main(conn) -> None:
     """Worker loop: registration + task messages until stop/EOF.
 
@@ -228,9 +218,10 @@ def _pool_worker_main(conn) -> None:
                 jobs.pop(msg[1], None)
             elif kind == "run":
                 _, task_id, job_key, shard, out = msg
-                crash = os.environ.get(CRASH_FILE_ENV)
-                if crash and _consume_crash_token(crash):
-                    os._exit(17)  # simulated hard mid-task death
+                # deterministic crash hooks (fault plan rides the env,
+                # so forked workers honor it): see repro.testing.faults
+                faults.fault_point(SITE_TASK)
+                faults.crash_token_hook(CRASH_FILE_ENV)
                 try:
                     result = _run_shard(netlists, warm_keys, jobs,
                                         job_key, shard, out)
@@ -500,7 +491,8 @@ class WorkerPool:
     # -- execution ----------------------------------------------------------
 
     def run_tasks(self, progs: Dict[str, JobProgram],
-                  tasks: Sequence[Tuple[str, Shard]]) -> PoolRunResult:
+                  tasks: Sequence[Tuple[str, Shard]],
+                  on_result=None) -> PoolRunResult:
         """Execute shard tasks across the pool.
 
         ``tasks`` is an ordered list of ``(job_key, shard)`` pairs
@@ -508,6 +500,13 @@ class WorkerPool:
         with it.  Jobs whose stitched result crosses the shared-memory
         threshold come back fully assembled in ``job_delays``; others
         return per-task ``delays`` for the caller to stitch.
+
+        ``on_result(idx, task_result, delays)`` fires as each task
+        completes (``idx`` indexes ``tasks``): the campaign layer
+        journals finished shards through it.  ``delays`` is the shard
+        matrix — on the shared-memory path a *view* into the live
+        segment, valid only during the callback.  Callback exceptions
+        propagate and abort the batch.
         """
         if self.closed:
             raise RuntimeError("WorkerPool is closed")
@@ -602,6 +601,16 @@ class WorkerPool:
                             seconds=seconds, warm=warm,
                             worker=w.slot, delays=delays)
                         w.current = None
+                        if on_result is not None:
+                            shard_view = delays
+                            if shard_view is None and key in out_segs:
+                                nc, nt = out_meta[key]
+                                full = np.ndarray(
+                                    (nc, nt), dtype=np.float32,
+                                    buffer=out_segs[key].buf)
+                                c0, c1, t0, t1 = shard
+                                shard_view = full[c0:c1, t0:t1]
+                            on_result(idx, results[idx], shard_view)
                     elif msg[0] == "err":
                         _, idx, tb = msg
                         w.current = None

@@ -18,28 +18,56 @@ everything that determines a DTA trace:
 The manifest records per-entry metadata (shapes, library fingerprint,
 producing backend, creation time) and a store schema version so future
 layout changes can migrate or ignore old stores safely.
+
+Durability (see :mod:`repro.flow.durable`): the manifest is a
+checksummed envelope replaced atomically; ``.npz`` blobs are written
+tmp + fsync + rename with their metadata embedded, so a corrupt
+manifest is quarantined and **rebuilt by rescanning the blobs**;
+read-modify-write cycles (put, throughput history, gc, campaign
+journals) serialize under an advisory inter-process lock.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..circuits.functional_units import FunctionalUnit
+from ..circuits.functional_units import FunctionalUnit, available_units
 from ..sim.dta import DelayTrace
+from ..testing import faults
 from ..timing.cells import CellLibrary
 from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
+from .durable import (
+    ManifestCorrupt,
+    StoreLock,
+    StoreLockTimeout,
+    fsync_dir,
+    quarantine,
+    read_envelope,
+    write_envelope,
+)
 from .manifest import read_manifest, write_manifest
 
 #: Bump when the on-disk layout or key derivation changes.
 STORE_VERSION = 1
+
+#: Shard range a journal records: (corner0, corner1, cycle0, cycle1).
+ShardRange = Tuple[int, int, int, int]
+
+SITE_MANIFEST = faults.register_site("tracestore.manifest.replace",
+                                     persistence=True)
+SITE_BLOB = faults.register_site("tracestore.blob.write", persistence=True)
+SITE_JOURNAL = faults.register_site("campaign.journal.replace",
+                                    persistence=True)
 
 
 def default_cache_dir() -> Path:
@@ -101,21 +129,99 @@ class GCReport:
 class TraceStore:
     """Manifest-backed store of delay traces under one root directory."""
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(self, root: Union[str, Path, None] = None, *,
+                 lock_timeout: float = 10.0) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.lock_timeout = lock_timeout
 
     @property
     def manifest_path(self) -> Path:
         return self.root / "manifest.json"
 
+    def lock(self) -> StoreLock:
+        """Advisory inter-process lock serializing store writers."""
+        return StoreLock(self.root / ".store.lock",
+                         timeout=self.lock_timeout)
+
     # -- manifest -------------------------------------------------------------
 
     def _read_manifest(self) -> Dict:
         return read_manifest(self.manifest_path, version_key="store_version",
-                             version=STORE_VERSION, entries_key="entries")
+                             version=STORE_VERSION, entries_key="entries",
+                             on_corrupt=self._recover_manifest)
 
     def _write_manifest(self, manifest: Dict) -> None:
-        write_manifest(self.manifest_path, manifest)
+        write_manifest(self.manifest_path, manifest, site=SITE_MANIFEST)
+
+    def _recover_manifest(self, exc: ManifestCorrupt) -> Dict:
+        """Quarantine a corrupt manifest and rebuild it from the blobs.
+
+        Blob files are self-describing (embedded metadata since the
+        durable layer landed; key-embedding filenames before that), so
+        the entry table is fully recoverable.  The throughput history
+        lives only in the manifest and degrades to empty — the adaptive
+        planner falls back to static heuristics, it never crashes.
+        """
+        quarantined = quarantine(self.manifest_path)
+        manifest: Dict = {"store_version": STORE_VERSION, "entries": {}}
+        for blob in sorted(self.root.glob("dta_*.npz")):
+            rec = self._blob_entry(blob)
+            if rec is not None:
+                key, entry = rec
+                manifest["entries"][key] = entry
+        warnings.warn(
+            f"trace-store manifest was corrupt ({exc}); quarantined to "
+            f"{quarantined.name if quarantined else '<gone>'} and rebuilt "
+            f"{len(manifest['entries'])} entr(y/ies) from on-disk blobs "
+            f"(throughput history reset)", RuntimeWarning, stacklevel=4)
+        try:  # persist so the next reader skips the rescan; best-effort
+            with StoreLock(self.root / ".store.lock", timeout=0.5):
+                self._write_manifest(manifest)
+        except (StoreLockTimeout, OSError):
+            pass
+        return manifest
+
+    def _blob_entry(self, blob: Path) -> Optional[Tuple[str, Dict]]:
+        """(key, manifest entry) recovered from one blob, else None."""
+        try:
+            with np.load(blob) as data:
+                shape = data["delays"].shape
+                meta = (json.loads(data["meta"].item())
+                        if "meta" in data.files else {})
+        except Exception:
+            return None  # unreadable blob: not worth an entry
+        if not isinstance(meta, dict):
+            meta = {}
+        stem = blob.name[len("dta_"):-len(".npz")]
+        tokens = stem.split("_")
+        key = meta.get("key") or tokens[-1]
+        fu, stream = meta.get("fu"), meta.get("stream")
+        if fu is None:
+            # filename fallback for pre-durable blobs: match the longest
+            # known unit name, the rest of the middle is the stream name
+            middle = "_".join(tokens[:-1])
+            for name in sorted(available_units(), key=len, reverse=True):
+                if middle == name or middle.startswith(name + "_"):
+                    fu = name
+                    stream = middle[len(name) + 1:] or "unknown"
+                    break
+            else:
+                fu = tokens[0]
+                stream = "_".join(tokens[1:-1]) or "unknown"
+        entry = {
+            "file": blob.name,
+            "fu": fu,
+            "stream": stream,
+            "n_conditions": int(shape[0]),
+            "n_cycles": int(shape[1]),
+            "library": meta.get("library", ""),
+            "delay_model": meta.get("delay_model", "dta"),
+            "backend": meta.get("backend", ""),
+            "created": meta.get("created",
+                                time.strftime("%Y-%m-%dT%H:%M:%S")),
+            "rebuilt": True,
+        }
+        return key, entry
 
     def entries(self) -> Dict[str, Dict]:
         """Key -> metadata for everything in the store."""
@@ -166,22 +272,25 @@ class TraceStore:
         if not np.isfinite(observed) or observed <= 0:
             return
         self.root.mkdir(parents=True, exist_ok=True)
-        manifest = self._read_manifest()  # single read: prev + samples
-        section = self._throughput_section(manifest)
-        key = self._throughput_key(fu_name, backend, n_corners)
-        prev = self._entry_cps(section.get(key))
-        entry = section.get(key) if isinstance(section.get(key), dict) else {}
-        samples = entry.get("samples")
-        samples = samples if isinstance(samples, int) and samples >= 0 else 0
-        value = (observed if prev is None
-                 else alpha * observed + (1 - alpha) * prev)
-        section[key] = {
-            "corner_cycles_per_s": float(value),
-            "samples": samples + 1,
-            "updated": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        }
-        manifest["throughput"] = section
-        self._write_manifest(manifest)
+        with self.lock():
+            manifest = self._read_manifest()  # single read: prev + samples
+            section = self._throughput_section(manifest)
+            key = self._throughput_key(fu_name, backend, n_corners)
+            prev = self._entry_cps(section.get(key))
+            entry = (section.get(key)
+                     if isinstance(section.get(key), dict) else {})
+            samples = entry.get("samples")
+            samples = (samples
+                       if isinstance(samples, int) and samples >= 0 else 0)
+            value = (observed if prev is None
+                     else alpha * observed + (1 - alpha) * prev)
+            section[key] = {
+                "corner_cycles_per_s": float(value),
+                "samples": samples + 1,
+                "updated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            }
+            manifest["throughput"] = section
+            self._write_manifest(manifest)
 
     def get_throughput(self, fu_name: str, backend: str,
                        n_corners: int) -> Optional[float]:
@@ -212,13 +321,14 @@ class TraceStore:
         Use after hardware or backend changes that make old cycles/s
         observations misleading for the adaptive planner.
         """
-        manifest = self._read_manifest()
-        section = self._throughput_section(manifest)
-        if not section:
-            return 0
-        n = len(section)
-        manifest["throughput"] = {}
-        self._write_manifest(manifest)
+        with self.lock():
+            manifest = self._read_manifest()
+            section = self._throughput_section(manifest)
+            if not section:
+                return 0
+            n = len(section)
+            manifest["throughput"] = {}
+            self._write_manifest(manifest)
         return n
 
     # -- traces ---------------------------------------------------------------
@@ -235,21 +345,57 @@ class TraceStore:
             blob = next(iter(self.root.glob(f"dta_*_{key}.npz")), None)
             if blob is None:
                 return None
+            self._readopt_blob(blob)
         try:
             data = np.load(blob)
-        except (FileNotFoundError, OSError):
+            delays = data["delays"]
+        except FileNotFoundError:
             return None
-        return DelayTrace(data["delays"], list(conditions), inputs=inputs)
+        except Exception as exc:
+            # truncated/garbled blob (e.g. a pre-durable writer died
+            # mid-write): quarantine it and treat as a cache miss
+            quarantined = quarantine(blob)
+            warnings.warn(
+                f"unreadable trace blob {blob.name} ({exc}); quarantined "
+                f"to {quarantined.name if quarantined else '<gone>'} and "
+                f"treating as a cache miss", RuntimeWarning, stacklevel=2)
+            return None
+        return DelayTrace(delays, list(conditions), inputs=inputs)
+
+    def _readopt_blob(self, blob: Path) -> None:
+        """Best-effort: re-register an orphaned blob in the manifest.
+
+        A writer that died between the blob rename and the manifest
+        replace leaves a resolvable blob with no entry — and ``gc``
+        would collect it as an orphan.  Repair failures (lock
+        contention, read-only store) never block the read.
+        """
+        rec = self._blob_entry(blob)
+        if rec is None:
+            return
+        key, entry = rec
+        try:
+            with StoreLock(self.root / ".store.lock", timeout=0.5):
+                manifest = self._read_manifest()
+                if key not in manifest["entries"]:
+                    manifest["entries"][key] = entry
+                    self._write_manifest(manifest)
+        except (StoreLockTimeout, OSError):
+            pass
 
     def put(self, key: str, trace: DelayTrace, *, fu_name: str,
             stream_name: str, library: CellLibrary,
             delay_model: str = "dta", backend: str = "") -> Path:
-        """Persist a trace and record it in the manifest."""
+        """Persist a trace and record it in the manifest.
+
+        The blob is written atomically with its metadata embedded (for
+        manifest rebuilds); blob + manifest update happen under the
+        store lock so concurrent writers cannot drop each other's
+        entries.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         fname = f"dta_{fu_name}_{stream_name}_{key}.npz"
-        np.savez_compressed(self.root / fname, delays=trace.delays)
-        manifest = self._read_manifest()
-        manifest["entries"][key] = {
+        entry = {
             "file": fname,
             "fu": fu_name,
             "stream": stream_name,
@@ -260,8 +406,49 @@ class TraceStore:
             "backend": backend,
             "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
         }
-        self._write_manifest(manifest)
+        meta = json.dumps({"key": key, **entry}, sort_keys=True)
+        with self.lock():
+            self._write_blob(self.root / fname, trace.delays, meta,
+                             site=SITE_BLOB)
+            manifest = self._read_manifest()
+            manifest["entries"][key] = entry
+            self._write_manifest(manifest)
         return self.root / fname
+
+    @staticmethod
+    def _write_blob(path: Path, delays: np.ndarray, meta_json: str, *,
+                    site: Optional[str] = None) -> None:
+        """Atomically write one npz blob (tmp + fsync + rename).
+
+        ``site`` arms a fault point mirroring
+        :func:`~repro.flow.durable.atomic_replace`: raise/exit fire
+        before the rename; torn-write leaves half a blob at the final
+        path and hard-exits.
+        """
+        action = faults.trigger(site)
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, delays=delays,
+                                    meta=np.array(meta_json))
+                fh.flush()
+                os.fsync(fh.fileno())
+            if action == "raise":
+                raise faults.FaultInjected(f"fault injected at {site}")
+            if action == "exit":
+                os._exit(faults.EXIT_CODE)
+            if action == "torn-write":
+                data = tmp.read_bytes()
+                with open(path, "wb") as fh:
+                    fh.write(data[: max(1, len(data) // 2)])
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os._exit(faults.TORN_EXIT_CODE)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        fsync_dir(path.parent)
 
     # -- eviction / garbage collection ----------------------------------------
 
@@ -289,6 +476,16 @@ class TraceStore:
         report = GCReport()
         if not self.root.is_dir():
             return report
+        with self.lock():
+            return self._gc_locked(max_bytes, dry_run, report)
+
+    def _gc_locked(self, max_bytes: Optional[int], dry_run: bool,
+                   report: GCReport) -> GCReport:
+        # stray temp files from crashed writers (the lock is held, so
+        # no live writer owns any of them)
+        if not dry_run:
+            for tmp in self.root.glob(".*.tmp*"):
+                tmp.unlink(missing_ok=True)
         manifest = self._read_manifest()
         entries = manifest["entries"]
         referenced = {entry["file"] for entry in entries.values()}
@@ -330,3 +527,126 @@ class TraceStore:
         if not dry_run and (report.removed_blobs or report.dropped_entries):
             self._write_manifest(manifest)
         return report
+
+    # -- campaign shard journal ------------------------------------------------
+    #
+    # CampaignRunner checkpoints completed shards here so a killed
+    # campaign's rerun resumes instead of re-simulating.  Per job key:
+    # one envelope journal (the shard plan + which shards are done) and
+    # one small ``part_*.npz`` per finished shard.  Everything is
+    # removed by :meth:`clear_journal` once the stitched trace lands in
+    # the store proper.
+
+    def _journal_path(self, key: str) -> Path:
+        return self.root / f"journal_{key}.json"
+
+    def _part_path(self, key: str, shard: ShardRange) -> Path:
+        c0, c1, t0, t1 = shard
+        return self.root / f"part_{key}_{c0}-{c1}_{t0}-{t1}.npz"
+
+    @staticmethod
+    def _shard_tag(shard: ShardRange) -> str:
+        return ":".join(str(int(x)) for x in shard)
+
+    def record_journal_shard(self, key: str, *, plan: Sequence[ShardRange],
+                             shard: ShardRange, delays: np.ndarray,
+                             backend: str, n_corners: int,
+                             n_cycles: int) -> None:
+        """Persist one finished shard and mark it done in the journal."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        part = self._part_path(key, shard)
+        self._write_blob(part, np.ascontiguousarray(delays), "{}")
+        with self.lock():
+            journal = self._load_journal_payload(key)
+            if journal is None:
+                journal = {
+                    "key": key,
+                    "backend": backend,
+                    "n_corners": int(n_corners),
+                    "n_cycles": int(n_cycles),
+                    "plan": [list(int(x) for x in s) for s in plan],
+                    "done": {},
+                }
+            journal["done"][self._shard_tag(shard)] = part.name
+            write_envelope(self._journal_path(key), journal,
+                           site=SITE_JOURNAL)
+
+    def _load_journal_payload(self, key: str) -> Optional[Dict]:
+        path = self._journal_path(key)
+        try:
+            payload, _ = read_envelope(path)
+        except FileNotFoundError:
+            return None
+        except ManifestCorrupt as exc:
+            quarantined = quarantine(path)
+            warnings.warn(
+                f"corrupt campaign journal {path.name} quarantined to "
+                f"{quarantined.name if quarantined else '<gone>'}: {exc}",
+                RuntimeWarning, stacklevel=3)
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def load_journal(self, key: str, *, backend: str, n_corners: int,
+                     n_cycles: int
+                     ) -> Optional[Tuple[List[ShardRange],
+                                         List[Tuple[ShardRange,
+                                                    np.ndarray]]]]:
+        """Resumable state for one job key, or None.
+
+        Returns ``(plan, done)`` where ``plan`` is the journaled shard
+        plan (the rerun must reuse it — a freshly computed plan need
+        not tile identically) and ``done`` holds ``(shard, delays)``
+        for every finished shard whose part file is intact.  Journals
+        recorded against a different backend or grid are ignored.
+        """
+        payload = self._load_journal_payload(key)
+        if payload is None:
+            return None
+        if (payload.get("backend") != backend
+                or payload.get("n_corners") != int(n_corners)
+                or payload.get("n_cycles") != int(n_cycles)):
+            return None
+        raw_plan = payload.get("plan")
+        if not isinstance(raw_plan, list) or not raw_plan:
+            return None
+        plan: List[ShardRange] = []
+        area = 0
+        for s in raw_plan:
+            if not (isinstance(s, list) and len(s) == 4):
+                return None
+            c0, c1, t0, t1 = (int(x) for x in s)
+            if not (0 <= c0 < c1 <= n_corners and 0 <= t0 < t1 <= n_cycles):
+                return None
+            plan.append((c0, c1, t0, t1))
+            area += (c1 - c0) * (t1 - t0)
+        if area != int(n_corners) * int(n_cycles):
+            return None  # plan does not tile the matrix; start over
+        done: List[Tuple[ShardRange, np.ndarray]] = []
+        plan_set = set(plan)
+        for tag, fname in (payload.get("done") or {}).items():
+            try:
+                shard = tuple(int(x) for x in str(tag).split(":"))
+            except ValueError:
+                continue
+            if len(shard) != 4 or shard not in plan_set:
+                continue
+            try:
+                with np.load(self.root / str(fname)) as data:
+                    part = np.array(data["delays"])
+            except Exception:
+                continue  # missing/torn part: just re-simulate it
+            c0, c1, t0, t1 = shard
+            if part.shape != (c1 - c0, t1 - t0):
+                continue
+            done.append((shard, part))
+        return plan, done
+
+    def clear_journal(self, key: str) -> None:
+        """Drop the journal and part files for one job key (after the
+        stitched trace has landed in the store proper)."""
+        for path in ([self._journal_path(key)]
+                     + sorted(self.root.glob(f"part_{key}_*.npz"))):
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..testing import faults
 from .engine import (
     Prediction,
     PredictionEngine,
@@ -72,6 +73,10 @@ CLUSTER_MAX_REISSUES = 2
 #: batch receipt hard-kills itself mid-batch.  Deterministic test hook
 #: for the respawn/reissue path (same file format as the pool's).
 CRASH_FILE_ENV = "REPRO_CLUSTER_CRASH_FILE"
+
+#: Fault point hit at batch receipt in every worker (see
+#: :mod:`repro.testing.faults`; exercises the respawn/reissue path).
+SITE_BATCH = faults.register_site("cluster.worker.batch")
 
 
 # -- worker side ---------------------------------------------------------------
@@ -99,22 +104,6 @@ def _warm_replica(engine: PredictionEngine) -> Tuple[str, int]:
         except Exception:  # a corrupt artifact must not kill the worker
             continue
     return registry.manifest_fingerprint(), warmed
-
-
-def _consume_crash_token(path: str) -> bool:
-    """Take one crash token from ``path`` (see :data:`CRASH_FILE_ENV`)."""
-    try:
-        with open(path) as fh:
-            raw = fh.read().strip()
-        count = int(raw) if raw.isdigit() else 1
-        if count <= 1:
-            os.remove(path)  # atomic: concurrent consumers race, one wins
-        else:
-            with open(path, "w") as fh:
-                fh.write(str(count - 1))
-    except OSError:
-        return False
-    return True
 
 
 def _cluster_worker_main(conn, registry_root: Optional[str], kind: str,
@@ -155,9 +144,10 @@ def _cluster_worker_main(conn, registry_root: Optional[str], kind: str,
                 conn.send(("refreshed", fingerprint, warmed))
             elif kind_ == "predict":
                 _, task_id, requests = msg
-                crash = os.environ.get(CRASH_FILE_ENV)
-                if crash and _consume_crash_token(crash):
-                    os._exit(17)  # simulated hard mid-batch death
+                # deterministic crash hooks (fault plan rides the env,
+                # so forked workers honor it): see repro.testing.faults
+                faults.fault_point(SITE_BATCH)
+                faults.crash_token_hook(CRASH_FILE_ENV)
                 try:
                     results = engine.predict_batch(requests)
                     conn.send(("done", task_id, results))

@@ -21,7 +21,9 @@ same (FU, kind) repeatedly assigns monotonically increasing versions;
 from __future__ import annotations
 
 import hashlib
+import re
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -30,7 +32,14 @@ import numpy as np
 
 from ..circuits.functional_units import FunctionalUnit
 from ..core.model import load_model, save_model
+from ..flow.durable import (
+    ManifestCorrupt,
+    StoreLock,
+    StoreLockTimeout,
+    quarantine,
+)
 from ..flow.manifest import read_manifest, stable_fingerprint, write_manifest
+from ..testing import faults
 from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
 
@@ -39,6 +48,13 @@ REGISTRY_VERSION = 1
 
 #: Model kinds the pipeline publishes.
 MODEL_KINDS = ("tevot", "tevot_nh", "delay_based", "ter_based")
+
+SITE_MANIFEST = faults.register_site("registry.manifest.replace",
+                                     persistence=True)
+SITE_ARTIFACT = faults.register_site("registry.artifact.write",
+                                     persistence=True)
+
+_MODEL_ID_RE = re.compile(r"^(?P<fu>.+)/(?P<kind>[^/]+)/v(?P<version>\d+)$")
 
 
 def fu_fingerprint(fu: Union[FunctionalUnit, str]) -> str:
@@ -145,17 +161,83 @@ class RegistryGCReport:
 class ModelRegistry:
     """Manifest-backed store of published models under one directory."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], *,
+                 lock_timeout: float = 10.0) -> None:
         self.root = Path(root)
+        self.lock_timeout = lock_timeout
 
     @property
     def manifest_path(self) -> Path:
         return self.root / "manifest.json"
 
+    def lock(self) -> StoreLock:
+        """Advisory inter-process lock serializing registry writers."""
+        return StoreLock(self.root / ".registry.lock",
+                         timeout=self.lock_timeout)
+
     def _read(self) -> Dict:
         return read_manifest(self.manifest_path,
                              version_key="registry_version",
-                             version=REGISTRY_VERSION, entries_key="models")
+                             version=REGISTRY_VERSION, entries_key="models",
+                             on_corrupt=self._recover_manifest)
+
+    def _write(self, manifest: Dict) -> None:
+        write_manifest(self.manifest_path, manifest, site=SITE_MANIFEST)
+
+    def _recover_manifest(self, exc: ManifestCorrupt) -> Dict:
+        """Quarantine a corrupt manifest and rebuild it from artifacts.
+
+        Published artifacts carry their ``model_id``/``key`` in the v2
+        pickle metadata, so the model table is recoverable; derived
+        fingerprints (corners, train stream, feature spec) are lost and
+        recorded as unknown.
+        """
+        quarantined = quarantine(self.manifest_path)
+        manifest: Dict = {"registry_version": REGISTRY_VERSION, "models": {}}
+        for path in sorted(self.root.glob("*.pkl")):
+            entry = self._artifact_entry(path)
+            if entry is not None:
+                model_id, record = entry
+                manifest["models"][model_id] = record
+        warnings.warn(
+            f"model-registry manifest was corrupt ({exc}); quarantined to "
+            f"{quarantined.name if quarantined else '<gone>'} and rebuilt "
+            f"{len(manifest['models'])} entr(y/ies) from artifacts",
+            RuntimeWarning, stacklevel=4)
+        try:  # persist best-effort so the next reader skips the rescan
+            with StoreLock(self.root / ".registry.lock", timeout=0.5):
+                self._write(manifest)
+        except (StoreLockTimeout, OSError):
+            pass
+        return manifest
+
+    def _artifact_entry(self, path: Path) -> Optional[Tuple[str, Dict]]:
+        """(model_id, manifest entry) recovered from one .pkl artifact."""
+        try:
+            _, meta = load_model(path)
+        except Exception:
+            return None  # unreadable artifact: not worth an entry
+        meta = meta or {}
+        model_id = meta.get("model_id")
+        match = _MODEL_ID_RE.match(model_id or "")
+        if match is None:
+            return None
+        entry = {
+            "fu": match.group("fu"),
+            "kind": match.group("kind"),
+            "version": int(match.group("version")),
+            "file": path.name,
+            "key": meta.get("key", "-"),
+            "feature_spec": None,
+            "corners": "-",
+            "train_stream": "-",
+            "created": "",
+            "size_bytes": path.stat().st_size,
+            "metadata": {k: v for k, v in meta.items()
+                         if k not in ("model_id", "key")},
+            "rebuilt": True,
+        }
+        return model_id, entry
 
     # -- queries --------------------------------------------------------------
 
@@ -204,36 +286,43 @@ class ModelRegistry:
         spec_tag = spec.version_tag() if spec is not None else "-"
         key = model_key(fu, kind, conditions, train_stream, spec_tag)
 
-        manifest = self._read()
-        models = manifest["models"]
-        latest = max((int(e["version"]) for e in models.values()
-                      if e["fu"] == fu_name and e["kind"] == kind),
-                     default=0)
-        version = latest + 1
-        model_id = f"{fu_name}/{kind}/v{version}"
-        fname = f"{fu_name}_{kind}_v{version}_{key[:8]}.pkl"
-
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.root / fname
-        # our provenance fields last: stale model_id/key in re-published
-        # artifact metadata must not survive into the new artifact
-        save_model(model, path, metadata={**(metadata or {}),
-                                          "model_id": model_id, "key": key})
-        record = ModelRecord(
-            model_id=model_id, fu=fu_name, kind=kind, version=version,
-            file=fname, key=key,
-            feature_spec=None if spec is None else {
-                "operand_width": spec.operand_width,
-                "include_history": spec.include_history,
-                "tag": spec_tag,
-            },
-            corners=corner_fingerprint(conditions),
-            train_stream=stream_fingerprint(train_stream),
-            created=time.strftime("%Y-%m-%dT%H:%M:%S"),
-            size_bytes=path.stat().st_size,
-            metadata=dict(metadata or {}))
-        models[model_id] = record.as_entry()
-        write_manifest(self.manifest_path, manifest)
+        # the whole read-modify-write runs under the store lock, so
+        # concurrent publishes serialize: no dropped entries, no
+        # colliding version numbers
+        with self.lock():
+            manifest = self._read()
+            models = manifest["models"]
+            latest = max((int(e["version"]) for e in models.values()
+                          if e["fu"] == fu_name and e["kind"] == kind),
+                         default=0)
+            version = latest + 1
+            model_id = f"{fu_name}/{kind}/v{version}"
+            fname = f"{fu_name}_{kind}_v{version}_{key[:8]}.pkl"
+
+            path = self.root / fname
+            faults.fault_point(SITE_ARTIFACT)
+            # our provenance fields last: stale model_id/key in
+            # re-published artifact metadata must not survive into the
+            # new artifact
+            save_model(model, path,
+                       metadata={**(metadata or {}),
+                                 "model_id": model_id, "key": key})
+            record = ModelRecord(
+                model_id=model_id, fu=fu_name, kind=kind, version=version,
+                file=fname, key=key,
+                feature_spec=None if spec is None else {
+                    "operand_width": spec.operand_width,
+                    "include_history": spec.include_history,
+                    "tag": spec_tag,
+                },
+                corners=corner_fingerprint(conditions),
+                train_stream=stream_fingerprint(train_stream),
+                created=time.strftime("%Y-%m-%dT%H:%M:%S"),
+                size_bytes=path.stat().st_size,
+                metadata=dict(metadata or {}))
+            models[model_id] = record.as_entry()
+            self._write(manifest)
         return record
 
     def resolve(self, fu: str, kind: str = "tevot",
@@ -253,7 +342,18 @@ class ModelRegistry:
             path = self.root / record.file
             if not path.is_file():
                 continue
-            model, _ = load_model(path)
+            try:
+                model, _ = load_model(path)
+            except Exception as exc:
+                # torn/garbled artifact: quarantine and fall through to
+                # the next-newest candidate instead of failing the serve
+                quarantined = quarantine(path)
+                warnings.warn(
+                    f"unreadable model artifact {path.name} ({exc}); "
+                    f"quarantined to "
+                    f"{quarantined.name if quarantined else '<gone>'}",
+                    RuntimeWarning, stacklevel=2)
+                continue
             return model, record
         raise LookupError(
             f"no published model for fu={fu!r} kind={kind!r}"
@@ -276,6 +376,11 @@ class ModelRegistry:
         freed = 0
         if not self.root.is_dir():
             return RegistryGCReport(removed, dropped, freed)
+        with self.lock():
+            return self._gc_locked(keep, dry_run, removed, dropped, freed)
+
+    def _gc_locked(self, keep: int, dry_run: bool, removed: List[str],
+                   dropped: List[str], freed: int) -> RegistryGCReport:
         manifest = self._read()
         models = manifest["models"]
 
@@ -311,5 +416,5 @@ class ModelRegistry:
                     path.unlink()
 
         if not dry_run and (removed or dropped):
-            write_manifest(self.manifest_path, manifest)
+            self._write(manifest)
         return RegistryGCReport(removed, dropped, freed)

@@ -27,12 +27,15 @@ streams.
 from __future__ import annotations
 
 import json
+import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from ..flow.manifest import check_record, seal_record
+from ..testing import faults
 from .engine import Prediction, PredictRequest
 
 __all__ = [
@@ -49,16 +52,20 @@ LOG_VERSION = 1
 #: Fingerprint namespace for sealed log records.
 LOG_TAG = "serve-request-log"
 
+SITE_APPEND = faults.register_site("requestlog.append", persistence=True)
+
 
 class RequestLog:
     """Append-only JSONL log of executed prediction batches.
 
     Opened by the server at startup; :meth:`append_batch` is called by
     the micro-batcher's single consumer thread (no locking needed) and
-    flushes per record, so a SIGTERM'd server loses at most the batch
-    in flight.  Appending to an existing log continues its batch
-    numbering — replay treats the whole file as one session only when
-    the header count is 1.
+    flushes + fsyncs per record, so even a ``kill -9``'d server loses
+    at most the batch in flight — and a crash mid-line leaves a *torn
+    final line* that :func:`read_request_log` recognizes and skips.
+    Appending to an existing log continues its batch numbering —
+    replay treats the whole file as one session only when the header
+    count is 1.
     """
 
     def __init__(self, path: Union[str, Path],
@@ -66,16 +73,60 @@ class RequestLog:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._n_batches = 0
+        self._seal_torn_tail()
         self._fh = open(self.path, "a", encoding="utf-8")
         self._write({"kind": "header", "version": LOG_VERSION,
                      "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
                      "config": dict(config or {})})
 
+    def _seal_torn_tail(self) -> None:
+        """Truncate a torn final line left by a crashed writer.
+
+        A previous process killed mid-append leaves the file without a
+        trailing newline.  Appending straight after those bytes would
+        fuse them with our next record into unparsable *interior*
+        corruption, so the unacknowledged tail is dropped before the
+        new session starts — the same record the reader would have
+        skipped anyway.
+        """
+        try:
+            with open(self.path, "r+b") as fh:
+                data = fh.read()
+                if not data or data.endswith(b"\n"):
+                    return
+                keep = data.rfind(b"\n") + 1
+                fh.truncate(keep)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except FileNotFoundError:
+            return
+        warnings.warn(
+            f"{self.path}: torn final log line (crash artifact) "
+            f"truncated before appending", RuntimeWarning, stacklevel=3)
+
     def _write(self, record: Dict) -> None:
         line = json.dumps(seal_record(record, tag=LOG_TAG),
                           sort_keys=True, separators=(",", ":"))
+        action = faults.trigger(SITE_APPEND)
+        if action == "raise":
+            raise faults.FaultInjected(f"fault injected at {SITE_APPEND}")
+        if action == "exit":  # record never reaches the file
+            os._exit(faults.EXIT_CODE)
+        if action == "torn-write":  # crash mid-line: no newline lands
+            self._fh.write(line[: max(1, len(line) // 2)])
+            self._sync()
+            os._exit(faults.TORN_EXIT_CODE)
         self._fh.write(line + "\n")
+        self._sync()
+
+    def _sync(self) -> None:
+        """Flush + fsync: the batch boundary is durable, not just
+        handed to the OS."""
         self._fh.flush()
+        try:
+            os.fsync(self._fh.fileno())
+        except OSError:  # pragma: no cover - exotic fs
+            pass
 
     def append_batch(self, requests: Sequence[PredictRequest],
                      predictions: Sequence[Prediction]) -> None:
@@ -101,34 +152,75 @@ class RequestLog:
         self.close()
 
 
+def _check_log_line(path: Path, lineno: int, raw: str,
+                    is_last: bool) -> Optional[Dict]:
+    """Verify one raw log line; None means skip (blank or torn tail).
+
+    Interior corruption always fails loudly.  The one tolerated defect
+    is a *torn final line*: the last line of the file, missing its
+    trailing newline, that fails to parse or seal — exactly the
+    artifact a crash mid-append leaves behind (the writer emits line +
+    newline in one buffered write).  A complete (newline-terminated)
+    final line that fails is hand-editing or bit-rot, not a crash, and
+    still raises.
+    """
+    line = raw.strip()
+    if not line:
+        return None
+    torn_tail_ok = is_last and not raw.endswith("\n")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        if torn_tail_ok:
+            warnings.warn(
+                f"{path}:{lineno}: torn final log line (crash artifact) "
+                f"skipped; the sealed prefix replays", RuntimeWarning,
+                stacklevel=3)
+            return None
+        raise ValueError(
+            f"{path}:{lineno}: unparsable log line: {exc}") from None
+    try:
+        record = check_record(obj, tag=LOG_TAG)
+    except ValueError as exc:
+        if torn_tail_ok:
+            warnings.warn(
+                f"{path}:{lineno}: torn final log line (crash artifact) "
+                f"skipped; the sealed prefix replays", RuntimeWarning,
+                stacklevel=3)
+            return None
+        raise ValueError(f"{path}:{lineno}: {exc}") from None
+    if record.get("kind") == "header" \
+            and record.get("version") != LOG_VERSION:
+        raise ValueError(
+            f"{path}:{lineno}: unsupported log version "
+            f"{record.get('version')!r} (expected {LOG_VERSION})")
+    return record
+
+
 def read_request_log(path: Union[str, Path]) -> Iterator[Dict]:
     """Yield verified records (header(s) included) from a log file.
 
     Raises :class:`ValueError` on unparsable JSON, a missing/bad
     fingerprint, or an unsupported log version — a corrupt log must
-    fail loudly, never replay partially.
+    fail loudly, never replay partially.  The single exception is a
+    torn *final* line with no trailing newline (what a crashed writer
+    leaves mid-append): that is skipped with a warning so the sealed
+    prefix stays replayable.
     """
     path = Path(path)
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                raw = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{lineno}: unparsable log line: {exc}") from None
-            try:
-                record = check_record(raw, tag=LOG_TAG)
-            except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: {exc}") from None
-            if record.get("kind") == "header" \
-                    and record.get("version") != LOG_VERSION:
-                raise ValueError(
-                    f"{path}:{lineno}: unsupported log version "
-                    f"{record.get('version')!r} (expected {LOG_VERSION})")
-            yield record
+        prev = None  # one-line lookahead to know which line is last
+        for lineno, raw in enumerate(fh, start=1):
+            if prev is not None:
+                record = _check_log_line(path, prev[0], prev[1],
+                                         is_last=False)
+                if record is not None:
+                    yield record
+            prev = (lineno, raw)
+        if prev is not None:
+            record = _check_log_line(path, prev[0], prev[1], is_last=True)
+            if record is not None:
+                yield record
 
 
 @dataclass

@@ -16,6 +16,7 @@ from repro.flow import (
     plan_campaign,
     plan_cycle_shards,
     plan_shards,
+    read_envelope,
     trace_key,
 )
 from repro.sim import get_backend
@@ -92,7 +93,11 @@ class TestTraceStore:
         stream = random_stream(25, operand_width=8, seed=3)
         CampaignRunner(store=tmp_path).run(
             [CampaignJob(fu, stream, CONDS)])
-        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        envelope = json.loads((tmp_path / "manifest.json").read_text())
+        assert envelope["envelope_version"] == 1
+        assert envelope["generation"] >= 1
+        manifest, generation = read_envelope(tmp_path / "manifest.json")
+        assert generation == envelope["generation"]
         (entry,) = manifest["entries"].values()
         assert entry["fu"] == "int_add"
         assert entry["n_conditions"] == 2

@@ -1,0 +1,191 @@
+"""Tests for the durable persistence primitives (repro.flow.durable)."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.flow.durable import (
+    ManifestCorrupt,
+    StoreLock,
+    StoreLockTimeout,
+    atomic_replace,
+    payload_checksum,
+    quarantine,
+    read_envelope,
+    write_envelope,
+)
+
+SRC = str(Path(next(iter(repro.__path__))).resolve().parent)
+
+
+class TestAtomicReplace:
+    def test_creates_and_replaces(self, tmp_path):
+        path = tmp_path / "f.txt"
+        atomic_replace(path, b"one")
+        assert path.read_bytes() == b"one"
+        atomic_replace(path, "two")  # str accepted, utf-8 encoded
+        assert path.read_bytes() == b"two"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "f.txt"
+        atomic_replace(path, b"deep")
+        assert path.read_bytes() == b"deep"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "f.txt"
+        for _ in range(3):
+            atomic_replace(path, b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["f.txt"]
+
+
+class TestEnvelopes:
+    def test_roundtrip_and_generation_increments(self, tmp_path):
+        path = tmp_path / "m.json"
+        payload = {"entries": {"k": 1}, "store_version": 1}
+        assert write_envelope(path, payload) == 1
+        assert read_envelope(path) == (payload, 1)
+        assert write_envelope(path, {"entries": {}}) == 2
+        _, generation = read_envelope(path)
+        assert generation == 2
+
+    def test_legacy_plain_manifest_reads_as_generation_zero(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"store_version": 1, "entries": {}}))
+        payload, generation = read_envelope(path)
+        assert generation == 0
+        assert payload["store_version"] == 1
+        # next write upgrades to an envelope at generation 1
+        assert write_envelope(path, payload) == 1
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_envelope(tmp_path / "absent.json")
+
+    def test_truncated_json_is_corrupt(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_envelope(path, {"entries": {}})
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ManifestCorrupt, match="unparsable JSON"):
+            read_envelope(path)
+
+    def test_bitflip_under_checksum_is_corrupt(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_envelope(path, {"entries": {"k": {"fu": "int_add"}}})
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["entries"]["k"]["fu"] = "int_mul"  # tamper
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(ManifestCorrupt, match="checksum mismatch"):
+            read_envelope(path)
+
+    def test_unknown_envelope_version_is_corrupt(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"envelope_version": 999, "payload": {},
+                                    "sha256": payload_checksum({}),
+                                    "generation": 1}))
+        with pytest.raises(ManifestCorrupt, match="envelope_version"):
+            read_envelope(path)
+
+    def test_non_object_payload_is_corrupt(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"envelope_version": 1,
+                                    "payload": [1, 2]}))
+        with pytest.raises(ManifestCorrupt, match="payload"):
+            read_envelope(path)
+
+    def test_write_resets_generation_after_corruption(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_envelope(path, {"a": 1})
+        write_envelope(path, {"a": 2})
+        path.write_text("{garbage")
+        assert write_envelope(path, {"a": 3}) == 1  # history unreadable
+
+
+class TestQuarantine:
+    def test_moves_file_aside(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("bad")
+        target = quarantine(path)
+        assert not path.exists()
+        assert target.name.startswith("m.json.corrupt-")
+        assert target.read_text() == "bad"
+
+    def test_vanished_file_returns_none(self, tmp_path):
+        assert quarantine(tmp_path / "gone.json") is None
+
+    def test_repeated_quarantines_get_distinct_names(self, tmp_path):
+        path = tmp_path / "m.json"
+        names = set()
+        for i in range(3):
+            path.write_text(f"bad{i}")
+            names.add(quarantine(path).name)
+        assert len(names) == 3
+        assert len(list(tmp_path.glob("m.json.corrupt-*"))) == 3
+
+
+HOLDER_SCRIPT = """
+import sys, time
+from pathlib import Path
+from repro.flow.durable import StoreLock
+lock_path, ready = sys.argv[1], sys.argv[2]
+with StoreLock(lock_path, timeout=10.0):
+    Path(ready).write_text("ok")
+    time.sleep(30)
+"""
+
+
+class TestStoreLock:
+    def test_acquire_release_roundtrip(self, tmp_path):
+        lock = StoreLock(tmp_path / ".lock")
+        with lock:
+            assert (tmp_path / ".lock").exists()
+        # released: a fresh instance acquires instantly
+        with StoreLock(tmp_path / ".lock", timeout=0.1):
+            pass
+
+    def test_reentrant_within_process(self, tmp_path):
+        path = tmp_path / ".lock"
+        with StoreLock(path, timeout=1.0):
+            with StoreLock(path, timeout=0.05):  # nested: no deadlock
+                pass
+        with StoreLock(path, timeout=0.1):  # fully released afterwards
+            pass
+
+    def test_same_instance_not_reacquirable(self, tmp_path):
+        lock = StoreLock(tmp_path / ".lock")
+        with lock:
+            with pytest.raises(RuntimeError, match="not re-acquirable"):
+                lock.acquire()
+
+    def test_lock_file_records_holder(self, tmp_path):
+        with StoreLock(tmp_path / ".lock"):
+            text = (tmp_path / ".lock").read_text()
+        assert f"pid={os.getpid()}" in text
+        assert "since=" in text
+
+    def test_timeout_names_holder_pid(self, tmp_path):
+        pytest.importorskip("fcntl")
+        lock_path = tmp_path / ".lock"
+        ready = tmp_path / "ready"
+        env = dict(os.environ, PYTHONPATH=SRC)
+        child = subprocess.Popen(
+            [sys.executable, "-c", HOLDER_SCRIPT, str(lock_path),
+             str(ready)], env=env)
+        try:
+            deadline = time.monotonic() + 10.0
+            while not ready.exists():
+                assert time.monotonic() < deadline, "holder never started"
+                assert child.poll() is None, "holder died early"
+                time.sleep(0.01)
+            with pytest.raises(StoreLockTimeout,
+                               match=rf"held by pid={child.pid}\b"):
+                StoreLock(lock_path, timeout=0.2).acquire()
+        finally:
+            child.kill()
+            child.wait()

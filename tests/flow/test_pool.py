@@ -187,6 +187,42 @@ class TestWorkerPool:
             assert pool.n_alive() == 2
         assert not crash.exists()  # exactly one worker consumed it
 
+    def test_on_result_callback_sees_every_shard(self):
+        # both return transports: "big" crosses the shm threshold (the
+        # callback gets a live segment view), "small" returns pickled
+        fu = build_functional_unit("int_add", width=8)
+        big = _prog(fu, random_stream(9000, operand_width=8, seed=14))
+        small = _prog(fu, random_stream(40, operand_width=8, seed=15))
+        seen = {}
+
+        def on_result(idx, tres, delays):
+            seen[idx] = (tres.job_key, tres.shard,
+                         np.array(delays, copy=True))
+
+        with WorkerPool(2) as pool:
+            tasks = ([("big", s) for s in _halves(big)]
+                     + [("small", _whole(small))])
+            pool.run_tasks({"big": big, "small": small}, tasks,
+                           on_result=on_result)
+        assert set(seen) == {0, 1, 2}
+        refs = {"big": _reference(big), "small": _reference(small)}
+        for idx, (key, shard, delays) in seen.items():
+            assert (key, shard) == (tasks[idx][0], tuple(tasks[idx][1]))
+            c0, c1, t0, t1 = shard
+            np.testing.assert_array_equal(delays, refs[key][c0:c1, t0:t1])
+
+    def test_on_result_exception_aborts_batch(self):
+        fu = build_functional_unit("int_add", width=8)
+        prog = _prog(fu, random_stream(40, operand_width=8, seed=17))
+
+        def boom(idx, tres, delays):
+            raise ValueError("callback boom")
+
+        with WorkerPool(1) as pool:
+            with pytest.raises(ValueError, match="callback boom"):
+                pool.run_tasks({"j": prog}, [("j", _whole(prog))],
+                               on_result=boom)
+
     def test_repeatedly_killed_task_raises(self, monkeypatch, tmp_path):
         # enough crash tokens that every allowed dispatch of the task
         # kills its worker — the pool must give up with a RuntimeError

@@ -90,6 +90,94 @@ class TestRoundTrip:
             list(read_request_log(path))
 
 
+class TestTornFinalLine:
+    def _tear_last_line(self, path):
+        """Truncate the file mid last record — what a crash during the
+        buffered line+newline write leaves behind."""
+        data = path.read_bytes()
+        assert data.endswith(b"\n")
+        start = data[:-1].rfind(b"\n") + 1
+        cut = start + (len(data) - start) // 2
+        path.write_bytes(data[:cut])
+
+    def test_torn_tail_skipped_with_warning(self, registry, tmp_path):
+        path = tmp_path / "req.jsonl"
+        _record(registry, path, n=24, batch=8)
+        self._tear_last_line(path)
+        with pytest.warns(RuntimeWarning, match="torn final log line"):
+            records = list(read_request_log(path))
+        # the sealed prefix survives: header + first two batches
+        assert [r["kind"] for r in records] == ["header", "batch", "batch"]
+
+    def test_sealed_prefix_still_replays(self, registry, tmp_path):
+        path = tmp_path / "req.jsonl"
+        _record(registry, path, n=24, batch=8)
+        self._tear_last_line(path)
+        fresh = PredictionEngine(registry=registry, sim_fallback=False)
+        with pytest.warns(RuntimeWarning, match="torn final"):
+            report = replay_log(path, fresh.predict_batch)
+        assert report.ok
+        assert (report.batches, report.requests) == (2, 16)
+
+    def test_complete_final_line_still_fails_loudly(self, registry,
+                                                    tmp_path):
+        # a newline-terminated final line that fails its seal is
+        # hand-editing or bit-rot, not a crash artifact: must raise
+        path = tmp_path / "req.jsonl"
+        _record(registry, path)
+        lines = path.read_text().splitlines()
+        doc = json.loads(lines[-1])
+        doc["predictions"][0]["delay_ps"] = -1.0  # tamper under the seal
+        lines[-1] = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="fingerprint"):
+            list(read_request_log(path))
+
+    def test_torn_interior_line_still_fails_loudly(self, registry,
+                                                   tmp_path):
+        path = tmp_path / "req.jsonl"
+        _record(registry, path, n=24, batch=8)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # tear a middle record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"req\.jsonl:3"):
+            list(read_request_log(path))
+
+    def test_crashed_writer_leaves_replayable_log(self, registry,
+                                                  tmp_path, monkeypatch):
+        # end-to-end: the log's own torn-write fault (crash mid-append)
+        # produces exactly the artifact the reader tolerates
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+        from repro.testing import faults
+
+        src = str(Path(next(iter(repro.__path__))).resolve().parent)
+        path = tmp_path / "req.jsonl"
+        code = (
+            "from repro.serve import PredictRequest, RequestLog\n"
+            "from repro.serve.engine import Prediction\n"
+            "reqs = [PredictRequest(fu='int_add', a=i, b=i, voltage=0.9,"
+            " temperature=25.0) for i in range(4)]\n"
+            "preds = [Prediction(ok=True, delay_ps=1.0) for _ in range(4)]\n"
+            f"with RequestLog({str(path)!r}) as log:\n"
+            "    log.append_batch(reqs[:2], preds[:2])\n"
+            "    log.append_batch(reqs[2:], preds[2:])\n")
+        env = dict(os.environ, PYTHONPATH=src)
+        env[faults.PLAN_ENV] = "requestlog.append:torn-write:3"
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              capture_output=True, text=True)
+        assert proc.returncode == faults.TORN_EXIT_CODE, proc.stderr
+        assert not path.read_bytes().endswith(b"\n")  # torn tail on disk
+        with pytest.warns(RuntimeWarning, match="torn final log line"):
+            records = list(read_request_log(path))
+        assert [r["kind"] for r in records] == ["header", "batch"]
+        assert [q["a"] for q in records[1]["requests"]] == [0, 1]
+
+
 class TestReplay:
     def test_single_process_replay_is_bit_exact(self, registry, tmp_path):
         path = tmp_path / "req.jsonl"
