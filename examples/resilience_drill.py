@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Resilience drill for the serving layer: wedge it, crash it, keep serving.
+
+Starts ``repro serve --workers 2`` as a real CLI process with a fault
+plan armed over the cluster workers::
+
+    REPRO_FAULT_PLAN=cluster.worker.batch:hang:1,
+                     cluster.worker.batch:exit:2,
+                     cluster.worker.batch:exit:3
+
+so under concurrent client load one worker slot first *wedges*
+mid-batch (alive but silent — only the watchdog can see it) and then
+hard-crashes twice more, tripping the crash-loop quarantine.  The
+drill asserts the failure chain the serving layer promises:
+
+- zero lost or hung requests: every request gets a real answer,
+  bit-exact with a fresh single-process engine over the same registry;
+- the watchdog killed the wedged worker (``watchdog_kills`` in
+  ``/stats``) and the batch was reissued, not dropped;
+- the crash-looping slot was quarantined (``quarantines``,
+  ``quarantined_slots``) while the survivor kept serving;
+- ``/health`` degrades to 503 with ``"status": "degraded"`` so a load
+  balancer can eject the instance;
+- SIGTERM still drains cleanly (exit code 0) in the degraded state.
+
+CI runs this as the resilience step::
+
+    PYTHONPATH=src python examples/resilience_drill.py
+
+Exit status is non-zero if any promise is broken.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import repro
+from repro.circuits import build_functional_unit
+from repro.core import TEVoT, build_training_set
+from repro.flow import CampaignJob, CampaignRunner
+from repro.serve import (
+    ModelRegistry,
+    PredictionEngine,
+    PredictRequest,
+    ServeClient,
+)
+from repro.timing import OperatingCondition
+from repro.workloads import random_stream
+
+SRC = str(Path(next(iter(repro.__path__))).resolve().parent)
+COND = OperatingCondition(0.9, 25.0)
+
+N_THREADS = 4
+CHUNK = 8
+CHUNKS_PER_THREAD = 4
+
+FAULT_PLAN = ",".join([
+    "cluster.worker.batch:hang:1",   # first batch receipt: wedge
+    "cluster.worker.batch:exit:2",   # then two hard crashes ->
+    "cluster.worker.batch:exit:3",   # crash-loop quarantine
+])
+
+
+def publish_model(root: Path) -> Path:
+    fu = build_functional_unit("int_add", width=8)
+    stream = random_stream(200, operand_width=8, seed=3)
+    stream.name = "resilience_drill"
+    trace = CampaignRunner(use_cache=False).run(
+        [CampaignJob(fu, stream, [COND])])[0]
+    model = TEVoT(operand_width=8)
+    X, y = build_training_set(stream, [COND], trace.delays,
+                              spec=model.spec)
+    model.fit(X, y)
+    registry_root = root / "registry"
+    ModelRegistry(registry_root).publish(
+        model, fu=fu, conditions=[COND], train_stream=stream)
+    return registry_root
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_healthy(host: str, port: int, timeout_s: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            payload = ServeClient(host, port, retries=0,
+                                  timeout=2.0).health()
+            if payload.get("status") == "healthy":
+                return
+        except Exception:
+            pass
+        time.sleep(0.2)
+    raise RuntimeError("server never became healthy")
+
+
+def drive_load(host: str, port: int):
+    """Concurrent clients, one operand stream per thread.  Returns
+    ``{thread: [prediction dicts in send order]}`` or raises."""
+    results = {}
+    errors = []
+
+    n_total = CHUNK * CHUNKS_PER_THREAD
+
+    def worker(t):
+        stream = random_stream(n_total, operand_width=8, seed=100 + t)
+        client = ServeClient(host, port, timeout=30.0, retries=2)
+        got = []
+        try:
+            for lo in range(0, n_total, CHUNK):
+                got.extend(client.predict_many([
+                    {"fu": "int_add", "a": int(stream.a[i]),
+                     "b": int(stream.b[i]), "voltage": COND.voltage,
+                     "temperature": COND.temperature,
+                     "stream_id": f"drill-{t}"}
+                    for i in range(lo, lo + CHUNK)]))
+            results[t] = got
+        except Exception as exc:
+            errors.append((t, exc))
+
+    threads = [threading.Thread(target=worker, args=(t,))
+               for t in range(N_THREADS)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    if errors:
+        raise RuntimeError(f"requests were lost under chaos: {errors}")
+    return results
+
+
+def expected_results(registry_root: Path):
+    """The same per-stream sequences on a fresh single-process engine."""
+    engine = PredictionEngine(registry=ModelRegistry(registry_root),
+                              sim_fallback=False)
+    out = {}
+    n_total = CHUNK * CHUNKS_PER_THREAD
+    for t in range(N_THREADS):
+        stream = random_stream(n_total, operand_width=8, seed=100 + t)
+        reqs = [PredictRequest(
+            fu="int_add", a=int(stream.a[i]), b=int(stream.b[i]),
+            voltage=COND.voltage, temperature=COND.temperature,
+            stream_id=f"drill-{t}") for i in range(n_total)]
+        out[t] = [p.delay_ps for p in engine.predict_batch(reqs)]
+    return out
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="resilience-drill-"))
+    print(f"[drill] workspace {tmp}")
+    registry_root = publish_model(tmp)
+    port = free_port()
+
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env["REPRO_FAULT_PLAN"] = FAULT_PLAN
+    env["REPRO_FAULT_STATE"] = str(tmp / "fault-state")  # fire once each
+    env["REPRO_FAULT_HANG_S"] = "60"          # far past the watchdog
+    env["REPRO_SERVE_HANG_TIMEOUT_S"] = "1.0"  # watchdog bound
+    env["REPRO_CLUSTER_QUARANTINE_RESPAWNS"] = "3"
+    env["REPRO_CLUSTER_QUARANTINE_WINDOW_S"] = "60"
+
+    # log to a file, not a pipe: a wedged worker outlives a killed
+    # front end and would hold a pipe open forever
+    server_log = tmp / "server.log"
+    log_fh = open(server_log, "w")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--registry", str(registry_root), "--port", str(port),
+         "--workers", "2"],
+        env=env, stdout=log_fh, stderr=subprocess.STDOUT, text=True)
+    try:
+        wait_healthy("127.0.0.1", port)
+        print("[drill] cluster up, driving concurrent load through "
+              "hang + crash-loop faults ...")
+        served = drive_load("127.0.0.1", port)
+
+        n = sum(len(v) for v in served.values())
+        assert n == N_THREADS * CHUNK * CHUNKS_PER_THREAD, \
+            f"lost requests: {n}"
+        assert all(p["ok"] for got in served.values() for p in got), \
+            "a request came back failed"
+        expected = expected_results(registry_root)
+        for t, got in served.items():
+            assert [p["delay_ps"] for p in got] == expected[t], \
+                f"stream drill-{t} diverged from the offline engine"
+        print(f"[drill] {n} requests answered bit-exact through the chaos")
+
+        client = ServeClient("127.0.0.1", port, timeout=10.0)
+        stats = client.stats()["engine"]
+        assert stats["watchdog_kills"] >= 1, stats
+        assert stats["quarantines"] == 1, stats
+        assert len(stats["quarantined_slots"]) == 1, stats
+        assert stats["respawns"] >= 2, stats
+        print(f"[drill] stats: watchdog_kills={stats['watchdog_kills']} "
+              f"respawns={stats['respawns']} reissues={stats['reissues']} "
+              f"quarantined={stats['quarantined_slots']}")
+
+        health = client.health()
+        assert health["status"] == "degraded", health
+        try:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/health", timeout=10)
+            raise AssertionError("/health answered 200 while degraded")
+        except urllib.error.HTTPError as err:
+            assert err.code == 503, err.code
+        print("[drill] /health degraded (503) with the survivor serving")
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+        assert code == 0, f"SIGTERM drain exited {code}"
+        print("[drill] SIGTERM drained cleanly; resilience drill OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+        log_fh.close()
+        out = server_log.read_text()
+        if out:
+            print("[drill] server log:")
+            print(out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -603,6 +603,8 @@ class ServeSpec(Spec):
     kind: str = "tevot"
     batch_window_ms: float = 2.0
     max_batch: int = 64
+    max_queue: int = 256
+    default_deadline_ms: float = 0.0
     workers: int = 1
     request_log: Optional[str] = None
     fallback: bool = True
@@ -622,6 +624,11 @@ class ServeSpec(Spec):
         if self.batch_window_ms < 0:
             raise SpecError("batch_window_ms must be >= 0")
         _require_positive_int("max_batch", self.max_batch)
+        _require_positive_int("max_queue", self.max_queue)
+        object.__setattr__(self, "default_deadline_ms",
+                           float(self.default_deadline_ms))
+        if self.default_deadline_ms < 0:
+            raise SpecError("default_deadline_ms must be >= 0 (0 disables)")
         _require_positive_int("workers", self.workers)
         if self.request_log is not None:
             _require_str("request_log", self.request_log)

@@ -414,6 +414,8 @@ class Workspace:
                                 port=spec.port,
                                 batch_window_ms=spec.batch_window_ms,
                                 max_batch=spec.max_batch,
+                                max_queue=spec.max_queue,
+                                default_deadline_ms=spec.default_deadline_ms,
                                 verbose=spec.verbose,
                                 request_log=request_log)
 

@@ -279,6 +279,10 @@ def serve_spec(args) -> ServeSpec:
         changes["batch_window_ms"] = args.batch_window_ms
     if args.max_batch is not None:
         changes["max_batch"] = args.max_batch
+    if args.max_queue is not None:
+        changes["max_queue"] = args.max_queue
+    if args.default_deadline_ms is not None:
+        changes["default_deadline_ms"] = args.default_deadline_ms
     if args.workers is not None:
         changes["workers"] = args.workers
     if args.request_log is not None:
@@ -593,6 +597,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-window-ms", type=_nonnegative_float,
                    default=None, help="micro-batch collection window")
     p.add_argument("--max-batch", type=_positive_int, default=None)
+    p.add_argument("--max-queue", type=_positive_int, default=None,
+                   help="bounded request-queue depth; arrivals past it "
+                        "are shed with 429 + Retry-After")
+    p.add_argument("--default-deadline-ms", type=_nonnegative_float,
+                   default=None,
+                   help="deadline budget for requests that carry none "
+                        "(0 disables; expired requests answer 504)")
     p.add_argument("--workers", type=_positive_int, default=None,
                    help="worker processes (>1 runs a prediction cluster)")
     p.add_argument("--request-log", default=None, metavar="FILE",

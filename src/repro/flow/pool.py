@@ -33,6 +33,14 @@ that amortize all of that:
   looping.  ``close()`` (also via ``with`` or garbage collection —
   a ``weakref.finalize`` backstop) reaps every worker and unlinks
   every segment, so nothing survives the parent.
+* **Hung-worker watchdog.**  A worker that neither answers nor dies
+  would wedge ``connection.wait`` forever; with ``task_timeout_s``
+  set (ctor arg or ``REPRO_POOL_TASK_TIMEOUT_S``; 0 = off, the
+  default — campaign shards may legitimately run long), a worker
+  holding one task past the bound is SIGKILLed and the task reissued
+  through the same path a crashed worker's would be — the identical
+  discipline the serving cluster applies, via the shared
+  :mod:`repro.flow.watchdog` mechanics.
 
 The pool is deliberately backend-agnostic: a task runs
 ``get_backend(name).run_delays`` on the registered payload slice, so
@@ -63,13 +71,19 @@ except ImportError:  # pragma: no cover
     shared_memory = None  # type: ignore[assignment]
 
 from ..testing import faults
+from .watchdog import kill_worker
 
 __all__ = [
     "JobProgram",
     "PoolRunResult",
+    "TASK_TIMEOUT_ENV",
     "TaskResult",
     "WorkerPool",
 ]
+
+#: Env default for :class:`WorkerPool`'s per-task watchdog (seconds;
+#: 0 disables — the shipped default).
+TASK_TIMEOUT_ENV = "REPRO_POOL_TASK_TIMEOUT_S"
 
 #: Result matrices smaller than this return via the pickle path even
 #: when shared memory is available — below the crossover the one-copy
@@ -300,7 +314,8 @@ class _Blob:
 class _Worker:
     """Parent-side handle for one pool slot."""
 
-    __slots__ = ("slot", "process", "conn", "netlists", "jobs", "current")
+    __slots__ = ("slot", "process", "conn", "netlists", "jobs", "current",
+                 "overdue_at")
 
     def __init__(self, slot: int, process, conn) -> None:
         self.slot = slot
@@ -309,6 +324,7 @@ class _Worker:
         self.netlists = set()              # registered netlist keys
         self.jobs = OrderedDict()          # registered job keys (LRU)
         self.current: Optional[int] = None  # in-flight task index
+        self.overdue_at: Optional[float] = None  # watchdog bound (monotonic)
 
 
 def _shutdown_workers(workers: List[_Worker],
@@ -353,13 +369,29 @@ class WorkerPool:
         ``multiprocessing.shared_memory``; the ``REPRO_POOL_NO_SHM``
         env var vetoes).  Falls back to pickle per payload below the
         crossover thresholds either way.
+    task_timeout_s:
+        Per-task watchdog bound in seconds: a worker holding one task
+        longer is presumed hung, SIGKILLed, and the task reissued.
+        None reads ``REPRO_POOL_TASK_TIMEOUT_S``; 0 disables (the
+        default).  Kills are counted in :attr:`watchdog_kills`.
     """
 
     def __init__(self, n_workers: int,
-                 use_shm: Optional[bool] = None) -> None:
+                 use_shm: Optional[bool] = None,
+                 task_timeout_s: Optional[float] = None) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
+        if task_timeout_s is None:
+            raw = os.environ.get(TASK_TIMEOUT_ENV, "")
+            try:
+                task_timeout_s = float(raw) if raw else 0.0
+            except ValueError:
+                task_timeout_s = 0.0
+        if task_timeout_s < 0:
+            raise ValueError("task_timeout_s must be >= 0 (0 disables)")
+        self.task_timeout_s = float(task_timeout_s)
+        self.watchdog_kills = 0
         try:
             self._ctx = get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
@@ -566,6 +598,9 @@ class WorkerPool:
                             w.conn.send(("run", idx, key,
                                          tuple(shard), out))
                             w.current = idx
+                            w.overdue_at = (
+                                time.monotonic() + self.task_timeout_s
+                                if self.task_timeout_s else None)
                         except (BrokenPipeError, OSError):
                             # worker died between tasks: respawn (fresh
                             # registration state) and retry elsewhere
@@ -578,7 +613,34 @@ class WorkerPool:
                     if pending and error is None:
                         continue
                     break
-                for conn_ in connection.wait([w.conn for w in busy]):
+                wait_s = None
+                bounds = [w.overdue_at for w in busy
+                          if w.overdue_at is not None]
+                if bounds:
+                    wait_s = max(0.0, min(bounds) - time.monotonic())
+                ready = connection.wait([w.conn for w in busy],
+                                        timeout=wait_s)
+                if not ready:
+                    # watchdog: a worker blew its per-task bound — it
+                    # neither answered nor died, so kill it and reissue
+                    # its task through the same path a crash would take
+                    now = time.monotonic()
+                    for w in busy:
+                        if w.overdue_at is None or now < w.overdue_at:
+                            continue
+                        idx = w.current
+                        w.current = None
+                        self.watchdog_kills += 1
+                        kill_worker(w.process)
+                        self._respawn(w)
+                        if idx is not None and error is None:
+                            if fail(idx, "hang") is not None:
+                                error = (
+                                    f"task {idx} ({tasks[idx][0]!r} shard "
+                                    f"{tasks[idx][1]}) hung its worker "
+                                    f"{MAX_REISSUES + 1} times")
+                    continue
+                for conn_ in ready:
                     w = next(x for x in busy if x.conn is conn_)
                     try:
                         msg = w.conn.recv()

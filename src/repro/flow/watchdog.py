@@ -1,0 +1,100 @@
+"""Deadline bookkeeping + hung-worker discipline, shared across tiers.
+
+Two failure modes look identical from a parent process waiting on
+``conn.recv()``: a worker that *died* (the pipe breaks — easy, the
+existing respawn/reissue paths catch it) and a worker that *hung*
+(deadlocked, stuck in a runaway loop, wedged on I/O).  A hung worker
+breaks nothing visible; the parent just waits forever, and everything
+queued behind that batch waits with it.
+
+This module is the small shared vocabulary both supervision loops —
+the serving cluster front end (:mod:`repro.serve.cluster`) and the
+campaign worker pool (:mod:`repro.flow.pool`) — use to bound that
+wait:
+
+* :class:`Deadline` — an absolute point on the monotonic clock,
+  usually derived from a request's ``deadline_ms`` budget.  Cheap to
+  pass around, cheap to query, and ``None``-friendly (no deadline is a
+  valid state everywhere).
+* :func:`kill_worker` — SIGKILL + join for a worker that neither
+  answers nor dies.  SIGTERM is deliberately not tried first: a hung
+  process may have the very lock its signal handler would need, and
+  the caller has already decided the worker's output is worthless.
+
+Policy (how long to wait, whether to reissue, what to answer the
+client) stays with the callers; this module only keeps the two loops'
+*mechanics* identical so a fix in one cannot drift from the other.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+__all__ = [
+    "Deadline",
+    "kill_worker",
+]
+
+
+class Deadline:
+    """An absolute expiry instant on the monotonic clock.
+
+    Constructed from a relative budget (:meth:`after_ms` /
+    :meth:`after_s`) at the moment a request is accepted, then carried
+    down the execution path — every layer asks :meth:`remaining_s`
+    against the same fixed instant, so time spent queued counts
+    against the same budget as time spent executing.
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float) -> None:
+        self.at = at
+
+    @classmethod
+    def after_s(cls, seconds: float) -> "Deadline":
+        return cls(time.monotonic() + float(seconds))
+
+    @classmethod
+    def after_ms(cls, ms: float) -> "Deadline":
+        return cls.after_s(float(ms) / 1e3)
+
+    def remaining_s(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.at - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.remaining_s() <= 0.0
+
+    @staticmethod
+    def earliest(deadlines: Iterable[Optional["Deadline"]]
+                 ) -> Optional["Deadline"]:
+        """Tightest of a batch's deadlines (None entries = unbounded).
+
+        A batch executes as one unit, so the whole batch inherits its
+        most impatient member; members without a deadline never
+        loosen it and an all-``None`` batch stays unbounded.
+        """
+        best: Optional[Deadline] = None
+        for d in deadlines:
+            if d is not None and (best is None or d.at < best.at):
+                best = d
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(in {self.remaining_s():+.3f}s)"
+
+
+def kill_worker(process, join_timeout: float = 2.0) -> None:
+    """Forcibly stop a hung worker process (SIGKILL, then join).
+
+    Idempotent and tolerant of the worker dying on its own between
+    the liveness check and the kill.
+    """
+    try:
+        if process.is_alive():
+            process.kill()
+    except (OSError, ValueError):  # pragma: no cover - already reaped
+        pass
+    process.join(timeout=join_timeout)

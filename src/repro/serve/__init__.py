@@ -19,6 +19,12 @@ The offline pipeline trains delay regressors; this package serves them:
   (``repro serve --replay``) re-driving it bit-exact;
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` — stdlib
   HTTP/JSON server (``repro serve``) and retrying client.
+
+The request path is resilient end to end: bounded queues shed overload
+with ``429`` + ``Retry-After``, per-request deadlines expire to
+``504`` instead of executing stale work, a watchdog kills + respawns
+hung cluster workers, and crash-looping worker slots are quarantined
+while the cluster serves degraded (``/health`` non-200).
 """
 
 from .client import ServeClient, ServeError
@@ -28,6 +34,7 @@ from .engine import (
     Prediction,
     PredictionEngine,
     PredictRequest,
+    expired_prediction,
     validate_request,
 )
 from .registry import (
@@ -47,7 +54,12 @@ from .requestlog import (
     read_request_log,
     replay_log,
 )
-from .server import ConfigError, MicroBatcher, PredictionServer
+from .server import (
+    ConfigError,
+    MicroBatcher,
+    PredictionServer,
+    QueueFullError,
+)
 
 __all__ = [
     "ClusterEngine",
@@ -62,6 +74,7 @@ __all__ = [
     "PredictionEngine",
     "PredictionServer",
     "PredictRequest",
+    "QueueFullError",
     "RegistryGCReport",
     "ReplayMismatch",
     "ReplayReport",
@@ -69,6 +82,7 @@ __all__ = [
     "ServeClient",
     "ServeError",
     "corner_fingerprint",
+    "expired_prediction",
     "fu_fingerprint",
     "model_key",
     "read_request_log",

@@ -5,30 +5,65 @@ query the server without any third-party HTTP dependency:
 
 >>> client = ServeClient("127.0.0.1", 8000)
 >>> client.health()["status"]
-'ok'
+'healthy'
 >>> client.predict(fu="int_add", a=3, b=4, voltage=0.9, temperature=25.0)
 {'ok': True, 'delay_ps': ..., ...}
+
+Resilience behavior: every predict request carries a ``deadline_ms``
+budget derived from the client timeout (so the server can drop work
+this client has already given up on); a ``429``/``503`` that advertises
+``Retry-After`` is retried after the advertised delay (capped) instead
+of failing immediately; and transport-reset backoff is jittered so a
+fleet of shed clients does not re-converge on the same instant.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 import urllib.error
 import urllib.request
 from typing import Dict, List, Optional, Sequence
 
+#: Never honor an advertised Retry-After longer than this — a confused
+#: (or hostile) server must not park the client for minutes.
+MAX_HONORED_RETRY_AFTER_S = 5.0
+
 
 class ServeError(RuntimeError):
-    """Server-side failure (HTTP error status or per-request failure)."""
+    """Server-side failure (HTTP error status or per-request failure).
+
+    ``retry_after`` carries the server's advertised backoff (seconds)
+    when the failure was a shed (``429``) or unavailable (``503``)
+    response that included one, else None.
+    """
 
     def __init__(self, message: str, status: int = 0,
-                 payload: Optional[Dict] = None) -> None:
+                 payload: Optional[Dict] = None,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.status = status
         self.payload = payload or {}
+        self.retry_after = retry_after
+
+
+def _parse_retry_after(header: Optional[str],
+                       body: Dict) -> Optional[float]:
+    """Advertised backoff from the ``Retry-After`` header (seconds
+    form) or the JSON body's ``retry_after_s``, else None."""
+    for candidate in (header, body.get("retry_after_s")):
+        if candidate is None:
+            continue
+        try:
+            value = float(candidate)
+        except (TypeError, ValueError):
+            continue
+        if value >= 0:
+            return value
+    return None
 
 
 #: Transport-level failures worth one more try: the connection died
@@ -54,23 +89,50 @@ class ServeClient:
 
     Every call carries a per-request ``timeout``; transport resets are
     retried up to ``retries`` times with exponential backoff starting
-    at ``backoff_s``.  HTTP error statuses and timeouts are never
-    retried.
+    at ``backoff_s`` (jittered by up to ``jitter`` of itself, so a
+    thundering herd of retriers decorrelates).  ``429``/``503``
+    responses that advertise ``Retry-After`` are retried after the
+    advertised delay (capped at :data:`MAX_HONORED_RETRY_AFTER_S`);
+    other HTTP error statuses and timeouts are never retried.
+
+    ``deadline_ms`` is attached to every predict request that does not
+    set its own: by default the client's ``timeout`` (there is no
+    point computing an answer this client will no longer read);
+    pass ``deadline_ms=0`` to disable.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8000,
                  timeout: float = 30.0, retries: int = 2,
-                 backoff_s: float = 0.05) -> None:
+                 backoff_s: float = 0.05, jitter: float = 0.25,
+                 deadline_ms: Optional[float] = None) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if backoff_s < 0:
             raise ValueError("backoff_s must be >= 0")
+        if not 0 <= jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+        if deadline_ms is not None and deadline_ms < 0:
+            raise ValueError("deadline_ms must be >= 0 (0 disables)")
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        self.jitter = jitter
+        if deadline_ms is None:
+            deadline_ms = timeout * 1e3 if timeout else 0.0
+        self.deadline_ms = float(deadline_ms)
 
     # -- transport ------------------------------------------------------------
+
+    def _retry_delay_s(self, attempt: int,
+                       last: Optional[Exception]) -> float:
+        """Delay before retry ``attempt`` (1-based): the advertised
+        ``Retry-After`` when the server gave one, else jittered
+        exponential backoff."""
+        if isinstance(last, ServeError) and last.retry_after is not None:
+            return min(last.retry_after, MAX_HONORED_RETRY_AFTER_S)
+        delay = self.backoff_s * (2 ** (attempt - 1))
+        return delay * (1.0 + self.jitter * random.random())
 
     def _call(self, path: str, payload: Optional[Dict] = None) -> Dict:
         url = self.base_url + path
@@ -82,7 +144,7 @@ class ServeClient:
         last: Optional[Exception] = None
         for attempt in range(self.retries + 1):
             if attempt:
-                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+                time.sleep(self._retry_delay_s(attempt, last))
             request = urllib.request.Request(url, data=data, headers=headers)
             try:
                 with urllib.request.urlopen(request,
@@ -96,8 +158,15 @@ class ServeClient:
                 # 422 carries per-request results; surface them to the caller
                 if exc.code == 422 and "predictions" in body:
                     return body
-                raise ServeError(body.get("error", str(exc)), status=exc.code,
-                                 payload=body) from None
+                retry_after = _parse_retry_after(
+                    exc.headers.get("Retry-After"), body)
+                err = ServeError(body.get("error", str(exc)),
+                                 status=exc.code, payload=body,
+                                 retry_after=retry_after)
+                if exc.code in (429, 503) and retry_after is not None:
+                    last = err  # honor the advertised backoff and retry
+                    continue
+                raise err from None
             except socket.timeout:
                 raise ServeError(
                     f"request to {url} timed out "
@@ -113,6 +182,8 @@ class ServeClient:
                 last = exc
             except _RETRYABLE as exc:
                 last = exc
+        if isinstance(last, ServeError):
+            raise last  # shed on every attempt: surface the final 429/503
         reason = getattr(last, "reason", last)
         raise ServeError(
             f"cannot reach {url} after {self.retries + 1} attempt(s): "
@@ -121,7 +192,15 @@ class ServeClient:
     # -- endpoints ------------------------------------------------------------
 
     def health(self) -> Dict:
-        return self._call("/health")
+        """Health payload even when the node is not healthy: a
+        degraded/draining server answers 503 with the same JSON body,
+        which callers still want (that *is* the health report)."""
+        try:
+            return self._call("/health")
+        except ServeError as exc:
+            if exc.payload.get("status"):
+                return exc.payload
+            raise
 
     def stats(self) -> Dict:
         return self._call("/stats")
@@ -131,19 +210,33 @@ class ServeClient:
 
     def configure(self, batch_window_ms: Optional[float] = None,
                   max_batch: Optional[int] = None,
+                  max_queue: Optional[int] = None,
+                  default_deadline_ms: Optional[float] = None,
                   refresh_models: bool = False) -> Dict:
         payload: Dict = {}
         if batch_window_ms is not None:
             payload["batch_window_ms"] = batch_window_ms
         if max_batch is not None:
             payload["max_batch"] = max_batch
+        if max_queue is not None:
+            payload["max_queue"] = max_queue
+        if default_deadline_ms is not None:
+            payload["default_deadline_ms"] = default_deadline_ms
         if refresh_models:
             payload["refresh_models"] = True
         return self._call("/config", payload)
 
     def predict_many(self, requests: Sequence[Dict]) -> List[Dict]:
-        """Batch predict; returns per-request dicts aligned with input."""
-        body = self._call("/predict", {"requests": list(requests)})
+        """Batch predict; returns per-request dicts aligned with input.
+
+        Requests without their own ``deadline_ms`` inherit the
+        client's (see the class docstring).
+        """
+        reqs = [dict(r) for r in requests]
+        if self.deadline_ms:
+            for r in reqs:
+                r.setdefault("deadline_ms", self.deadline_ms)
+        body = self._call("/predict", {"requests": reqs})
         return body["predictions"]
 
     def predict(self, **request) -> Dict:

@@ -37,6 +37,25 @@ Design points:
   Because requests carry explicit history, a reissue cannot skew
   results.  A sub-batch that repeatedly kills workers fails loudly
   (per-request ``ok=False``) instead of looping forever.
+* **Hung-worker watchdog.**  A worker that neither answers nor dies
+  wedges ``conn.recv()`` forever, so every sub-batch wait is bounded:
+  by ``hang_timeout_s`` when the batch has no deadline, else by a
+  slice of the deadline's remaining budget (half while reissue
+  attempts remain, all of it on the last).  A worker that blows the
+  bound is SIGKILLed, respawned, and the sub-batch reissued — unless
+  the deadline has already passed, in which case the sub-batch is
+  answered ``deadline exceeded``, its history rolled back (expired
+  requests must not advance per-stream state, or replay would
+  diverge), and any late reply is dropped as stale.
+* **Crash-loop quarantine + graceful degradation.**  A slot whose
+  worker dies ``quarantine_respawns`` times inside a sliding
+  ``quarantine_window_s`` is *quarantined*: no further respawns, its
+  FU affinity rehomed to surviving slots, and the cluster keeps
+  answering degraded (``health_state() == "degraded"``, which the
+  HTTP ``/health`` endpoint surfaces non-200).  The last live slot is
+  never quarantined — a fully dead cluster helps nobody.  ``POST
+  /models/refresh`` retries quarantined slots and lifts the
+  quarantine when a replica comes back healthy.
 """
 
 from __future__ import annotations
@@ -45,16 +64,18 @@ import os
 import time
 import traceback
 import weakref
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..flow.watchdog import Deadline, kill_worker
 from ..testing import faults
 from .engine import (
     Prediction,
     PredictionEngine,
     PredictRequest,
+    expired_prediction,
     validate_request,
 )
 from .registry import ModelRegistry
@@ -63,11 +84,42 @@ __all__ = [
     "CLUSTER_MAX_REISSUES",
     "ClusterEngine",
     "ClusterStats",
+    "HANG_TIMEOUT_ENV",
+    "QUARANTINE_RESPAWNS_ENV",
+    "QUARANTINE_WINDOW_ENV",
 ]
 
 #: A sub-batch that sees its worker die this many times is failed with
 #: per-request errors — the batch itself is almost certainly the killer.
 CLUSTER_MAX_REISSUES = 2
+
+#: Watchdog bound on a no-deadline sub-batch wait (seconds).
+HANG_TIMEOUT_ENV = "REPRO_SERVE_HANG_TIMEOUT_S"
+DEFAULT_HANG_TIMEOUT_S = 30.0
+
+#: Worker deaths inside the sliding window that trigger quarantine.
+QUARANTINE_RESPAWNS_ENV = "REPRO_CLUSTER_QUARANTINE_RESPAWNS"
+DEFAULT_QUARANTINE_RESPAWNS = 3
+
+#: Width of the crash-loop sliding window (seconds).
+QUARANTINE_WINDOW_ENV = "REPRO_CLUSTER_QUARANTINE_WINDOW_S"
+DEFAULT_QUARANTINE_WINDOW_S = 30.0
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "")
+    try:
+        return float(raw) if raw else default
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "")
+    try:
+        return int(raw) if raw else default
+    except ValueError:
+        return default
 
 #: Env var naming a crash-token file: a worker that consumes a token at
 #: batch receipt hard-kills itself mid-batch.  Deterministic test hook
@@ -173,14 +225,28 @@ class ClusterStats:
     respawns: int = 0
     reissues: int = 0
     refreshes: int = 0
+    expired: int = 0
+    watchdog_kills: int = 0
+    quarantines: int = 0
     per_worker: Dict[int, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict:
         return {"requests": self.requests, "batches": self.batches,
                 "failed": self.failed, "respawns": self.respawns,
                 "reissues": self.reissues, "refreshes": self.refreshes,
+                "expired": self.expired,
+                "watchdog_kills": self.watchdog_kills,
+                "quarantines": self.quarantines,
                 "per_worker": {str(k): v
                                for k, v in sorted(self.per_worker.items())}}
+
+
+class _WorkerHung(Exception):
+    """Internal: a sub-batch wait blew its watchdog bound."""
+
+
+#: sentinel for "this stream had no history before the batch".
+_MISSING = object()
 
 
 class _ClusterWorker:
@@ -242,16 +308,44 @@ class ClusterEngine:
     max_streams:
         LRU capacity of the front end's per-stream history (mirrors
         the engine default so eviction behavior is identical).
+    hang_timeout_s:
+        Watchdog bound on a sub-batch wait when the batch carries no
+        deadline (default ``REPRO_SERVE_HANG_TIMEOUT_S`` or 30s).
+    quarantine_respawns / quarantine_window_s:
+        A slot whose worker dies ``quarantine_respawns`` times within
+        ``quarantine_window_s`` seconds is quarantined (defaults
+        ``REPRO_CLUSTER_QUARANTINE_RESPAWNS``=3 /
+        ``REPRO_CLUSTER_QUARANTINE_WINDOW_S``=30).
     """
 
     def __init__(self, registry: Union[ModelRegistry, str, Path, None],
                  workers: int = 2, kind: str = "tevot",
                  sim_fallback: bool = True, backend: Optional[str] = None,
-                 max_hot_models: int = 8, max_streams: int = 4096) -> None:
+                 max_hot_models: int = 8, max_streams: int = 4096,
+                 hang_timeout_s: Optional[float] = None,
+                 quarantine_respawns: Optional[int] = None,
+                 quarantine_window_s: Optional[float] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_streams < 1:
             raise ValueError("max_streams must be >= 1")
+        self.hang_timeout_s = (
+            hang_timeout_s if hang_timeout_s is not None
+            else _env_float(HANG_TIMEOUT_ENV, DEFAULT_HANG_TIMEOUT_S))
+        self.quarantine_respawns = (
+            quarantine_respawns if quarantine_respawns is not None
+            else _env_int(QUARANTINE_RESPAWNS_ENV,
+                          DEFAULT_QUARANTINE_RESPAWNS))
+        self.quarantine_window_s = (
+            quarantine_window_s if quarantine_window_s is not None
+            else _env_float(QUARANTINE_WINDOW_ENV,
+                            DEFAULT_QUARANTINE_WINDOW_S))
+        if self.hang_timeout_s <= 0:
+            raise ValueError("hang_timeout_s must be > 0")
+        if self.quarantine_respawns < 1:
+            raise ValueError("quarantine_respawns must be >= 1")
+        if self.quarantine_window_s <= 0:
+            raise ValueError("quarantine_window_s must be > 0")
         if registry is None or isinstance(registry, ModelRegistry):
             self.registry = registry
         else:
@@ -276,6 +370,8 @@ class ClusterEngine:
 
         self._lock = threading.Lock()
         self._task_seq = 0
+        self._quarantined: set = set()
+        self._death_times: Dict[int, "deque[float]"] = {}
         self._affinity: Dict[str, int] = {}
         self._fus: Dict[str, object] = {}
         self._history: "OrderedDict[Tuple[str, str], Tuple[int, int]]" \
@@ -344,6 +440,44 @@ class ClusterEngine:
         self.stats.respawns += 1
         return fresh
 
+    # -- crash-loop quarantine -------------------------------------------------
+
+    def _live_other_slots(self, slot: int) -> List[int]:
+        return [w.slot for w in self._workers
+                if w.slot != slot and w.slot not in self._quarantined
+                and w.process.is_alive()]
+
+    def _quarantine(self, slot: int) -> None:
+        """Give up on a crash-looping slot: stop respawning it, rehome
+        its FU affinity, serve degraded.  ``refresh()`` can revive it."""
+        worker = self._workers[slot]
+        kill_worker(worker.process)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        self._quarantined.add(slot)
+        self.stats.quarantines += 1
+        self._affinity = {fu: s for fu, s in self._affinity.items()
+                          if s != slot}
+
+    def _handle_dead(self, slot: int) -> int:
+        """React to a worker death (crash or watchdog kill): respawn in
+        place, or quarantine a crash-looping slot and return a surviving
+        slot the in-flight sub-batch should move to."""
+        now = time.monotonic()
+        times = self._death_times.setdefault(slot, deque())
+        times.append(now)
+        while times and now - times[0] > self.quarantine_window_s:
+            times.popleft()
+        survivors = self._live_other_slots(slot)
+        if len(times) >= self.quarantine_respawns and survivors:
+            self._quarantine(slot)
+            loads = {s: self.stats.per_worker.get(s, 0) for s in survivors}
+            return min(survivors, key=lambda s: (loads[s], s))
+        self._respawn(self._workers[slot])
+        return slot
+
     # -- history + routing ----------------------------------------------------
 
     def _functional_unit(self, fu_name: str):
@@ -377,15 +511,30 @@ class ClusterEngine:
 
     def _worker_for(self, fu_name: str) -> int:
         """Sticky FU -> worker-slot affinity (least-loaded on first
-        sight) so each worker's hot-model LRU stays warm."""
+        sight) so each worker's hot-model LRU stays warm.  Quarantined
+        slots are never chosen; an FU whose slot was quarantined is
+        rehomed here, on first sight after the quarantine."""
         slot = self._affinity.get(fu_name)
-        if slot is None:
-            loads = [0] * self.n_workers
+        if slot is None or slot in self._quarantined:
+            eligible = [w.slot for w in self._workers
+                        if w.slot not in self._quarantined]
+            loads = {s: 0 for s in eligible}
             for s in self._affinity.values():
-                loads[s] += 1
-            slot = loads.index(min(loads))
+                if s in loads:
+                    loads[s] += 1
+            slot = min(eligible, key=lambda s: (loads[s], s))
             self._affinity[fu_name] = slot
         return slot
+
+    def _rollback(self, snapshot: Dict) -> None:
+        """Restore per-stream history captured before a sub-batch was
+        chained — an expired (never executed) sub-batch must not
+        advance state, or replay would diverge from what was served."""
+        for key, old in snapshot.items():
+            if old is _MISSING:
+                self._history.pop(key, None)
+            else:
+                self._history[key] = old
 
     # -- inference ------------------------------------------------------------
 
@@ -396,65 +545,104 @@ class ClusterEngine:
             raise ValueError(result.message or "prediction failed")
         return result
 
-    def predict_batch(self, requests: Sequence[PredictRequest]
+    def predict_batch(self, requests: Sequence[PredictRequest],
+                      deadline: Optional[Deadline] = None
                       ) -> List[Prediction]:
         """Dispatch one micro-batch across the workers.
 
         Results align with ``requests``; the answer stream is
         bit-identical to :meth:`PredictionEngine.predict_batch` on the
-        same sequence of batches.
+        same sequence of batches.  ``deadline`` (set by the
+        micro-batcher to the batch's tightest request deadline) bounds
+        every sub-batch wait; a sub-batch the deadline overruns is
+        answered ``deadline exceeded`` with its history rolled back,
+        so expired requests never advance per-stream state.
         """
         if self.closed:
             raise RuntimeError("ClusterEngine is closed")
         requests = list(requests)
         with self._lock:
-            return self._predict_batch_locked(requests)
+            return self._predict_batch_locked(requests, deadline)
 
-    def _predict_batch_locked(self, requests: List[PredictRequest]
+    def _predict_batch_locked(self, requests: List[PredictRequest],
+                              deadline: Optional[Deadline]
                               ) -> List[Prediction]:
         self.stats.batches += 1
         self.stats.requests += len(requests)
         results: List[Optional[Prediction]] = [None] * len(requests)
 
         # validate + chain history in batch order (the engine's order),
-        # then group chained copies per affinity worker
+        # then group chained copies per affinity worker.  Each stream
+        # key belongs to exactly one sub-batch (FU -> slot), so each
+        # slot's pre-chain snapshot can be rolled back independently.
         sub_batches: Dict[int, List[Tuple[int, PredictRequest]]] = {}
+        snapshots: Dict[int, Dict] = {}
         for i, req in enumerate(requests):
             failure = validate_request(req, self._functional_unit)
             if failure is not None:
                 results[i] = Prediction(ok=False, message=failure)
                 self.stats.failed += 1
                 continue
-            chained = self._chain(req)
             slot = self._worker_for(req.fu)
+            snap = snapshots.setdefault(slot, {})
+            key = (req.fu, req.stream_id)
+            if key not in snap:
+                snap[key] = self._history.get(key, _MISSING)
+            chained = self._chain(req)
             sub_batches.setdefault(slot, []).append((i, chained))
 
         for slot, entries in sub_batches.items():
             idxs = [i for i, _ in entries]
             batch = [r for _, r in entries]
-            predictions = self._dispatch(slot, batch)
+            predictions = self._dispatch(slot, batch, deadline)
+            if predictions is None:  # expired, never executed
+                self._rollback(snapshots[slot])
+                predictions = [expired_prediction() for _ in batch]
             for i, pred in zip(idxs, predictions):
                 results[i] = pred
-            self.stats.per_worker[slot] = (
-                self.stats.per_worker.get(slot, 0) + len(batch))
         return results  # type: ignore[return-value]
 
-    def _dispatch(self, slot: int, batch: List[PredictRequest]
-                  ) -> List[Prediction]:
+    def _attempt_timeout_s(self, deadline: Optional[Deadline],
+                           attempt: int) -> float:
+        """Watchdog bound for one dispatch attempt.  While reissue
+        attempts remain only half the remaining budget is risked on the
+        current worker (the other half pays for a respawned retry);
+        the last attempt gets everything left."""
+        if deadline is None:
+            return self.hang_timeout_s
+        remaining = max(deadline.remaining_s(), 0.0)
+        fraction = 0.5 if attempt < CLUSTER_MAX_REISSUES else 1.0
+        return min(self.hang_timeout_s, remaining * fraction)
+
+    def _dispatch(self, slot: int, batch: List[PredictRequest],
+                  deadline: Optional[Deadline] = None
+                  ) -> Optional[List[Prediction]]:
         """Run one sub-batch on one worker, respawning + reissuing on
         worker death (requests carry explicit history, so a reissue is
-        idempotent)."""
+        idempotent).  Returns ``None`` when the deadline expired before
+        the sub-batch could execute — the caller answers those requests
+        ``deadline exceeded`` and rolls their history back."""
         self._task_seq += 1
         task_id = self._task_seq
         for attempt in range(CLUSTER_MAX_REISSUES + 1):
+            if deadline is not None and deadline.expired():
+                self.stats.expired += len(batch)
+                return None
             worker = self._workers[slot]
             if attempt:
                 self.stats.reissues += 1
+            timeout = self._attempt_timeout_s(deadline, attempt)
             try:
                 worker.conn.send(("predict", task_id, batch))
+                waited_until = time.monotonic() + timeout
                 while True:
+                    remaining = waited_until - time.monotonic()
+                    if remaining <= 0 or not worker.conn.poll(remaining):
+                        raise _WorkerHung()
                     msg = worker.conn.recv()
                     if msg[0] == "done" and msg[1] == task_id:
+                        self.stats.per_worker[slot] = (
+                            self.stats.per_worker.get(slot, 0) + len(batch))
                         return msg[2]
                     if msg[0] == "err" and msg[1] == task_id:
                         self.stats.failed += len(batch)
@@ -463,8 +651,21 @@ class ClusterEngine:
                             message=f"worker error: {msg[2].splitlines()[-1]}")
                             for _ in batch]
                     # stale reply from an abandoned task: drop it
+            except _WorkerHung:
+                if deadline is not None and deadline.expired():
+                    # out of budget: abandon without killing — the
+                    # worker may just be slow, and its late reply is
+                    # dropped as stale by the next dispatch
+                    self.stats.expired += len(batch)
+                    return None
+                self.stats.watchdog_kills += 1
+                kill_worker(worker.process)
+                slot = self._handle_dead(slot)
             except (BrokenPipeError, EOFError, OSError):
-                self._respawn(worker)
+                slot = self._handle_dead(slot)
+        if deadline is not None and deadline.expired():
+            self.stats.expired += len(batch)
+            return None
         self.stats.failed += len(batch)
         return [Prediction(
             ok=False,
@@ -477,10 +678,27 @@ class ClusterEngine:
     def refresh(self) -> None:
         """Re-replicate the registry on every worker (the
         ``POST /models/refresh`` control message): each replica drops
-        hot models + negative cache and re-warms from the manifest."""
+        hot models + negative cache and re-warms from the manifest.
+
+        Quarantined slots get a second chance here — an operator
+        refresh is the explicit "try again" signal; a slot whose fresh
+        replica comes up healthy rejoins routing with a clean
+        crash-history window.
+        """
         with self._lock:
             self.stats.refreshes += 1
+            for slot in sorted(self._quarantined):
+                try:
+                    fresh = self._spawn(slot)
+                except RuntimeError:
+                    continue  # still broken: stays quarantined
+                self._workers[slot] = fresh
+                self._quarantined.discard(slot)
+                self._death_times.pop(slot, None)
+                self.stats.respawns += 1
             for worker in list(self._workers):
+                if worker.slot in self._quarantined:
+                    continue
                 try:
                     worker.conn.send(("refresh",))
                     msg = worker.conn.recv()
@@ -502,9 +720,16 @@ class ClusterEngine:
 
     # -- introspection --------------------------------------------------------
 
+    def health_state(self) -> str:
+        """``healthy`` while every slot routes; ``degraded`` while any
+        slot sits quarantined (the HTTP layer maps degraded to a
+        non-200 ``/health`` so load balancers can react)."""
+        return "degraded" if self._quarantined else "healthy"
+
     def workers_dict(self) -> List[Dict]:
         """Per-replica status rows for ``/stats``."""
         return [{"slot": w.slot, "alive": w.process.is_alive(),
+                 "quarantined": w.slot in self._quarantined,
                  "manifest": w.manifest, "hot_models": w.hot_models,
                  "uptime_s": round(time.monotonic() - w.started, 3)}
                 for w in self._workers]
@@ -513,5 +738,6 @@ class ClusterEngine:
         with self._lock:
             out = self.stats.as_dict()
             out["workers"] = self.workers_dict()
+            out["quarantined_slots"] = sorted(self._quarantined)
             out["affinity"] = dict(sorted(self._affinity.items()))
             return out

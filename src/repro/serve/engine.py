@@ -50,6 +50,13 @@ class PredictRequest:
     override the stored history explicitly (e.g. stateless replay).
     ``clock_period`` (ps) is optional — when given, the response also
     carries the paper's timing-error classification.
+
+    ``deadline_ms`` is the request's total latency budget, relative to
+    its arrival at the server (clients derive it from their own
+    timeout).  A request still queued — or still executing on a hung
+    worker — when the budget runs out is answered *expired* (HTTP 504)
+    instead of silently computed into the void; ``None`` defers to the
+    server's ``default_deadline_ms``.
     """
 
     fu: str
@@ -61,6 +68,7 @@ class PredictRequest:
     stream_id: str = "default"
     prev_a: Optional[int] = None
     prev_b: Optional[int] = None
+    deadline_ms: Optional[float] = None
 
     def condition(self) -> OperatingCondition:
         return OperatingCondition(self.voltage, self.temperature)
@@ -71,7 +79,8 @@ class PredictRequest:
                 "voltage": self.voltage, "temperature": self.temperature,
                 "clock_period": self.clock_period,
                 "stream_id": self.stream_id,
-                "prev_a": self.prev_a, "prev_b": self.prev_b}
+                "prev_a": self.prev_a, "prev_b": self.prev_b,
+                "deadline_ms": self.deadline_ms}
 
     @classmethod
     def from_dict(cls, data: Dict) -> "PredictRequest":
@@ -86,9 +95,23 @@ class PredictRequest:
                 prev_a=(None if data.get("prev_a") is None
                         else int(data["prev_a"])),
                 prev_b=(None if data.get("prev_b") is None
-                        else int(data["prev_b"])))
+                        else int(data["prev_b"])),
+                deadline_ms=(None if data.get("deadline_ms") is None
+                             else float(data["deadline_ms"])))
         except KeyError as exc:
             raise ValueError(f"predict request missing field {exc}") from None
+
+
+#: ``Prediction.source`` value marking a request whose deadline ran out
+#: before (or while) it executed — the HTTP layer maps it to 504 and
+#: the request log records it as a non-executed ``dropped`` entry.
+EXPIRED_SOURCE = "expired"
+
+
+def expired_prediction() -> "Prediction":
+    """The canonical answer for a request that outlived its deadline."""
+    return Prediction(ok=False, source=EXPIRED_SOURCE,
+                      message="deadline exceeded")
 
 
 @dataclass
@@ -98,9 +121,13 @@ class Prediction:
     ok: bool
     delay_ps: Optional[float] = None
     timing_error: Optional[bool] = None
-    source: str = ""            # "model" or "sim"
+    source: str = ""            # "model", "sim", or "expired"
     model_id: Optional[str] = None
     message: str = ""
+
+    @property
+    def expired(self) -> bool:
+        return self.source == EXPIRED_SOURCE
 
     def as_dict(self) -> Dict:
         return {"ok": self.ok, "delay_ps": self.delay_ps,
@@ -143,6 +170,8 @@ def validate_request(request: PredictRequest, fu_lookup) -> Optional[str]:
         fu_lookup(request.fu)
         if request.clock_period is not None and request.clock_period <= 0:
             raise ValueError("clock_period must be positive")
+        if request.deadline_ms is not None and request.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
     except (ValueError, KeyError) as exc:
         return str(exc)
     return None

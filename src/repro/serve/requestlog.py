@@ -137,6 +137,23 @@ class RequestLog:
                      "requests": [r.as_dict() for r in requests],
                      "predictions": [p.as_dict() for p in predictions]})
 
+    def append_dropped(self, requests: Sequence[PredictRequest],
+                       reason: str) -> None:
+        """Record requests the server never executed (``shed`` at the
+        full queue, or ``expired`` past their deadline).
+
+        They get their own record kind so the executed stream stays
+        the only thing :func:`replay_log` re-drives — dropped requests
+        never advanced per-stream history live, so replaying them
+        would *break* bit-exactness, but the overload itself is part
+        of the recorded load and worth keeping for analysis.
+        """
+        if not requests:
+            return
+        self._write({"kind": "dropped", "reason": str(reason),
+                     "ts": round(time.time(), 6),
+                     "requests": [r.as_dict() for r in requests]})
+
     @property
     def n_batches(self) -> int:
         return self._n_batches
@@ -244,6 +261,7 @@ class ReplayReport:
 
     batches: int = 0
     requests: int = 0
+    dropped: int = 0
     mismatches: List[ReplayMismatch] = field(default_factory=list)
 
     @property
@@ -253,8 +271,10 @@ class ReplayReport:
     def summary(self) -> str:
         state = ("bit-exact" if self.ok
                  else f"{len(self.mismatches)} mismatch(es)")
+        skipped = (f", skipped {self.dropped} dropped (shed/expired)"
+                   if self.dropped else "")
         return (f"replayed {self.requests} request(s) in {self.batches} "
-                f"batch(es): {state}")
+                f"batch(es): {state}{skipped}")
 
 
 def replay_log(path: Union[str, Path],
@@ -284,6 +304,11 @@ def replay_log(path: Union[str, Path],
                 raise ValueError(
                     f"{path} holds {headers} recording sessions; replay "
                     f"them separately (split at the header lines)")
+            continue
+        if record.get("kind") == "dropped":
+            # never executed live (shed / expired) — never advanced
+            # history, so replaying it would skew every later stream
+            report.dropped += len(record.get("requests", []))
             continue
         if record.get("kind") != "batch":
             continue

@@ -9,18 +9,34 @@ vectorized :meth:`~repro.serve.engine.PredictionEngine.predict_batch`.
 Concurrent connections therefore share forest passes instead of
 serializing on per-request model calls.
 
+The request path is *bounded end to end*: the micro-batch queue holds
+at most ``max_queue`` requests — an arrival that would overflow it is
+**shed** immediately with ``429`` + a ``Retry-After`` estimate instead
+of growing the queue (the accept loop never blocks on overload) — and
+every request carries a **deadline** (its own ``deadline_ms``, else
+the server's ``default_deadline_ms``).  A request still queued when
+its deadline passes is answered ``504 deadline exceeded`` at dequeue,
+never silently computed; the tightest deadline of each batch rides
+into deadline-aware engines (the cluster propagates it to its
+hung-worker watchdog).
+
 Endpoints (all JSON):
 
 * ``POST /predict`` — body ``{"requests": [...]}`` or a single request
-  object; returns per-request predictions in order.
+  object; returns per-request predictions in order (``429`` when shed,
+  ``504`` when every request's deadline expired).
 * ``GET  /models``  — published registry records.
-* ``GET  /health``  — liveness + registry/model counts.
-* ``GET  /stats``   — engine + batching counters and current config.
-* ``POST /config``  — adjust ``batch_window_ms`` / ``max_batch`` at
-  runtime (the dynamic-serving-parameter idea from PAPERS.md).
+* ``GET  /health``  — ``healthy`` / ``degraded`` / ``draining``; only
+  ``healthy`` is a 200, so load balancers can eject a degraded node.
+* ``GET  /stats``   — engine + batching counters (shed / expired /
+  watchdog / quarantine) and current config.
+* ``POST /config``  — adjust ``batch_window_ms`` / ``max_batch`` /
+  ``max_queue`` / ``default_deadline_ms`` at runtime (the
+  dynamic-serving-parameter idea from PAPERS.md).
 * ``POST /models/refresh`` — re-resolve published models; on a
   cluster engine this is the control message that makes every worker
-  replica re-replicate the registry manifest and re-warm.
+  replica re-replicate the registry manifest and re-warm (it also
+  retries quarantined worker slots).
 
 The server also accepts any *engine-shaped* executor (anything with
 ``predict_batch`` / ``refresh`` / ``stats_dict`` and the
@@ -36,13 +52,21 @@ in-flight request, and only then closes the socket.
 
 from __future__ import annotations
 
+import inspect
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .engine import Prediction, PredictionEngine, PredictRequest
+from ..flow.watchdog import Deadline
+from .engine import (
+    Prediction,
+    PredictionEngine,
+    PredictRequest,
+    expired_prediction,
+)
 
 
 class ConfigError(ValueError):
@@ -51,6 +75,19 @@ class ConfigError(ValueError):
     def __init__(self, field: str, message: str) -> None:
         super().__init__(message)
         self.field = field
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit_many` when accepting the
+    requests would overflow ``max_queue`` — the HTTP layer turns it
+    into ``429`` with a ``Retry-After`` header."""
+
+    def __init__(self, n_shed: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"queue full: shed {n_shed} request(s), retry after "
+            f"{retry_after_s:.3f}s")
+        self.n_shed = n_shed
+        self.retry_after_s = retry_after_s
 
 
 def _check_window(value) -> float:
@@ -74,39 +111,91 @@ def _check_max_batch(value) -> int:
     return value
 
 
+def _check_max_queue(value) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError("max_queue",
+                          f"max_queue must be an integer, got {value!r}")
+    if value < 1:
+        raise ConfigError("max_queue",
+                          f"max_queue must be >= 1, got {value!r}")
+    return value
+
+
+def _check_default_deadline(value) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError("default_deadline_ms",
+                          f"default_deadline_ms must be a number, "
+                          f"got {value!r}")
+    if float(value) < 0:
+        raise ConfigError("default_deadline_ms",
+                          f"default_deadline_ms must be >= 0 "
+                          f"(0 disables), got {value!r}")
+    return float(value)
+
+
 class _Pending:
     """One queued request awaiting its batch result."""
 
-    __slots__ = ("request", "done", "result")
+    __slots__ = ("request", "done", "result", "deadline")
 
-    def __init__(self, request: PredictRequest) -> None:
+    def __init__(self, request: PredictRequest,
+                 deadline: Optional[Deadline] = None) -> None:
         self.request = request
         self.done = threading.Event()
         self.result: Optional[Prediction] = None
+        self.deadline = deadline
+
+    def finish(self, result: Prediction) -> None:
+        self.result = result
+        self.done.set()
 
 
 class MicroBatcher:
-    """Collects requests across threads into engine-sized batches."""
+    """Collects requests across threads into engine-sized batches.
+
+    The queue is bounded (``max_queue``): a submission that would
+    overflow it raises :class:`QueueFullError` *immediately* — load is
+    shed at the door, handler threads never block on overload, and the
+    queue can never grow without bound.  Every queued request carries a
+    deadline (its own ``deadline_ms`` or the batcher's
+    ``default_deadline_ms``); expired requests are answered
+    ``deadline exceeded`` at dequeue instead of executed, and the
+    tightest deadline of each batch is forwarded to deadline-aware
+    engines (``predict_batch(requests, deadline=...)``).
+    """
 
     def __init__(self, engine: PredictionEngine,
                  batch_window_ms: float = 2.0, max_batch: int = 64,
-                 request_log=None) -> None:
+                 request_log=None, max_queue: int = 256,
+                 default_deadline_ms: float = 0.0) -> None:
         self.engine = engine
         self.request_log = request_log
-        self.configure(batch_window_ms=batch_window_ms, max_batch=max_batch)
+        self.configure(batch_window_ms=batch_window_ms, max_batch=max_batch,
+                       max_queue=max_queue,
+                       default_deadline_ms=default_deadline_ms)
+        try:
+            self._deadline_aware = "deadline" in inspect.signature(
+                engine.predict_batch).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic stubs
+            self._deadline_aware = False
         self._cond = threading.Condition()
+        self._log_lock = threading.Lock()
         self._queue: List[_Pending] = []
         self._stopped = False
         self.n_batches = 0
         self.n_requests = 0
         self.largest_batch = 0
+        self.n_shed = 0
+        self.n_expired = 0
         self._thread = threading.Thread(target=self._loop, daemon=True,
                                         name="repro-serve-batcher")
         self._thread.start()
 
     def configure(self, batch_window_ms: Optional[float] = None,
-                  max_batch: Optional[int] = None) -> None:
-        """Runtime-adjustable batching knobs.
+                  max_batch: Optional[int] = None,
+                  max_queue: Optional[int] = None,
+                  default_deadline_ms: Optional[float] = None) -> None:
+        """Runtime-adjustable batching + overload knobs.
 
         Validates everything before applying anything (raising
         :class:`ConfigError` naming the offending field), so a
@@ -116,20 +205,65 @@ class MicroBatcher:
             batch_window_ms = _check_window(batch_window_ms)
         if max_batch is not None:
             max_batch = _check_max_batch(max_batch)
+        if max_queue is not None:
+            max_queue = _check_max_queue(max_queue)
+        if default_deadline_ms is not None:
+            default_deadline_ms = _check_default_deadline(default_deadline_ms)
         if batch_window_ms is not None:
             self.batch_window_ms = batch_window_ms
         if max_batch is not None:
             self.max_batch = max_batch
+        if max_queue is not None:
+            self.max_queue = max_queue
+        if default_deadline_ms is not None:
+            self.default_deadline_ms = default_deadline_ms
+
+    def _deadline_for(self, request: PredictRequest) -> Optional[Deadline]:
+        budget = (request.deadline_ms if request.deadline_ms is not None
+                  else self.default_deadline_ms)
+        return Deadline.after_ms(budget) if budget else None
+
+    def _retry_after_s(self, queue_len: int) -> float:
+        """Honest backoff hint for a shed client: roughly how long the
+        current queue takes to drain at the configured batch cadence."""
+        batches_ahead = max(1, math.ceil(queue_len / self.max_batch))
+        return round(batches_ahead * max(self.batch_window_ms, 1.0) / 1e3
+                     + 0.01, 3)
+
+    def _log_dropped(self, requests: List[PredictRequest],
+                     reason: str) -> None:
+        if self.request_log is None or not requests:
+            return
+        with self._log_lock:
+            try:
+                self.request_log.append_dropped(requests, reason)
+            except OSError:  # a full disk must not take serving down
+                pass
 
     def submit_many(self, requests: Sequence[PredictRequest]
                     ) -> List[Prediction]:
-        """Enqueue and block until every request's batch has run."""
-        pending = [_Pending(r) for r in requests]
+        """Enqueue and block until every request's batch has run.
+
+        Raises :class:`QueueFullError` without blocking when the whole
+        submission does not fit under ``max_queue`` (all-or-nothing:
+        a multi-request body is shed as a unit, so its per-stream
+        history chain is never half-applied).
+        """
+        pending = [_Pending(r, self._deadline_for(r)) for r in requests]
         with self._cond:
             if self._stopped:
                 raise RuntimeError("batcher is stopped")
-            self._queue.extend(pending)
-            self._cond.notify()
+            if len(self._queue) + len(pending) > self.max_queue:
+                self.n_shed += len(pending)
+                retry_after = self._retry_after_s(len(self._queue))
+                shed = [p.request for p in pending]
+            else:
+                shed = None
+                self._queue.extend(pending)
+                self._cond.notify()
+        if shed is not None:
+            self._log_dropped(shed, "shed")
+            raise QueueFullError(len(shed), retry_after)
         for p in pending:
             p.done.wait()
         return [p.result for p in pending]  # type: ignore[misc]
@@ -150,6 +284,26 @@ class MicroBatcher:
         del self._queue[:len(batch)]
         return batch
 
+    def _sweep_expired(self) -> List[_Pending]:
+        """Pull every already-expired request off the queue (caller
+        holds ``_cond``).  Answering them here — before the batch is
+        formed — keeps a burst of doomed requests from occupying batch
+        slots that live requests could use."""
+        expired = [p for p in self._queue
+                   if p.deadline is not None and p.deadline.expired()]
+        if expired:
+            dead = set(id(p) for p in expired)
+            self._queue = [p for p in self._queue if id(p) not in dead]
+        return expired
+
+    def _answer_expired(self, expired: List[_Pending]) -> None:
+        if not expired:
+            return
+        self.n_expired += len(expired)
+        for p in expired:
+            p.finish(expired_prediction())
+        self._log_dropped([p.request for p in expired], "expired")
+
     def _loop(self) -> None:
         while True:
             with self._cond:
@@ -165,33 +319,64 @@ class MicroBatcher:
                     if remaining <= 0:
                         break
                     self._cond.wait(timeout=remaining)
+                expired = self._sweep_expired()
                 batch = self._drain()
+            self._answer_expired(expired)
+            if not batch:
+                continue
+            batch_deadline = Deadline.earliest(p.deadline for p in batch)
             try:
-                results = self.engine.predict_batch(
-                    [p.request for p in batch])
+                if self._deadline_aware:
+                    results = self.engine.predict_batch(
+                        [p.request for p in batch], deadline=batch_deadline)
+                else:
+                    results = self.engine.predict_batch(
+                        [p.request for p in batch])
             except Exception as exc:  # engine bug: fail the batch, live on
                 results = [Prediction(ok=False, message=f"engine error: {exc}")
                            for _ in batch]
-            if self.request_log is not None:
-                try:
-                    self.request_log.append_batch(
-                        [p.request for p in batch], results)
-                except OSError:  # a full disk must not take serving down
-                    pass
+            # split executed from deadline-expired results so the log's
+            # executed stream stays bit-exact under replay
+            executed_req: List[PredictRequest] = []
+            executed_res: List[Prediction] = []
+            expired_req: List[PredictRequest] = []
+            for pending, result in zip(batch, results):
+                if result.expired:
+                    expired_req.append(pending.request)
+                else:
+                    executed_req.append(pending.request)
+                    executed_res.append(result)
+            if self.request_log is not None and executed_req:
+                with self._log_lock:
+                    try:
+                        self.request_log.append_batch(
+                            executed_req, executed_res)
+                    except OSError:  # full disk must not take serving down
+                        pass
+            self._log_dropped(expired_req, "expired")
+            self.n_expired += len(expired_req)
             self.n_batches += 1
-            self.n_requests += len(batch)
+            self.n_requests += len(executed_req)
             self.largest_batch = max(self.largest_batch, len(batch))
             for pending, result in zip(batch, results):
-                pending.result = result
-                pending.done.set()
+                pending.finish(result)
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
 
     def stats_dict(self) -> Dict:
         return {"batches": self.n_batches, "requests": self.n_requests,
                 "largest_batch": self.largest_batch,
                 "mean_batch": (self.n_requests / self.n_batches
                                if self.n_batches else 0.0),
+                "shed": self.n_shed,
+                "expired": self.n_expired,
+                "queue_depth": self.queue_depth(),
                 "batch_window_ms": self.batch_window_ms,
-                "max_batch": self.max_batch}
+                "max_batch": self.max_batch,
+                "max_queue": self.max_queue,
+                "default_deadline_ms": self.default_deadline_ms}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -203,11 +388,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing -------------------------------------------------------------
 
-    def _send_json(self, payload: Dict, status: int = 200) -> None:
+    def _send_json(self, payload: Dict, status: int = 200,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -231,7 +419,10 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         path = self.path.split("?", 1)[0]
         if path == "/health":
-            self._send_json(self.server.health())
+            payload = self.server.health()
+            # only "healthy" is a 200 so load balancers eject the node
+            status = 200 if payload["status"] == "healthy" else 503
+            self._send_json(payload, status)
         elif path == "/models":
             self._send_json({"models": self.server.model_records()})
         elif path == "/stats":
@@ -267,10 +458,21 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             results = self.server.batcher.submit_many(requests)
+        except QueueFullError as exc:  # overload: shed with a backoff hint
+            self._send_json(
+                {"error": "queue full, request shed",
+                 "retry_after_s": exc.retry_after_s},
+                429, headers={"Retry-After": f"{exc.retry_after_s:.3f}"})
+            return
         except RuntimeError:  # shutting down: batcher drains, no new work
             self._send_json({"error": "server is shutting down"}, 503)
             return
-        status = 200 if all(r.ok for r in results) else 422
+        if all(r.ok for r in results):
+            status = 200
+        elif all(r.expired for r in results):
+            status = 504  # every request outlived its deadline
+        else:
+            status = 422
         self._send_json(
             {"predictions": [r.as_dict() for r in results]}, status)
 
@@ -278,7 +480,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             self.server.batcher.configure(
                 batch_window_ms=data.get("batch_window_ms"),
-                max_batch=data.get("max_batch"))
+                max_batch=data.get("max_batch"),
+                max_queue=data.get("max_queue"),
+                default_deadline_ms=data.get("default_deadline_ms"))
         except ConfigError as exc:
             self._send_json({"error": str(exc), "field": exc.field}, 400)
             return
@@ -309,14 +513,18 @@ class PredictionServer(ThreadingHTTPServer):
     def __init__(self, engine: PredictionEngine, host: str = "127.0.0.1",
                  port: int = 8000, batch_window_ms: float = 2.0,
                  max_batch: int = 64, verbose: bool = False,
-                 request_log=None) -> None:
+                 request_log=None, max_queue: int = 256,
+                 default_deadline_ms: float = 0.0) -> None:
         self.engine = engine
         self.batcher = MicroBatcher(engine, batch_window_ms=batch_window_ms,
                                     max_batch=max_batch,
-                                    request_log=request_log)
+                                    request_log=request_log,
+                                    max_queue=max_queue,
+                                    default_deadline_ms=default_deadline_ms)
         self.verbose = verbose
         self._started = time.monotonic()
         self._closed = False
+        self._draining = False
         super().__init__((host, port), _Handler)
 
     @property
@@ -335,6 +543,7 @@ class PredictionServer(ThreadingHTTPServer):
 
     def shutdown(self) -> None:
         """Stop accepting and drain in-flight + queued requests."""
+        self._draining = True
         super().shutdown()
         self.batcher.stop()
 
@@ -357,9 +566,23 @@ class PredictionServer(ThreadingHTTPServer):
 
     # -- endpoint payloads ----------------------------------------------------
 
+    def health_state(self) -> str:
+        """``healthy`` | ``degraded`` | ``draining``.
+
+        Draining wins (the node is leaving); otherwise a cluster engine
+        reporting quarantined worker slots makes the node degraded —
+        it still answers, but a load balancer should prefer others.
+        """
+        if self._draining or self._closed:
+            return "draining"
+        engine_state = getattr(self.engine, "health_state", None)
+        if callable(engine_state):
+            return engine_state()
+        return "healthy"
+
     def health(self) -> Dict:
         registry = self.engine.registry
-        return {"status": "ok",
+        return {"status": self.health_state(),
                 "uptime_s": round(time.monotonic() - self._started, 3),
                 "models_published": 0 if registry is None else len(registry),
                 "sim_fallback": self.engine.sim_fallback,

@@ -9,7 +9,11 @@ environment variable ``REPRO_FAULT_PLAN`` arms a plan of rules::
 
 * ``site``   — the fault-point name (``tracestore.blob.write``, ...)
 * ``action`` — ``raise`` (raise :class:`FaultInjected`), ``exit``
-  (``os._exit(EXIT_CODE)`` — simulates ``kill -9`` mid-operation), or
+  (``os._exit(EXIT_CODE)`` — simulates ``kill -9`` mid-operation),
+  ``hang`` (sleep :func:`hang_seconds` — the process is alive but
+  wedged, the failure mode only a watchdog can see; the sleep length
+  comes from ``REPRO_FAULT_HANG_S`` so a broken watchdog fails a test
+  instead of freezing the suite), or
   ``torn-write`` (the caller writes a truncated artifact to the *final*
   path, then ``os._exit(TORN_EXIT_CODE)`` — simulates a crash while a
   legacy in-place writer was mid-write)
@@ -33,18 +37,24 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 PLAN_ENV = "REPRO_FAULT_PLAN"
 STATE_ENV = "REPRO_FAULT_STATE"
+HANG_ENV = "REPRO_FAULT_HANG_S"
+
+#: default ``hang`` sleep — long enough that any sane watchdog fires
+#: first, short enough that a broken one eventually unblocks the suite.
+DEFAULT_HANG_SECONDS = 300.0
 
 #: exit status used by the ``exit`` action (distinct from real crashes).
 EXIT_CODE = 23
 #: exit status used by the ``torn-write`` action.
 TORN_EXIT_CODE = 25
 
-ACTIONS = ("raise", "exit", "torn-write")
+ACTIONS = ("raise", "exit", "hang", "torn-write")
 
 
 class FaultPlanError(ValueError):
@@ -157,6 +167,15 @@ def _claim_global(rule: FaultRule) -> bool:
     return True
 
 
+def hang_seconds() -> float:
+    """How long the ``hang`` action sleeps (``REPRO_FAULT_HANG_S``)."""
+    raw = os.environ.get(HANG_ENV, "")
+    try:
+        return float(raw) if raw else DEFAULT_HANG_SECONDS
+    except ValueError:
+        return DEFAULT_HANG_SECONDS
+
+
 def trigger(site: Optional[str]) -> Optional[str]:
     """Record a hit at ``site`` and return the armed action, if any.
 
@@ -164,6 +183,11 @@ def trigger(site: Optional[str]) -> Optional[str]:
     writers) use the returned action; plain callers use
     :func:`fault_point`.  Returns None when nothing is armed — the
     common case, which costs one env lookup.
+
+    The ``hang`` action is handled *here*, uniformly for every site:
+    the process sleeps :func:`hang_seconds` and then proceeds normally
+    (returning None), so to a supervising parent it is indistinguishable
+    from a wedged worker until a watchdog intervenes.
     """
     if site is None or PLAN_ENV not in os.environ:
         return None
@@ -182,6 +206,9 @@ def trigger(site: Optional[str]) -> Optional[str]:
             return None
         _FIRED.add(matched.tag)
     if not _claim_global(matched):
+        return None
+    if matched.action == "hang":
+        time.sleep(hang_seconds())
         return None
     return matched.action
 

@@ -41,6 +41,7 @@ NON_DEFAULT = {
                       stream=StreamSpec(cycles=30, seed=9)),
     ServeSpec: dict(registry="r/", host="0.0.0.0", port=9000,
                     kind="tevot_nh", batch_window_ms=5.0, max_batch=16,
+                    max_queue=32, default_deadline_ms=2000.0,
                     workers=3, request_log="serve/requests.jsonl",
                     fallback=False, verbose=True),
     ExperimentSpec: dict(fu="fp_mul", max_rows=1000,
@@ -167,6 +168,17 @@ class TestValidation:
             ServeSpec(workers=0)
         with pytest.raises(SpecError, match="workers"):
             ServeSpec(workers=True)
+
+    def test_serve_max_queue_positive(self):
+        with pytest.raises(SpecError, match="max_queue"):
+            ServeSpec(max_queue=0)
+        with pytest.raises(SpecError, match="max_queue"):
+            ServeSpec(max_queue=2.5)
+
+    def test_serve_default_deadline_nonnegative(self):
+        with pytest.raises(SpecError, match="default_deadline_ms"):
+            ServeSpec(default_deadline_ms=-1.0)
+        assert ServeSpec(default_deadline_ms=0).default_deadline_ms == 0.0
 
     def test_serve_request_log_is_a_path(self):
         with pytest.raises(SpecError, match="request_log"):

@@ -234,7 +234,7 @@ class TestServe:
             host, port = server.address
             client = ServeClient(host, port)
             health = client.health()
-            assert health["status"] == "ok"
+            assert health["status"] == "healthy"
             assert health["models_published"] == 1
             pred = client.predict(fu="int_add", a=3, b=5,
                                   voltage=0.9, temperature=25.0)

@@ -223,6 +223,40 @@ class TestWorkerPool:
                 pool.run_tasks({"j": prog}, [("j", _whole(prog))],
                                on_result=boom)
 
+    def test_hung_worker_is_killed_and_task_reissued(self, monkeypatch,
+                                                     tmp_path):
+        """A worker wedged mid-task (hang fault) trips the deadline
+        watchdog: the pool SIGKILLs it, respawns the slot, reissues the
+        shard, and the stitched result is still bit-exact."""
+        from repro.testing import faults
+
+        monkeypatch.setenv(faults.PLAN_ENV, "pool.worker.task:hang:1")
+        # one global firing: the reissued task must run clean
+        monkeypatch.setenv(faults.STATE_ENV, str(tmp_path / "fstate"))
+        monkeypatch.setenv(faults.HANG_ENV, "60")
+        faults.reset()
+        fu = build_functional_unit("int_add", width=8)
+        prog = _prog(fu, random_stream(120, operand_width=8, seed=21))
+        with WorkerPool(2, task_timeout_s=1.0) as pool:
+            res = pool.run_tasks({"j": prog},
+                                 [("j", s) for s in _halves(prog)])
+            np.testing.assert_array_equal(_stitch(prog, res.tasks),
+                                          _reference(prog))
+            assert pool.watchdog_kills >= 1
+            assert pool.n_alive() == 2
+        faults.reset()
+
+    def test_watchdog_disabled_by_default(self):
+        pool = WorkerPool(1)
+        try:
+            assert pool.task_timeout_s == 0.0
+        finally:
+            pool.close()
+
+    def test_negative_task_timeout_rejected(self):
+        with pytest.raises(ValueError, match="task_timeout_s"):
+            WorkerPool(1, task_timeout_s=-1.0)
+
     def test_repeatedly_killed_task_raises(self, monkeypatch, tmp_path):
         # enough crash tokens that every allowed dispatch of the task
         # kills its worker — the pool must give up with a RuntimeError

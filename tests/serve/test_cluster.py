@@ -13,7 +13,9 @@ from repro.serve import (
     PredictionEngine,
     PredictRequest,
 )
+from repro.flow.watchdog import Deadline
 from repro.serve.cluster import CRASH_FILE_ENV
+from repro.testing import faults
 from repro.timing import OperatingCondition
 from repro.workloads import random_stream
 
@@ -227,6 +229,121 @@ class TestLifecycle:
     def test_workers_must_be_positive(self, registry):
         with pytest.raises(ValueError, match="workers"):
             ClusterEngine(registry=registry, workers=0)
+
+
+class TestWatchdog:
+    def test_hung_worker_is_killed_and_batch_reissued(
+            self, registry, tmp_path, monkeypatch):
+        """A worker wedged mid-batch (hang fault) is detected by the
+        watchdog, SIGKILLed, respawned, and the batch reissued — the
+        caller still gets every answer, bit-exact."""
+        monkeypatch.setenv(faults.PLAN_ENV, "cluster.worker.batch:hang:1")
+        # fire once *globally* so the respawned worker serves normally
+        monkeypatch.setenv(faults.STATE_ENV, str(tmp_path / "fstate"))
+        monkeypatch.setenv(faults.HANG_ENV, "60")
+        faults.reset()
+        reqs = _requests(8)
+        single = PredictionEngine(registry=registry, sim_fallback=False)
+        base = [p.as_dict() for p in single.predict_batch(list(reqs))]
+        with ClusterEngine(registry=registry, workers=2,
+                           sim_fallback=False,
+                           hang_timeout_s=1.0) as cluster:
+            got = [p.as_dict() for p in cluster.predict_batch(list(reqs))]
+            stats = cluster.stats_dict()
+            assert stats["watchdog_kills"] >= 1
+            assert stats["respawns"] >= 1
+            assert stats["reissues"] >= 1
+            assert cluster.n_alive() == 2
+        assert got == base
+        assert all(g["ok"] for g in got)
+        faults.reset()
+
+    def test_deadline_expiry_rolls_back_history(
+            self, registry, tmp_path, monkeypatch):
+        """A batch that cannot finish inside its deadline expires to
+        ``deadline exceeded`` predictions and must NOT advance
+        per-stream history — re-running the same requests afterwards
+        matches a fresh single-process engine bit-exactly."""
+        # no REPRO_FAULT_STATE: every fresh worker hangs on its first
+        # batch, so the deadline is guaranteed to run out
+        monkeypatch.setenv(faults.PLAN_ENV, "cluster.worker.batch:hang:1")
+        monkeypatch.setenv(faults.HANG_ENV, "1.0")
+        faults.reset()
+        reqs = _requests(6, streams=2)
+        with ClusterEngine(registry=registry, workers=2,
+                           sim_fallback=False,
+                           hang_timeout_s=5.0) as cluster:
+            expired = cluster.predict_batch(
+                list(reqs), deadline=Deadline.after_ms(150))
+            assert all(p.expired for p in expired)
+            assert all(not p.ok and p.message == "deadline exceeded"
+                       for p in expired)
+            assert cluster.stats_dict()["expired"] >= len(reqs)
+            # let the wedged worker wake up and emit its stale reply
+            import time
+            time.sleep(1.2)
+            monkeypatch.delenv(faults.PLAN_ENV)
+            faults.reset()
+            got = [p.as_dict() for p in cluster.predict_batch(list(reqs))]
+        single = PredictionEngine(registry=registry, sim_fallback=False)
+        base = [p.as_dict() for p in single.predict_batch(list(reqs))]
+        assert got == base, "expired batch leaked into stream history"
+        faults.reset()
+
+
+class TestQuarantine:
+    def test_crash_loop_quarantines_slot_and_degrades(
+            self, registry, tmp_path, monkeypatch):
+        """A slot that crashes ``quarantine_respawns`` times inside the
+        window is quarantined: traffic rehomes to survivors, results
+        stay bit-exact, /health-style state reports degraded, and
+        refresh() revives the slot."""
+        crash = tmp_path / "crash"
+        monkeypatch.setenv(CRASH_FILE_ENV, str(crash))
+        reqs = _requests(6, streams=2)
+        single = PredictionEngine(registry=registry, sim_fallback=False)
+        base = [p.as_dict() for p in single.predict_batch(list(reqs))]
+        with ClusterEngine(registry=registry, workers=2,
+                           sim_fallback=False,
+                           quarantine_respawns=2,
+                           quarantine_window_s=30.0) as cluster:
+            assert cluster.health_state() == "healthy"
+            crash.write_text("2")  # same slot dies twice -> quarantine
+            got = [p.as_dict() for p in cluster.predict_batch(list(reqs))]
+            stats = cluster.stats_dict()
+            assert stats["quarantines"] == 1
+            assert len(stats["quarantined_slots"]) == 1
+            assert cluster.health_state() == "degraded"
+            assert sum(1 for r in cluster.workers_dict()
+                       if r["quarantined"]) == 1
+            assert got == base, "rerouted batch must stay bit-exact"
+
+            # refresh retries the quarantined slot; the crash file is
+            # spent, so the respawn sticks and the cluster heals
+            cluster.refresh()
+            assert cluster.health_state() == "healthy"
+            assert cluster.stats_dict()["quarantined_slots"] == []
+            assert cluster.n_alive() == 2
+            (pred,) = cluster.predict_batch(_requests(1, seed=99))
+            assert pred.ok
+
+    def test_last_live_slot_is_never_quarantined(
+            self, registry, tmp_path, monkeypatch):
+        """With one worker there is no survivor to rehome onto — the
+        slot keeps respawning instead of quarantining."""
+        crash = tmp_path / "crash"
+        monkeypatch.setenv(CRASH_FILE_ENV, str(crash))
+        with ClusterEngine(registry=registry, workers=1,
+                           sim_fallback=False,
+                           quarantine_respawns=1,
+                           quarantine_window_s=30.0) as cluster:
+            crash.write_text("2")
+            (pred,) = cluster.predict_batch(_requests(1))
+            assert pred.ok
+            stats = cluster.stats_dict()
+            assert stats["quarantines"] == 0
+            assert stats["quarantined_slots"] == []
+            assert cluster.health_state() == "healthy"
 
 
 class TestClusterBehindHTTP:

@@ -220,6 +220,43 @@ class TestReplay:
         assert (mismatch.batch, mismatch.index) == (2, 1)
         assert "recorded" in mismatch.describe()
 
+    def test_dropped_records_are_skipped_and_replay_stays_bit_exact(
+            self, registry, tmp_path):
+        """Shed/expired requests are logged as ``dropped`` records that
+        replay skips: they never advanced per-stream history live, so
+        re-driving only the executed batches reproduces the recording
+        bit-exactly even with drops interleaved mid-stream."""
+        path = tmp_path / "req.jsonl"
+        engine = PredictionEngine(registry=registry, sim_fallback=False)
+        reqs = _requests(24)
+        with RequestLog(path, config={"workers": 1}) as log:
+            chunk = reqs[:8]
+            log.append_batch(chunk, engine.predict_batch(list(chunk)))
+            # overload strikes: same streams, but these never execute
+            log.append_dropped(reqs[8:12], "shed")
+            log.append_dropped(reqs[12:14], "expired")
+            chunk = reqs[14:]
+            log.append_batch(chunk, engine.predict_batch(list(chunk)))
+
+        records = list(read_request_log(path))
+        dropped = [r for r in records if r["kind"] == "dropped"]
+        assert [(d["reason"], len(d["requests"])) for d in dropped] == \
+            [("shed", 4), ("expired", 2)]
+
+        fresh = PredictionEngine(registry=registry, sim_fallback=False)
+        report = replay_log(path, fresh.predict_batch)
+        assert report.ok
+        assert (report.batches, report.requests) == (2, 18)
+        assert report.dropped == 6
+        assert "skipped 6 dropped" in report.summary()
+
+    def test_append_dropped_empty_is_a_noop(self, registry, tmp_path):
+        path = tmp_path / "req.jsonl"
+        with RequestLog(path, config={}) as log:
+            log.append_dropped([], "shed")
+        records = list(read_request_log(path))
+        assert [r["kind"] for r in records] == ["header"]
+
     def test_multi_session_log_is_rejected(self, registry, tmp_path):
         path = tmp_path / "req.jsonl"
         _record(registry, path)

@@ -47,7 +47,7 @@ class TestEndpoints:
     def test_health(self, serving):
         client, _, _ = serving
         payload = client.health()
-        assert payload["status"] == "ok"
+        assert payload["status"] == "healthy"
         assert payload["models_published"] == 1
 
     def test_models_listing(self, serving):

@@ -129,6 +129,49 @@ class TestFaultPoint:
         assert proc.returncode == faults.EXIT_CODE
 
 
+class TestHangAction:
+    def test_hang_parses(self):
+        (rule,) = faults.parse_plan("a.site:hang:2")
+        assert rule.action == "hang"
+
+    def test_hang_seconds_env_and_fallback(self, monkeypatch):
+        monkeypatch.delenv(faults.HANG_ENV, raising=False)
+        assert faults.hang_seconds() == faults.DEFAULT_HANG_SECONDS
+        monkeypatch.setenv(faults.HANG_ENV, "2.5")
+        assert faults.hang_seconds() == 2.5
+        monkeypatch.setenv(faults.HANG_ENV, "soon")
+        assert faults.hang_seconds() == faults.DEFAULT_HANG_SECONDS
+
+    def test_trigger_sleeps_then_proceeds(self, monkeypatch):
+        """``hang`` wedges inside trigger() and then returns None — to
+        the caller the hit looks clean; only wall-clock (and a
+        watchdog) can tell the difference."""
+        import time
+
+        monkeypatch.setenv(faults.PLAN_ENV, "test.hang.a:hang:1")
+        monkeypatch.setenv(faults.HANG_ENV, "0.2")
+        t0 = time.monotonic()
+        assert faults.trigger("test.hang.a") is None
+        assert time.monotonic() - t0 >= 0.2
+        # fired once: the next hit is instantaneous
+        t0 = time.monotonic()
+        assert faults.trigger("test.hang.a") is None
+        assert time.monotonic() - t0 < 0.1
+
+    def test_hang_respects_global_state_marker(self, monkeypatch,
+                                               tmp_path):
+        import time
+
+        monkeypatch.setenv(faults.PLAN_ENV, "test.hang.b:hang:1")
+        monkeypatch.setenv(faults.STATE_ENV, str(tmp_path))
+        monkeypatch.setenv(faults.HANG_ENV, "0.2")
+        assert faults.trigger("test.hang.b") is None
+        faults.reset()  # a "respawned worker" honors the marker
+        t0 = time.monotonic()
+        assert faults.trigger("test.hang.b") is None
+        assert time.monotonic() - t0 < 0.1
+
+
 class TestCrashTokens:
     def test_tokens_decrement_then_unlink(self, tmp_path):
         token = tmp_path / "crash"
