@@ -608,6 +608,7 @@ class ServeSpec(Spec):
     workers: int = 1
     request_log: Optional[str] = None
     fallback: bool = True
+    push_rollout: bool = True
     verbose: bool = False
     sim: SimSpec = field(default_factory=_default_sim)
 
@@ -633,6 +634,7 @@ class ServeSpec(Spec):
         if self.request_log is not None:
             _require_str("request_log", self.request_log)
         _require_bool("fallback", self.fallback)
+        _require_bool("push_rollout", self.push_rollout)
         _require_bool("verbose", self.verbose)
 
 

@@ -40,7 +40,7 @@ from ..flow.campaign import (
     error_free_clocks,
 )
 from ..flow.pool import WorkerPool
-from ..flow.tracestore import TraceStore
+from ..flow.tracestore import is_remote_url, open_trace_store
 from ..sim.dta import DelayTrace
 from ..timing.cells import CellLibrary, DEFAULT_LIBRARY
 from ..timing.corners import sped_up_clock
@@ -118,7 +118,13 @@ class Workspace:
         ``root/traces``, published models under ``root/registry``.
         ``None`` (default) uses the global cache directory
         (``REPRO_CACHE_DIR``) for traces and has no registry unless
-        ``registry`` names one.
+        ``registry`` names one.  An ``http(s)://host:port`` URL routes
+        both through a running store service (``repro store serve``):
+        store and registry become
+        :class:`~repro.remote.client.RemoteTraceStore` /
+        :class:`~repro.remote.client.RemoteModelRegistry` with
+        byte-identical cache keys and model fingerprints to the
+        local-path workspace the service fronts.
     store / registry:
         Explicit overrides for either location (path or an already
         constructed :class:`TraceStore` /
@@ -138,7 +144,15 @@ class Workspace:
                  store=None, registry=None,
                  library: CellLibrary = DEFAULT_LIBRARY,
                  lock_timeout: float = 10.0) -> None:
-        self.root = Path(root) if root is not None else None
+        self.url: Optional[str] = None
+        if root is not None and is_remote_url(root):
+            # remote workspace: both components dial the store service
+            self.url = str(root).rstrip("/")
+            self.root = None
+            store = self.url if store is None else store
+            registry = self.url if registry is None else registry
+        else:
+            self.root = Path(root) if root is not None else None
         if store is None and self.root is not None:
             store = self.root / "traces"
         self._store = store
@@ -184,31 +198,32 @@ class Workspace:
     # -- owned components -----------------------------------------------------
 
     @property
-    def store(self) -> TraceStore:
-        """The workspace trace store (built on first use)."""
-        if not isinstance(self._store, TraceStore):
-            self._store = TraceStore(self._store,
-                                     lock_timeout=self.lock_timeout)
+    def store(self):
+        """The workspace trace store (built on first use): a
+        :class:`TraceStore`, or a remote client for a URL workspace."""
+        if self._store is None or isinstance(self._store, (str, Path)):
+            self._store = open_trace_store(self._store,
+                                           lock_timeout=self.lock_timeout)
         return self._store
 
     @property
     def registry(self):
         """The workspace model registry, or None when unconfigured."""
-        from ..serve.registry import ModelRegistry
+        from ..serve.registry import open_model_registry
 
         if self._registry is None:
             return None
-        if not isinstance(self._registry, ModelRegistry):
-            self._registry = ModelRegistry(self._registry,
-                                           lock_timeout=self.lock_timeout)
+        if isinstance(self._registry, (str, Path)):
+            self._registry = open_model_registry(
+                self._registry, lock_timeout=self.lock_timeout)
         return self._registry
 
     def _registry_for(self, path: Optional[str]):
         """Registry override from a spec, else the workspace's own."""
-        from ..serve.registry import ModelRegistry
+        from ..serve.registry import open_model_registry
 
         if path is not None:
-            return ModelRegistry(path, lock_timeout=self.lock_timeout)
+            return open_model_registry(path, lock_timeout=self.lock_timeout)
         return self.registry
 
     def resolve_path(self, path: Union[str, Path]) -> Path:
@@ -385,10 +400,12 @@ class Workspace:
             return ClusterEngine(registry=registry, workers=spec.workers,
                                  kind=spec.kind,
                                  sim_fallback=spec.fallback,
-                                 backend=spec.sim.backend_name())
+                                 backend=spec.sim.backend_name(),
+                                 push_rollout=spec.push_rollout)
         return PredictionEngine(registry=registry, kind=spec.kind,
                                 sim_fallback=spec.fallback,
-                                backend=spec.sim.backend_name())
+                                backend=spec.sim.backend_name(),
+                                push_rollout=spec.push_rollout)
 
     def serve(self, spec: ServeSpec):
         """A ready-to-run :class:`~repro.serve.server.PredictionServer`.

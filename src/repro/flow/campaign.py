@@ -64,7 +64,7 @@ from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
 from .durable import StoreLockTimeout
 from .pool import JobProgram, WorkerPool
-from .tracestore import TraceStore, trace_key
+from .tracestore import TraceStore, open_trace_store, trace_key
 
 __all__ = [
     "DEFAULT_BACKEND",
@@ -531,11 +531,13 @@ class CampaignRunner:
                 f"backend {backend!r} does not honor threads "
                 f"(supports_threads=False)")
         if not use_cache:
-            self.store: Optional[TraceStore] = None
-        elif isinstance(store, TraceStore):
-            self.store = store
+            self.store = None
+        elif store is None or isinstance(store, (str, Path)):
+            # path-like (or None: the default cache dir) — URL strings
+            # resolve to a RemoteTraceStore against a store service
+            self.store = open_trace_store(store)
         else:
-            self.store = TraceStore(store)
+            self.store = store  # any duck-typed store object as-is
         self.n_workers = n_workers
         self.shard_cycles = shard_cycles
         self.shard_corners = shard_corners

@@ -28,6 +28,7 @@ while the cluster serves degraded (``/health`` non-200).
 """
 
 from .client import ServeClient, ServeError
+from .http import HttpTransport, TransportError
 from .cluster import ClusterEngine, ClusterStats
 from .engine import (
     EngineStats,
@@ -45,6 +46,7 @@ from .registry import (
     corner_fingerprint,
     fu_fingerprint,
     model_key,
+    open_model_registry,
     stream_fingerprint,
 )
 from .requestlog import (
@@ -66,6 +68,7 @@ __all__ = [
     "ClusterStats",
     "ConfigError",
     "EngineStats",
+    "HttpTransport",
     "MODEL_KINDS",
     "MicroBatcher",
     "ModelRecord",
@@ -81,10 +84,12 @@ __all__ = [
     "RequestLog",
     "ServeClient",
     "ServeError",
+    "TransportError",
     "corner_fingerprint",
     "expired_prediction",
     "fu_fingerprint",
     "model_key",
+    "open_model_registry",
     "read_request_log",
     "replay_log",
     "stream_fingerprint",

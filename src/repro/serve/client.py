@@ -15,25 +15,27 @@ this client has already given up on); a ``429``/``503`` that advertises
 ``Retry-After`` is retried after the advertised delay (capped) instead
 of failing immediately; and transport-reset backoff is jittered so a
 fleet of shed clients does not re-converge on the same instant.
+
+The retry/backoff plumbing itself lives in
+:mod:`repro.serve.http` (:class:`~repro.serve.http.HttpTransport`),
+shared with the remote store clients in :mod:`repro.remote`.
 """
 
 from __future__ import annotations
 
-import http.client
-import json
-import random
-import socket
-import time
-import urllib.error
-import urllib.request
 from typing import Dict, List, Optional, Sequence
 
-#: Never honor an advertised Retry-After longer than this — a confused
-#: (or hostile) server must not park the client for minutes.
-MAX_HONORED_RETRY_AFTER_S = 5.0
+from .http import (  # noqa: F401  (re-exported: public retry policy surface)
+    MAX_HONORED_RETRY_AFTER_S,
+    _RETRYABLE,
+    HttpTransport,
+    TransportError,
+    _parse_retry_after,
+    _retryable_reason,
+)
 
 
-class ServeError(RuntimeError):
+class ServeError(TransportError):
     """Server-side failure (HTTP error status or per-request failure).
 
     ``retry_after`` carries the server's advertised backoff (seconds)
@@ -41,47 +43,12 @@ class ServeError(RuntimeError):
     response that included one, else None.
     """
 
-    def __init__(self, message: str, status: int = 0,
-                 payload: Optional[Dict] = None,
-                 retry_after: Optional[float] = None) -> None:
-        super().__init__(message)
-        self.status = status
-        self.payload = payload or {}
-        self.retry_after = retry_after
 
-
-def _parse_retry_after(header: Optional[str],
-                       body: Dict) -> Optional[float]:
-    """Advertised backoff from the ``Retry-After`` header (seconds
-    form) or the JSON body's ``retry_after_s``, else None."""
-    for candidate in (header, body.get("retry_after_s")):
-        if candidate is None:
-            continue
-        try:
-            value = float(candidate)
-        except (TypeError, ValueError):
-            continue
-        if value >= 0:
-            return value
+def _claim_predictions(status: int, body: Dict) -> Optional[Dict]:
+    # 422 carries per-request results; surface them to the caller
+    if status == 422 and "predictions" in body:
+        return body
     return None
-
-
-#: Transport-level failures worth one more try: the connection died
-#: before/mid response (server restarting a worker, listen backlog
-#: momentarily full).  Timeouts and HTTP error statuses are NOT here —
-#: a slow or failing request must surface, not silently re-run.
-_RETRYABLE = (ConnectionResetError, ConnectionRefusedError,
-              BrokenPipeError, ConnectionAbortedError,
-              http.client.RemoteDisconnected, http.client.BadStatusLine)
-
-
-def _retryable_reason(exc: Exception) -> bool:
-    if isinstance(exc, _RETRYABLE):
-        return True
-    if isinstance(exc, urllib.error.URLError):
-        reason = getattr(exc, "reason", None)
-        return isinstance(reason, _RETRYABLE)
-    return False
 
 
 class ServeClient:
@@ -105,89 +72,44 @@ class ServeClient:
                  timeout: float = 30.0, retries: int = 2,
                  backoff_s: float = 0.05, jitter: float = 0.25,
                  deadline_ms: Optional[float] = None) -> None:
-        if retries < 0:
-            raise ValueError("retries must be >= 0")
-        if backoff_s < 0:
-            raise ValueError("backoff_s must be >= 0")
-        if not 0 <= jitter <= 1:
-            raise ValueError("jitter must be in [0, 1]")
         if deadline_ms is not None and deadline_ms < 0:
             raise ValueError("deadline_ms must be >= 0 (0 disables)")
-        self.base_url = f"http://{host}:{port}"
-        self.timeout = timeout
-        self.retries = retries
-        self.backoff_s = backoff_s
-        self.jitter = jitter
+        self._transport = HttpTransport(
+            f"http://{host}:{port}", timeout=timeout, retries=retries,
+            backoff_s=backoff_s, jitter=jitter, error_cls=ServeError)
         if deadline_ms is None:
             deadline_ms = timeout * 1e3 if timeout else 0.0
         self.deadline_ms = float(deadline_ms)
+
+    @property
+    def base_url(self) -> str:
+        return self._transport.base_url
+
+    @property
+    def timeout(self) -> float:
+        return self._transport.timeout
+
+    @property
+    def retries(self) -> int:
+        return self._transport.retries
+
+    @property
+    def backoff_s(self) -> float:
+        return self._transport.backoff_s
+
+    @property
+    def jitter(self) -> float:
+        return self._transport.jitter
 
     # -- transport ------------------------------------------------------------
 
     def _retry_delay_s(self, attempt: int,
                        last: Optional[Exception]) -> float:
-        """Delay before retry ``attempt`` (1-based): the advertised
-        ``Retry-After`` when the server gave one, else jittered
-        exponential backoff."""
-        if isinstance(last, ServeError) and last.retry_after is not None:
-            return min(last.retry_after, MAX_HONORED_RETRY_AFTER_S)
-        delay = self.backoff_s * (2 ** (attempt - 1))
-        return delay * (1.0 + self.jitter * random.random())
+        return self._transport.retry_delay_s(attempt, last)
 
     def _call(self, path: str, payload: Optional[Dict] = None) -> Dict:
-        url = self.base_url + path
-        data = None
-        headers = {"Accept": "application/json"}
-        if payload is not None:
-            data = json.dumps(payload).encode()
-            headers["Content-Type"] = "application/json"
-        last: Optional[Exception] = None
-        for attempt in range(self.retries + 1):
-            if attempt:
-                time.sleep(self._retry_delay_s(attempt, last))
-            request = urllib.request.Request(url, data=data, headers=headers)
-            try:
-                with urllib.request.urlopen(request,
-                                            timeout=self.timeout) as response:
-                    return json.loads(response.read())
-            except urllib.error.HTTPError as exc:
-                try:
-                    body = json.loads(exc.read())
-                except (json.JSONDecodeError, ValueError):
-                    body = {}
-                # 422 carries per-request results; surface them to the caller
-                if exc.code == 422 and "predictions" in body:
-                    return body
-                retry_after = _parse_retry_after(
-                    exc.headers.get("Retry-After"), body)
-                err = ServeError(body.get("error", str(exc)),
-                                 status=exc.code, payload=body,
-                                 retry_after=retry_after)
-                if exc.code in (429, 503) and retry_after is not None:
-                    last = err  # honor the advertised backoff and retry
-                    continue
-                raise err from None
-            except socket.timeout:
-                raise ServeError(
-                    f"request to {url} timed out "
-                    f"after {self.timeout}s") from None
-            except urllib.error.URLError as exc:
-                if isinstance(exc.reason, socket.timeout):
-                    raise ServeError(
-                        f"request to {url} timed out "
-                        f"after {self.timeout}s") from None
-                if not _retryable_reason(exc):
-                    raise ServeError(
-                        f"cannot reach {url}: {exc.reason}") from None
-                last = exc
-            except _RETRYABLE as exc:
-                last = exc
-        if isinstance(last, ServeError):
-            raise last  # shed on every attempt: surface the final 429/503
-        reason = getattr(last, "reason", last)
-        raise ServeError(
-            f"cannot reach {url} after {self.retries + 1} attempt(s): "
-            f"{reason}") from None
+        return self._transport.call(path, payload,
+                                    on_http_error=_claim_predictions)
 
     # -- endpoints ------------------------------------------------------------
 

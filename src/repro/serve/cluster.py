@@ -78,7 +78,7 @@ from .engine import (
     expired_prediction,
     validate_request,
 )
-from .registry import ModelRegistry
+from .registry import ModelRegistry, open_model_registry
 
 __all__ = [
     "CLUSTER_MAX_REISSUES",
@@ -172,7 +172,8 @@ def _cluster_worker_main(conn, registry_root: Optional[str], kind: str,
     try:
         engine = PredictionEngine(
             registry=registry_root, kind=kind, sim_fallback=sim_fallback,
-            backend=backend, max_hot_models=max_hot_models)
+            backend=backend, max_hot_models=max_hot_models,
+            push_rollout=False)
         fingerprint, warmed = _warm_replica(engine)
         conn.send(("ready", fingerprint, warmed))
     except Exception:
@@ -324,7 +325,8 @@ class ClusterEngine:
                  max_hot_models: int = 8, max_streams: int = 4096,
                  hang_timeout_s: Optional[float] = None,
                  quarantine_respawns: Optional[int] = None,
-                 quarantine_window_s: Optional[float] = None) -> None:
+                 quarantine_window_s: Optional[float] = None,
+                 push_rollout: Optional[bool] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_streams < 1:
@@ -346,10 +348,12 @@ class ClusterEngine:
             raise ValueError("quarantine_respawns must be >= 1")
         if self.quarantine_window_s <= 0:
             raise ValueError("quarantine_window_s must be > 0")
-        if registry is None or isinstance(registry, ModelRegistry):
-            self.registry = registry
+        if registry is None or not isinstance(registry, (str, Path)):
+            self.registry = registry  # a registry object (local or remote)
         else:
-            self.registry = ModelRegistry(registry)
+            self.registry = open_model_registry(registry)
+        # workers replicate by root — a directory path, or the store
+        # service URL (str() round-trips through open_model_registry)
         self._registry_root = (None if self.registry is None
                                else str(self.registry.root))
         self.n_workers = workers
@@ -382,6 +386,15 @@ class ClusterEngine:
             self, _shutdown_cluster, self._workers)
         for slot in range(workers):
             self._workers.append(self._spawn(slot))
+        # push rollout: the front end owns the single event-feed
+        # subscription; a publish announcement fans out through
+        # refresh() to every worker replica (workers themselves run
+        # with push_rollout=False)
+        self._push = None
+        want_push = True if push_rollout is None else bool(push_rollout)
+        subscribe = getattr(self.registry, "subscribe_events", None)
+        if want_push and callable(subscribe):
+            self._push = subscribe(self.refresh)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -391,6 +404,9 @@ class ClusterEngine:
 
     def close(self) -> None:
         """Reap every worker (idempotent; also runs at GC / exit)."""
+        if self._push is not None:
+            self._push.close()
+            self._push = None
         self._finalizer()
 
     def __enter__(self) -> "ClusterEngine":
@@ -740,4 +756,6 @@ class ClusterEngine:
             out["workers"] = self.workers_dict()
             out["quarantined_slots"] = sorted(self._quarantined)
             out["affinity"] = dict(sorted(self._affinity.items()))
-            return out
+        if self._push is not None:
+            out["push"] = self._push.stats()
+        return out

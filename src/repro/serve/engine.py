@@ -28,6 +28,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -37,7 +38,7 @@ from ..core.features import operand_bits
 from ..flow.campaign import DEFAULT_BACKEND, CampaignJob, CampaignRunner
 from ..timing.corners import OperatingCondition
 from ..workloads.streams import OperandStream
-from .registry import ModelRegistry
+from .registry import ModelRegistry, open_model_registry
 
 
 @dataclass
@@ -197,21 +198,29 @@ class PredictionEngine:
     max_streams:
         LRU capacity of the per-stream history state — bounds server
         memory when clients mint fresh ``stream_id`` values forever.
+    push_rollout:
+        Subscribe to the store service's event feed and
+        :meth:`refresh` on publish/gc announcements.  ``None`` (the
+        default) subscribes automatically when the registry is remote
+        (exposes ``subscribe_events``); ``False`` disables — cluster
+        worker replicas set this, since their front end owns the one
+        subscription and fans refreshes out.
     """
 
     def __init__(self, registry: Union[ModelRegistry, str, None] = None,
                  kind: str = "tevot", sim_fallback: bool = True,
                  backend: str = DEFAULT_BACKEND,
                  max_hot_models: int = 8,
-                 max_streams: int = 4096) -> None:
+                 max_streams: int = 4096,
+                 push_rollout: Optional[bool] = None) -> None:
         if max_hot_models < 1:
             raise ValueError("max_hot_models must be >= 1")
         if max_streams < 1:
             raise ValueError("max_streams must be >= 1")
-        if registry is None or isinstance(registry, ModelRegistry):
-            self.registry = registry
+        if registry is None or not isinstance(registry, (str, Path)):
+            self.registry = registry  # a registry object (local or remote)
         else:
-            self.registry = ModelRegistry(registry)
+            self.registry = open_model_registry(registry)
         self.kind = kind
         self.sim_fallback = sim_fallback
         # fallback runner: cache disabled — two-row serving streams
@@ -227,6 +236,17 @@ class PredictionEngine:
         self._fus: Dict[str, FunctionalUnit] = {}
         self._lock = threading.Lock()
         self.stats = EngineStats()
+        self._push = None
+        want_push = True if push_rollout is None else bool(push_rollout)
+        subscribe = getattr(self.registry, "subscribe_events", None)
+        if want_push and callable(subscribe):
+            self._push = subscribe(self.refresh)
+
+    def close(self) -> None:
+        """Stop the push subscriber (idempotent; no-op without one)."""
+        if self._push is not None:
+            self._push.close()
+            self._push = None
 
     # -- model / FU resolution ------------------------------------------------
 
@@ -470,4 +490,7 @@ class PredictionEngine:
 
     def stats_dict(self) -> Dict:
         with self._lock:
-            return self.stats.as_dict()
+            stats = self.stats.as_dict()
+        if self._push is not None:
+            stats["push"] = self._push.stats()
+        return stats

@@ -1,0 +1,207 @@
+"""Shared stdlib HTTP transport: retry + Retry-After + jitter.
+
+One retrying ``urllib`` wrapper used by every wire client in the repo —
+:class:`repro.serve.client.ServeClient` and the remote store clients in
+:mod:`repro.remote.client` — so the backoff policy lives in exactly one
+place:
+
+* transport resets (connection refused/reset, server restarting a
+  worker) are retried up to ``retries`` times with jittered exponential
+  backoff — timeouts and HTTP error statuses are **not** retried;
+* a ``429``/``503`` that advertises ``Retry-After`` (header or JSON
+  ``retry_after_s``) is retried after the advertised delay, capped at
+  :data:`MAX_HONORED_RETRY_AFTER_S`;
+* errors raise the caller's ``error_cls`` (a
+  :class:`TransportError` subclass) so each client keeps its own typed
+  exception while sharing the plumbing.
+
+Besides JSON calls the transport moves raw bytes (npz trace blobs,
+pickled model artifacts) in both directions — see :meth:`
+HttpTransport.request_bytes`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, Optional, Tuple
+
+#: Never honor an advertised Retry-After longer than this — a confused
+#: (or hostile) server must not park the client for minutes.
+MAX_HONORED_RETRY_AFTER_S = 5.0
+
+
+class TransportError(RuntimeError):
+    """HTTP-level failure (error status or unreachable server).
+
+    ``retry_after`` carries the server's advertised backoff (seconds)
+    when the failure was a shed (``429``) or unavailable (``503``)
+    response that included one, else None.
+    """
+
+    def __init__(self, message: str, status: int = 0,
+                 payload: Optional[Dict] = None,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+        self.retry_after = retry_after
+
+
+def _parse_retry_after(header: Optional[str],
+                       body: Dict) -> Optional[float]:
+    """Advertised backoff from the ``Retry-After`` header (seconds
+    form) or the JSON body's ``retry_after_s``, else None."""
+    for candidate in (header, body.get("retry_after_s")):
+        if candidate is None:
+            continue
+        try:
+            value = float(candidate)
+        except (TypeError, ValueError):
+            continue
+        if value >= 0:
+            return value
+    return None
+
+
+#: Transport-level failures worth one more try: the connection died
+#: before/mid response (server restarting a worker, listen backlog
+#: momentarily full).  Timeouts and HTTP error statuses are NOT here —
+#: a slow or failing request must surface, not silently re-run.
+_RETRYABLE = (ConnectionResetError, ConnectionRefusedError,
+              BrokenPipeError, ConnectionAbortedError,
+              http.client.RemoteDisconnected, http.client.BadStatusLine)
+
+
+def _retryable_reason(exc: Exception) -> bool:
+    if isinstance(exc, _RETRYABLE):
+        return True
+    if isinstance(exc, urllib.error.URLError):
+        reason = getattr(exc, "reason", None)
+        return isinstance(reason, _RETRYABLE)
+    return False
+
+
+class HttpTransport:
+    """Retrying request runner bound to one ``base_url``.
+
+    ``on_http_error(status, body)`` lets a client claim an HTTP error
+    response as a *result* (e.g. the serve server's ``422`` with
+    per-request predictions): return a dict to hand it to the caller,
+    or None to fall through to normal error handling.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 retries: int = 2, backoff_s: float = 0.05,
+                 jitter: float = 0.25,
+                 error_cls: type = TransportError) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if not 0 <= jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+        if not issubclass(error_cls, TransportError):
+            raise TypeError("error_cls must subclass TransportError")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.jitter = jitter
+        self.error_cls = error_cls
+
+    # -- retry policy ---------------------------------------------------------
+
+    def retry_delay_s(self, attempt: int,
+                      last: Optional[Exception]) -> float:
+        """Delay before retry ``attempt`` (1-based): the advertised
+        ``Retry-After`` when the server gave one, else jittered
+        exponential backoff."""
+        if isinstance(last, TransportError) and last.retry_after is not None:
+            return min(last.retry_after, MAX_HONORED_RETRY_AFTER_S)
+        delay = self.backoff_s * (2 ** (attempt - 1))
+        return delay * (1.0 + self.jitter * random.random())
+
+    # -- transport ------------------------------------------------------------
+
+    def request_bytes(
+        self, path: str, data: Optional[bytes] = None, *,
+        headers: Optional[Dict[str, str]] = None,
+        on_http_error: Optional[Callable[[int, Dict], Optional[Dict]]] = None,
+    ) -> Tuple[bytes, Dict[str, str]]:
+        """Run one request (GET, or POST when ``data`` is not None)
+        with the full retry policy; returns ``(body, headers)`` on
+        success.  When ``on_http_error`` claims an error response, the
+        claimed dict comes back JSON-encoded as the body."""
+        url = self.base_url + path
+        send_headers = dict(headers or {})
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.retry_delay_s(attempt, last))
+            request = urllib.request.Request(url, data=data,
+                                             headers=send_headers)
+            try:
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout) as response:
+                    return (response.read(),
+                            {k.lower(): v for k, v in response.headers.items()})
+            except urllib.error.HTTPError as exc:
+                try:
+                    body = json.loads(exc.read())
+                except (json.JSONDecodeError, ValueError):
+                    body = {}
+                if on_http_error is not None:
+                    claimed = on_http_error(exc.code, body)
+                    if claimed is not None:
+                        return json.dumps(claimed).encode(), {}
+                retry_after = _parse_retry_after(
+                    exc.headers.get("Retry-After"), body)
+                err = self.error_cls(body.get("error", str(exc)),
+                                     status=exc.code, payload=body,
+                                     retry_after=retry_after)
+                if exc.code in (429, 503) and retry_after is not None:
+                    last = err  # honor the advertised backoff and retry
+                    continue
+                raise err from None
+            except socket.timeout:
+                raise self.error_cls(
+                    f"request to {url} timed out "
+                    f"after {self.timeout}s") from None
+            except urllib.error.URLError as exc:
+                if isinstance(exc.reason, socket.timeout):
+                    raise self.error_cls(
+                        f"request to {url} timed out "
+                        f"after {self.timeout}s") from None
+                if not _retryable_reason(exc):
+                    raise self.error_cls(
+                        f"cannot reach {url}: {exc.reason}") from None
+                last = exc
+            except _RETRYABLE as exc:
+                last = exc
+        if isinstance(last, self.error_cls):
+            raise last  # shed on every attempt: surface the final 429/503
+        reason = getattr(last, "reason", last)
+        raise self.error_cls(
+            f"cannot reach {url} after {self.retries + 1} attempt(s): "
+            f"{reason}") from None
+
+    def call(
+        self, path: str, payload: Optional[Dict] = None, *,
+        headers: Optional[Dict[str, str]] = None,
+        on_http_error: Optional[Callable[[int, Dict], Optional[Dict]]] = None,
+    ) -> Dict:
+        """JSON request/response on top of :meth:`request_bytes`."""
+        data = None
+        send_headers = {"Accept": "application/json", **(headers or {})}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            send_headers["Content-Type"] = "application/json"
+        body, _ = self.request_bytes(path, data, headers=send_headers,
+                                     on_http_error=on_http_error)
+        return json.loads(body)

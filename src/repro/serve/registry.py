@@ -285,7 +285,36 @@ class ModelRegistry:
         spec = getattr(model, "spec", None)
         spec_tag = spec.version_tag() if spec is not None else "-"
         key = model_key(fu, kind, conditions, train_stream, spec_tag)
+        return self.publish_fingerprinted(
+            model, fu_name=fu_name, kind=kind, key=key,
+            feature_spec=None if spec is None else {
+                "operand_width": spec.operand_width,
+                "include_history": spec.include_history,
+                "tag": spec_tag,
+            },
+            corners=corner_fingerprint(conditions),
+            train_stream=stream_fingerprint(train_stream),
+            metadata=metadata)
 
+    def publish_fingerprinted(self, model: Any, *, fu_name: str,
+                              kind: str, key: str,
+                              feature_spec: Optional[Dict],
+                              corners: str, train_stream: str,
+                              metadata: Optional[Dict] = None
+                              ) -> ModelRecord:
+        """The locked half of :meth:`publish`: version assignment,
+        artifact write, manifest update.
+
+        Takes already-computed fingerprints so a caller that never held
+        the original FU/stream objects — the store service publishing
+        on behalf of a remote client — assigns versions under *this*
+        registry's lock while the client keeps key computation (and
+        therefore byte-identical keys) on its side of the wire.
+        """
+        if kind not in MODEL_KINDS:
+            raise ValueError(
+                f"unknown model kind {kind!r}; expected one of "
+                f"{', '.join(MODEL_KINDS)}")
         self.root.mkdir(parents=True, exist_ok=True)
         # the whole read-modify-write runs under the store lock, so
         # concurrent publishes serialize: no dropped entries, no
@@ -311,13 +340,9 @@ class ModelRegistry:
             record = ModelRecord(
                 model_id=model_id, fu=fu_name, kind=kind, version=version,
                 file=fname, key=key,
-                feature_spec=None if spec is None else {
-                    "operand_width": spec.operand_width,
-                    "include_history": spec.include_history,
-                    "tag": spec_tag,
-                },
-                corners=corner_fingerprint(conditions),
-                train_stream=stream_fingerprint(train_stream),
+                feature_spec=feature_spec,
+                corners=corners,
+                train_stream=train_stream,
                 created=time.strftime("%Y-%m-%dT%H:%M:%S"),
                 size_bytes=path.stat().st_size,
                 metadata=dict(metadata or {}))
@@ -418,3 +443,19 @@ class ModelRegistry:
         if not dry_run and (removed or dropped):
             self._write(manifest)
         return RegistryGCReport(removed, dropped, freed)
+
+
+def open_model_registry(root: Union[str, Path, None], *,
+                        lock_timeout: float = 10.0,
+                        **remote_kwargs) -> Any:
+    """Open a registry by location: local directory or store-service URL.
+
+    An ``http(s)://`` string returns a
+    :class:`~repro.remote.client.RemoteModelRegistry` (same duck-typed
+    surface, lazily imported so local flows never load the remote
+    package); anything else builds a local :class:`ModelRegistry`.
+    """
+    if isinstance(root, str) and root.startswith(("http://", "https://")):
+        from ..remote.client import RemoteModelRegistry
+        return RemoteModelRegistry(root, **remote_kwargs)
+    return ModelRegistry(root, lock_timeout=lock_timeout)

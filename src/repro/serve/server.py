@@ -442,6 +442,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/config":
             self._config(data)
         elif path == "/models/refresh":
+            self.server.refresh_calls += 1
             self.server.engine.refresh()
             self._send_json({"ok": True})
         else:
@@ -522,6 +523,9 @@ class PredictionServer(ThreadingHTTPServer):
                                     max_queue=max_queue,
                                     default_deadline_ms=default_deadline_ms)
         self.verbose = verbose
+        #: manual POST /models/refresh count — with push rollout active
+        #: this should stay 0 (the CI smoke asserts exactly that)
+        self.refresh_calls = 0
         self._started = time.monotonic()
         self._closed = False
         self._draining = False
@@ -602,4 +606,5 @@ class PredictionServer(ThreadingHTTPServer):
 
     def stats(self) -> Dict:
         return {"engine": self.engine.stats_dict(),
-                "batching": self.batcher.stats_dict()}
+                "batching": self.batcher.stats_dict(),
+                "refresh_calls": self.refresh_calls}

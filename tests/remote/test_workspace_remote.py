@@ -1,0 +1,133 @@
+"""Remote Workspace flow tests: parity with local roots + resilience.
+
+``Workspace("http://host:port")`` must produce byte-identical trace
+keys, model keys, and predictions to ``Workspace(local_dir)`` — and a
+campaign that loses the store service mid-run must fail with a typed
+error whose journaled progress survives a service restart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import CampaignSpec, TrainSpec, Workspace
+from repro.circuits import build_functional_unit
+from repro.flow import CampaignJob, CampaignRunner
+from repro.remote import RemoteStoreError, RemoteTraceStore, StoreService
+from repro.timing import DEFAULT_LIBRARY, OperatingCondition
+from repro.workloads import random_stream
+
+CYCLES = 120
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = StoreService(tmp_path / "svc", port=0)
+    svc.start_background()
+    yield svc
+    svc.close()
+
+
+def _campaign_spec():
+    spec = CampaignSpec(fus=["int_add"])
+    return spec.replace(stream=spec.stream.replace(cycles=CYCLES))
+
+
+def _train_spec():
+    spec = TrainSpec(fu="int_add", publish=True)
+    return spec.replace(stream=spec.stream.replace(cycles=CYCLES))
+
+
+class TestRemoteWorkspaceParity:
+    def test_flow_is_byte_identical_to_local(self, service, tmp_path):
+        """characterize → train → publish → predict through the URL
+        workspace lands the same keys and numbers as a local root."""
+        local = Workspace(tmp_path / "local")
+        remote = Workspace(service.url)
+        assert remote.url == service.url and remote.root is None
+
+        r_local = local.characterize(_campaign_spec())
+        r_remote = remote.characterize(_campaign_spec())
+        assert sorted(local.store.entries()) \
+            == sorted(remote.store.entries())
+        np.testing.assert_array_equal(r_remote.traces[0].delays,
+                                      r_local.traces[0].delays)
+
+        t_local = local.train(_train_spec())
+        t_remote = remote.train(_train_spec())
+        assert t_remote.record.key == t_local.record.key
+        assert t_remote.record.model_id == t_local.record.model_id
+
+        # second characterize is a pure remote cache hit
+        again = remote.characterize(_campaign_spec())
+        assert again.stats.hits == 1 and again.stats.misses == 0
+        np.testing.assert_array_equal(again.traces[0].delays,
+                                      r_local.traces[0].delays)
+
+    def test_resolve_roundtrips_predictions(self, service, tmp_path):
+        local = Workspace(tmp_path / "local")
+        remote = Workspace(service.url)
+        t_local = local.train(_train_spec())
+        remote.train(_train_spec())
+        model, record = remote.registry.resolve("int_add")
+        assert record.key == t_local.record.key
+        stream = random_stream(32, operand_width=8, seed=3)
+        cond = OperatingCondition(0.90, 25.0)
+        np.testing.assert_array_equal(
+            model.predict_stream_delays(stream, cond),
+            t_local.model.predict_stream_delays(stream, cond))
+
+
+class TestCampaignOutage:
+    def test_service_down_mid_campaign_is_typed(self, service):
+        """The store service dying mid-campaign surfaces as a
+        RemoteStoreError, not a bare socket error."""
+        store = RemoteTraceStore(service.url, retries=0, timeout=2.0)
+        store.entries()  # complete the handshake while it's up
+        service.close()
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(CYCLES, operand_width=8, seed=0)
+        runner = CampaignRunner(store=store, use_cache=True)
+        with pytest.raises(RemoteStoreError, match="cannot reach"):
+            runner.run([CampaignJob(
+                fu, stream, [OperatingCondition(0.90, 25.0)],
+                DEFAULT_LIBRARY)])
+
+    def test_journal_resumes_after_service_restart(self, service):
+        """Shards journaled before the service dies are replayed from
+        the restarted service: the rerun resumes instead of restarting
+        from cycle zero."""
+        fu = build_functional_unit("int_add", width=8)
+        stream = random_stream(400, operand_width=8, seed=0)
+        stream.name = "outage"
+        conds = [OperatingCondition(0.90, 25.0)]
+        job = CampaignJob(fu, stream, conds, DEFAULT_LIBRARY)
+
+        store = RemoteTraceStore(service.url, retries=0)
+        # die on the final trace put: every shard is already journaled
+        store.put = _raise_gone
+        runner = CampaignRunner(store=store, use_cache=True,
+                                shard_cycles=100)
+        with pytest.raises(RemoteStoreError, match="gone away"):
+            runner.run([job])
+
+        root, _ = service.root, service.close()
+        svc2 = StoreService(root, port=0)
+        svc2.start_background()
+        try:
+            store2 = RemoteTraceStore(svc2.url, retries=0)
+            runner2 = CampaignRunner(store=store2, use_cache=True,
+                                     shard_cycles=100)
+            (trace,) = runner2.run([job])
+            assert runner2.stats.resumed_shards == 4
+            # resumed result equals an uncached reference run
+            (ref,) = CampaignRunner(use_cache=False).run([job])
+            np.testing.assert_array_equal(trace.delays, ref.delays)
+            # the journal is consumed once the final trace lands
+            assert "outage" in " ".join(
+                e["stream"] for e in store2.entries().values())
+        finally:
+            svc2.close()
+
+
+def _raise_gone(*args, **kwargs):
+    raise RemoteStoreError("store service gone away")
